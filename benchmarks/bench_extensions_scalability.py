@@ -1,0 +1,149 @@
+"""Extension benches: Section-7 features, extension scenarios, scalability,
+and the incomplete-symptoms-database ablation (Section 5, last observation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Diads, SelfHealer, suggest_entry
+from repro.core.evaluation import evaluate_bundle
+from repro.core.symptoms import SymptomsDatabase
+from repro.lab.scenarios import (
+    ScenarioBundle,
+    scenario_buffer_pool,
+    scenario_cpu_saturation,
+    scenario_raid_rebuild,
+    scenario_san_misconfiguration,
+)
+
+
+@pytest.fixture(scope="module")
+def extension_evals():
+    bundles = [
+        scenario_cpu_saturation(hours=12.0).run(),
+        scenario_buffer_pool(hours=12.0).run(),
+        scenario_raid_rebuild(hours=12.0).run(),
+    ]
+    return [evaluate_bundle(b) for b in bundles]
+
+
+def test_extension_scenarios_table(extension_evals, record_result):
+    lines = [
+        "Extension scenarios (root causes from the paper's introduction)",
+        "-" * 90,
+    ]
+    for ev in extension_evals:
+        lines.append(ev.row())
+    record_result("extension_scenarios", "\n".join(lines))
+    assert all(ev.identified for ev in extension_evals)
+
+
+def test_selfheal_roundtrip(record_result):
+    """Section 7: diagnose → fix → verify recovery."""
+    scenario = scenario_san_misconfiguration(hours=10.0)
+    env = scenario.build()
+    bundle = env.run(scenario.duration_s)
+    bundle.stores.runs.label_by_window(
+        scenario.query_name, scenario.info.fault_time, scenario.duration_s + 1
+    )
+    sb = ScenarioBundle(info=scenario.info, bundle=bundle, query_name=scenario.query_name)
+    report = Diads.from_bundle(sb).diagnose(scenario.query_name)
+    healer = SelfHealer()
+    applied = healer.apply(report, env, at_time=scenario.duration_s)
+    env.run(2 * 3600.0, start_s=scenario.duration_s)
+
+    runs = env.stores.runs.runs(scenario.query_name)
+    pre = [r.duration for r in runs if r.start_time < scenario.info.fault_time]
+    broken = [
+        r.duration
+        for r in runs
+        if scenario.info.fault_time <= r.start_time < scenario.duration_s
+    ]
+    healed = [r.duration for r in runs if r.start_time >= scenario.duration_s]
+    lines = [
+        "Self-healing round trip (scenario 1)",
+        "-" * 60,
+        f"fixes applied: {', '.join(a.fix.fix_id for a in applied)}",
+        f"median duration before fault : {sorted(pre)[len(pre)//2]:6.2f} s",
+        f"median duration during fault : {sorted(broken)[len(broken)//2]:6.2f} s",
+        f"median duration after heal   : {sorted(healed)[len(healed)//2]:6.2f} s",
+    ]
+    record_result("selfheal_roundtrip", "\n".join(lines))
+    assert max(healed) < 1.2 * max(pre)
+
+
+def test_ablation_incomplete_symptoms_db(scenario1_bundle, record_result):
+    """Section 5: 'DIADS produces good results even when the symptoms
+    database is incomplete' — and the evolution loop closes the gap."""
+    empty = SymptomsDatabase()
+    report = Diads.from_bundle(scenario1_bundle, symptoms_db=empty).diagnose(
+        scenario1_bundle.query_name
+    )
+    co = report.module_result("CO")
+    da = report.module_result("DA")
+    lines = [
+        "Ablation — symptoms database removed (scenario 1)",
+        "-" * 70,
+        f"COS still pinpoints V1 leaves : {sorted(co.cos & {'O8', 'O22'})}",
+        f"CCS narrows to V1's hardware  : {sorted(da.ccs)}",
+    ]
+    suggestion = suggest_entry(report)
+    lines.append("")
+    lines.append("Self-evolution proposal from the uncovered diagnosis:")
+    lines.append(suggestion.describe())
+    empty.add(suggestion.entry)
+    adopted = Diads.from_bundle(scenario1_bundle, symptoms_db=empty).diagnose(
+        scenario1_bundle.query_name
+    )
+    lines.append("")
+    lines.append(
+        f"after expert adoption: {adopted.top_cause.match.display_id} "
+        f"({adopted.top_cause.match.confidence.value})"
+    )
+    record_result("ablation_symptoms_db", "\n".join(lines))
+    assert {"O8", "O22"} <= co.cos
+    assert "V1" in da.ccs and "V2" not in da.ccs
+    assert adopted.top_cause.match.confidence.value == "high"
+
+
+def test_scalability_vs_history_length(record_result):
+    """Diagnosis latency as the monitoring history grows."""
+    import time
+
+    lines = [
+        "Scalability — diagnosis latency vs monitoring history",
+        "-" * 64,
+        f"{'hours':<8}{'runs':<7}{'raw samples':<14}{'diagnose (ms)':<14}",
+        "-" * 64,
+    ]
+    latencies = {}
+    for hours in (6.0, 12.0, 24.0, 48.0):
+        bundle = scenario_san_misconfiguration(hours=hours).run()
+        diads = Diads.from_bundle(bundle)
+        t0 = time.perf_counter()
+        report = diads.diagnose(bundle.query_name)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        latencies[hours] = elapsed_ms
+        n_runs = len(bundle.stores.runs.runs(bundle.query_name))
+        lines.append(
+            f"{hours:<8g}{n_runs:<7}{len(bundle.stores.metrics):<14}{elapsed_ms:<14.1f}"
+        )
+        assert report.top_cause.match.cause_id == "volume-contention-san-misconfig"
+    record_result("scalability_history", "\n".join(lines))
+    # growth should be roughly linear in history, not quadratic
+    assert latencies[48.0] < 30.0 * latencies[6.0]
+
+
+def test_bench_selfheal_recommend(benchmark, scenario1_bundle):
+    report = Diads.from_bundle(scenario1_bundle).diagnose(scenario1_bundle.query_name)
+    fixes = benchmark(lambda: SelfHealer().recommend(report))
+    assert fixes
+
+
+def test_bench_suggest_entry(benchmark, scenario1_bundle):
+    report = Diads.from_bundle(
+        scenario1_bundle, symptoms_db=SymptomsDatabase()
+    ).diagnose(scenario1_bundle.query_name)
+    suggestion = benchmark(lambda: suggest_entry(report))
+    assert suggestion is not None

@@ -1,0 +1,62 @@
+"""E3 — Figure 1: the Annotated Plan Graph for TPC-H Q2.
+
+Regenerates the figure's content as text: the 25-operator / 9-leaf plan, the
+tablespace→volume mapping, the pool/disk layout, and the inner/outer
+dependency paths of the Index-Scan-on-part operator O23 the paper walks
+through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.apg import build_apg
+from repro.core.report import render_apg_overview
+
+
+@pytest.fixture(scope="module")
+def apg(scenario1_bundle):
+    return build_apg(scenario1_bundle, scenario1_bundle.query_name)
+
+
+def test_figure1_reproduction(apg, record_result):
+    text = render_apg_overview(apg)
+    record_result("figure1_apg", text)
+    assert "operators: 25 (9 leaves)" in text
+    assert "ts_supplier -> V1" in text
+
+
+def test_figure1_structural_constraints(apg):
+    assert apg.operator_count == 25
+    assert apg.leaf_count == 9
+    assert set(apg.leaves_on_volume("V1")) == {"O8", "O22"}
+    assert len(apg.leaves_on_volume("V2")) == 7
+
+    # O23's dependency paths exactly as the paper describes them
+    inner = apg.inner_path("O23")
+    assert {"srv-db", "hba0", "ds6000", "P2", "V2"} <= inner
+    assert {f"d{i}" for i in range(5, 11)} <= inner
+    assert apg.outer_path("O23") == frozenset({"V3", "V4"})
+
+
+def test_figure1_annotations_available(apg):
+    """Each component in an APG is annotated with monitoring data collected
+    during the plan's execution window."""
+    run = apg.runs[-1]
+    annotation = apg.annotate("O23", run)
+    assert "V2" in annotation.component_metrics
+    assert "readTime" in annotation.component_metrics["V2"]
+    assert annotation.actual_rows > 0
+
+
+def test_bench_apg_construction(benchmark, scenario1_bundle):
+    apg = benchmark(
+        lambda: build_apg(scenario1_bundle, scenario1_bundle.query_name)
+    )
+    assert apg.operator_count == 25
+
+
+def test_bench_apg_annotation(benchmark, apg):
+    run = apg.runs[-1]
+    annotation = benchmark(lambda: apg.annotate("O23", run))
+    assert annotation.component_metrics

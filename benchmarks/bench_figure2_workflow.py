@@ -1,0 +1,60 @@
+"""E4 — Figure 2: the diagnosis workflow executes end-to-end.
+
+Reproduces the drill-down/roll-up pipeline: per-module summaries and wall
+times for both branches of the workflow (same-plan statistical drill-down and
+the plan-change analysis branch).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.workflow import Diads
+
+
+def test_figure2_workflow_trace(scenario1_bundle, record_result):
+    diads = Diads.from_bundle(scenario1_bundle)
+    session = diads.interactive(scenario1_bundle.query_name)
+    lines = ["Figure 2 — workflow execution trace (scenario 1)", "-" * 78]
+    while not session.finished:
+        name = session.pending[0]
+        t0 = time.perf_counter()
+        result = session.run_next()
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        lines.append(f"{name:<4} ({elapsed_ms:7.1f} ms)  {result.summary}")
+    report = session.report()
+    lines.append("-" * 78)
+    lines.append(f"verdict: {report.top_cause.describe()}")
+    record_result("figure2_workflow", "\n".join(lines))
+    assert session.executed == ["PD", "CO", "CR", "DA", "SD", "IA"]
+
+
+def test_figure2_plan_change_branch(scenario_pd_bundle, record_result):
+    diads = Diads.from_bundle(scenario_pd_bundle)
+    session = diads.interactive(scenario_pd_bundle.query_name)
+    session.run_all()
+    lines = ["Figure 2 — plan-change branch (plan regression scenario)", "-" * 78]
+    for name in session.executed:
+        lines.append(f"{name:<4} {session.ctx.result(name).summary}")
+    record_result("figure2_plan_branch", "\n".join(lines))
+    assert session.executed == ["PD", "SD", "IA"]
+
+
+def test_bench_full_workflow(benchmark, scenario1_bundle):
+    diads = Diads.from_bundle(scenario1_bundle)
+    report = benchmark(lambda: diads.diagnose(scenario1_bundle.query_name))
+    assert report.top_cause is not None
+
+
+def test_bench_interactive_stepping(benchmark, scenario1_bundle):
+    diads = Diads.from_bundle(scenario1_bundle)
+
+    def step_all():
+        session = diads.interactive(scenario1_bundle.query_name)
+        session.run_all()
+        return session
+
+    session = benchmark(step_all)
+    assert session.finished

@@ -1,0 +1,95 @@
+"""E5/E6/E7 — Figures 3-7: the tool's screens and metric inventory.
+
+* Figure 3: query-selection screen (runs with durations + unsatisfactory
+  check-boxes),
+* Figure 4: the four metric families the collector gathers,
+* Figure 5: deployment dataflow (stores populated by the collector),
+* Figure 6: APG browser for one operator,
+* Figure 7: interactive workflow screen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.apg import build_apg
+from repro.core.report import (
+    render_apg_browser,
+    render_query_table,
+    render_workflow_screen,
+)
+from repro.core.workflow import Diads
+from repro.db.metrics import METRIC_FAMILIES
+
+
+def test_figure3_query_selection_screen(scenario1_bundle, record_result):
+    text = render_query_table(scenario1_bundle.stores.runs, scenario1_bundle.query_name)
+    record_result("figure3_query_table", text)
+    assert "[x]" in text  # unsatisfactory runs marked
+    runs = scenario1_bundle.stores.runs.runs(scenario1_bundle.query_name)
+    assert len([r for r in runs if r.satisfactory is False]) >= 1
+
+
+def test_figure4_metric_inventory(scenario1_bundle, record_result):
+    """Every metric family of Figure 4 must be represented in the stores."""
+    store = scenario1_bundle.stores.metrics
+    collected = {metric for _, metric in store.keys()}
+    lines = ["Figure 4 — metric families collected", "-" * 70]
+    coverage = {}
+    for family, names in METRIC_FAMILIES.items():
+        present = [m for m in names if m in collected]
+        coverage[family] = (len(present), len(names))
+        lines.append(f"{family:<10} {len(present)}/{len(names)}: {', '.join(present)}")
+    record_result("figure4_metrics", "\n".join(lines))
+    for family, (present, _total) in coverage.items():
+        assert present >= 5, f"family {family} under-collected"
+
+
+def test_figure5_deployment_dataflow(scenario1_bundle, record_result):
+    """Figure 5's arrows: simulators → collector → stores → DIADS."""
+    stores = scenario1_bundle.stores
+    lines = [
+        "Figure 5 — deployment dataflow (store population)",
+        "-" * 70,
+        f"metric store:  {len(stores.metrics)} raw samples over "
+        f"{len(stores.metrics.keys())} series",
+        f"event log:     {len(stores.events)} events",
+        f"config store:  scopes {', '.join(stores.config.scopes())}",
+        f"run store:     {len(stores.runs)} query executions",
+    ]
+    record_result("figure5_deployment", "\n".join(lines))
+    assert len(stores.metrics) > 0
+    assert {"db_catalog", "db_config", "san", "access"} <= set(stores.config.scopes())
+
+
+def test_figure6_apg_browser(scenario1_bundle, record_result):
+    apg = build_apg(scenario1_bundle, scenario1_bundle.query_name)
+    text = render_apg_browser(apg, "O23")
+    record_result("figure6_apg_browser", text)
+    assert ">>> selected" in text
+
+
+def test_figure7_workflow_screen(scenario1_bundle, record_result):
+    session = Diads.from_bundle(scenario1_bundle).interactive(
+        scenario1_bundle.query_name
+    )
+    session.run_next()
+    session.run_next()
+    text = render_workflow_screen(session)
+    record_result("figure7_workflow_screen", text)
+    assert "[PD:done]" in text and "[CO:done]" in text and "[CR:NEXT]" in text
+
+
+def test_bench_render_query_table(benchmark, scenario1_bundle):
+    text = benchmark(
+        lambda: render_query_table(
+            scenario1_bundle.stores.runs, scenario1_bundle.query_name
+        )
+    )
+    assert "Query executions" in text
+
+
+def test_bench_render_apg_browser(benchmark, scenario1_bundle):
+    apg = build_apg(scenario1_bundle, scenario1_bundle.query_name)
+    text = benchmark(lambda: render_apg_browser(apg, "O23"))
+    assert "O23" in text

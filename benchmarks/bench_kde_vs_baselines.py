@@ -1,0 +1,142 @@
+"""E8 — Section 5 observation: KDE works at few tens of samples, robust to noise.
+
+Sweeps detector accuracy over sample count and noise level for the KDE
+detector and its competitors (static threshold, z-score, empirical
+percentile, supervised Gaussian naive Bayes).  Also ablates the KDE
+bandwidth rule (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.baselines import DETECTOR_FACTORIES, KDEDetector
+from repro.stats.evaluation import evaluate_detectors, sweep_detectors
+
+SAMPLE_SIZES = (5, 10, 20, 40, 80)
+NOISE_LEVELS = (0.02, 0.05, 0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_detectors(sample_sizes=SAMPLE_SIZES, noise_levels=NOISE_LEVELS, trials=200)
+
+
+def _grid(sweep, detector):
+    return {
+        (s.noise_sigma, s.n_samples): s
+        for s in sweep
+        if s.detector == detector
+    }
+
+
+def test_e8_reproduction(sweep, record_result):
+    detectors = sorted({s.detector for s in sweep})
+    lines = [
+        "E8 — detection accuracy vs sample count and noise (threshold 0.8, 40% shift)",
+        "-" * 100,
+        f"{'noise':<7}{'n':<5}" + "".join(f"{d:>16}" for d in detectors),
+        "-" * 100,
+    ]
+    for noise in NOISE_LEVELS:
+        for n in SAMPLE_SIZES:
+            row = f"{noise:<7}{n:<5}"
+            for d in detectors:
+                score = _grid(sweep, d)[(noise, n)]
+                row += f"{score.accuracy:>16.3f}"
+            lines.append(row)
+    record_result("e8_kde_vs_baselines", "\n".join(lines))
+
+
+def test_kde_accurate_with_few_tens_of_samples(sweep):
+    """The paper's claim at moderate noise: n=20 is enough for KDE."""
+    kde = _grid(sweep, "kde-silverman")
+    assert kde[(0.05, 20)].accuracy >= 0.9
+    assert kde[(0.02, 10)].accuracy >= 0.9
+
+
+def test_kde_beats_percentile_at_small_n(sweep):
+    """The empirical CDF cannot even express a 0.8 score at n=5."""
+    kde = _grid(sweep, "kde-silverman")
+    pct = _grid(sweep, "percentile")
+    for noise in NOISE_LEVELS:
+        assert kde[(noise, 5)].accuracy >= pct[(noise, 5)].accuracy - 0.05
+
+
+def test_kde_more_robust_to_noise_than_threshold(sweep):
+    """Static thresholds collapse as noise approaches the anomaly shift."""
+    kde = _grid(sweep, "kde-silverman")
+    thr = _grid(sweep, "threshold")
+    assert kde[(0.2, 40)].accuracy >= thr[(0.2, 40)].accuracy
+
+    # and the threshold detector misses moderate shifts entirely at low noise
+    assert thr[(0.02, 40)].true_positive_rate < kde[(0.02, 40)].true_positive_rate
+
+
+def test_kde_competitive_with_supervised_nb(sweep):
+    """Naive Bayes gets labelled anomalies (an unfair advantage) and still
+    does not dominate KDE at small n."""
+    kde = _grid(sweep, "kde-silverman")
+    nb = _grid(sweep, "naive-bayes")
+    small_n_gap = np.mean(
+        [kde[(noise, 10)].accuracy - nb[(noise, 10)].accuracy for noise in NOISE_LEVELS]
+    )
+    assert small_n_gap >= -0.08
+
+
+def test_ablation_bandwidth_rules(record_result):
+    """DESIGN §4: Silverman vs Scott vs fixed bandwidth.
+
+    Operator times span milliseconds to minutes, so the ablation evaluates
+    each rule across healthy levels (scales).  A fixed bandwidth can be tuned
+    to one scale but cannot transfer; the adaptive rules stay accurate.
+    """
+    detectors = {
+        "kde-silverman": lambda: KDEDetector("silverman"),
+        "kde-scott": lambda: KDEDetector("scott"),
+        "kde-fixed-2.0": lambda: KDEDetector(2.0),
+    }
+    scales = (0.05, 10.0, 2000.0)
+    lines = [
+        "E8 ablation — bandwidth rule across metric scales (n=20, noise=0.05)",
+        "-" * 66,
+        f"{'detector':<16}" + "".join(f"{f'scale={s:g}':>15}" for s in scales),
+        "-" * 66,
+    ]
+    rng = np.random.default_rng(11)
+    results = {}
+    for scale in scales:
+        scores = evaluate_detectors(
+            20, 0.05, detectors=detectors, trials=200, rng=rng, scale=scale
+        )
+        for s in scores:
+            results[(s.detector, scale)] = s.accuracy
+    for name in detectors:
+        row = f"{name:<16}" + "".join(
+            f"{results[(name, scale)]:>15.3f}" for scale in scales
+        )
+        lines.append(row)
+    record_result("e8_ablation_bandwidth", "\n".join(lines))
+    # adaptive rules transfer across scales; the fixed bandwidth breaks on
+    # at least one end (over-smoothed at small scales -> misses anomalies,
+    # or needle-thin at large scales)
+    for scale in scales:
+        assert results[("kde-silverman", scale)] >= 0.85
+        assert results[("kde-scott", scale)] >= 0.85
+    assert min(results[("kde-fixed-2.0", s)] for s in scales) < 0.75
+
+
+def test_bench_kde_scoring(benchmark):
+    rng = np.random.default_rng(0)
+    healthy = 10.0 * rng.lognormal(0, 0.05, size=40)
+    detector = KDEDetector().fit(healthy)
+    score = benchmark(lambda: detector.score(14.0))
+    assert score > 0.9
+
+
+def test_bench_detector_sweep_cell(benchmark):
+    result = benchmark(
+        lambda: evaluate_detectors(20, 0.05, trials=50, rng=np.random.default_rng(1))
+    )
+    assert result

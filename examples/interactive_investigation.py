@@ -1,0 +1,56 @@
+"""The paper's intro story, investigated interactively.
+
+"Queries to the RepDB database used for report generation have a 30% slow
+down in response time, compared to performance two weeks back."  Instead of
+the DBA/SAN-admin blame game, an administrator steps through the DIADS
+workflow screen by screen — the text renderings mirror Figures 3, 6 and 7.
+
+Run:  python examples/interactive_investigation.py
+"""
+
+from repro.core import Diads, build_apg
+from repro.core.report import (
+    render_apg_browser,
+    render_query_table,
+    render_workflow_screen,
+)
+from repro.lab import scenario_san_misconfiguration
+
+
+def main() -> None:
+    bundle = scenario_san_misconfiguration(hours=12).run()
+    query = bundle.query_name
+
+    # --- Figure 3: the query-selection screen ---------------------------
+    print(render_query_table(bundle.stores.runs, query, limit=10))
+    print()
+
+    # --- Figure 6: browse the APG around a suspicious operator ----------
+    apg = build_apg(bundle, query)
+    print(render_apg_browser(apg, "O22"))
+    print()
+
+    # --- Figure 7: step through the workflow, intervening as we go ------
+    session = Diads.from_bundle(bundle).interactive(query)
+    print(render_workflow_screen(session))
+    while not session.finished:
+        result = session.run_next()
+        print(f"\n-> executed {result.module}: {result.summary}")
+        if result.module == "CO":
+            # The admin inspects COS and re-runs the module, as the paper's
+            # interactive mode allows ("each module can be re-executed as
+            # many times as needed").
+            top = result.top(5)
+            print("   top anomalous operators:",
+                  ", ".join(f"{op}={score:.2f}" for op, score in top))
+            session.rerun("CO")
+    print()
+    print(render_workflow_screen(session))
+
+    # --- the verdict -----------------------------------------------------
+    print()
+    print(session.report().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Module PD in action: a dropped index flips the plan, DIADS replays the
+optimizer to prove it, and what-if analysis validates the fix.
+
+Run:  python examples/plan_regression.py
+"""
+
+from repro.core import Diads, WhatIfAnalyzer
+from repro.db import render_plan
+from repro.lab import scenario_plan_regression
+
+
+def main() -> None:
+    bundle = scenario_plan_regression(hours=12, via="index_drop").run()
+    query = bundle.query_name
+
+    # Show the plan change as recorded in the runs themselves.
+    runs = bundle.stores.runs.runs(query)
+    before = next(r for r in runs if r.satisfactory)
+    after = next(r for r in runs if r.satisfactory is False)
+    print("Plan during satisfactory runs:")
+    print(render_plan(before.plan))
+    print(f"  duration ~{before.duration:.2f}s")
+    print()
+    print("Plan during unsatisfactory runs:")
+    print(render_plan(after.plan))
+    print(f"  duration ~{after.duration:.2f}s")
+    print()
+
+    # Diagnose: PD takes the plan-change branch of the workflow.
+    report = Diads.from_bundle(bundle).diagnose(query)
+    pd = report.module_result("PD")
+    print(f"Module PD: {pd.summary}")
+    for cause in pd.causes:
+        print(f"  - {cause.describe()}")
+    print()
+    print(f"Verdict: {report.top_cause.describe()}")
+    print()
+
+    # What-if: confirm that re-creating the index restores the cheap plan.
+    analyzer = WhatIfAnalyzer(bundle.bundle)
+    original_index = bundle.initial_catalog.index("ix_partsupp_suppkey")
+    outcome = analyzer.replan_under(query, create_indexes=(original_index,))
+    print("What-if: CREATE INDEX ix_partsupp_suppkey ...")
+    print(f"  plan changes: {outcome.plan_changes}")
+    print(f"  estimated cost: {outcome.current_cost:.0f} -> "
+          f"{outcome.hypothetical_cost:.0f} "
+          f"({outcome.cost_ratio:.2f}x)")
+    print(render_plan(outcome.hypothetical_plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+PEP-660 editable installs fail; `pip install -e . --no-use-pep517
+--no-build-isolation` (or plain `pip install -e .` on a machine with wheel)
+uses this file instead."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    python_requires=">=3.10",
+)

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Why Did My Query Slow Down?" (DIADS, CIDR 2009).
+
+An integrated database + SAN diagnosis library.  The package is organised as:
+
+* :mod:`repro.stats` — KDE anomaly scoring and baseline detectors,
+* :mod:`repro.san` — SAN simulator (topology, zoning, I/O contention),
+* :mod:`repro.db` — database simulator (catalog, optimizer, executor),
+* :mod:`repro.monitor` — noisy sampled monitoring stores,
+* :mod:`repro.lab` — environment, workloads, fault injection, scenarios,
+* :mod:`repro.core` — the paper's contribution: APGs and the DIADS workflow.
+
+Quickstart::
+
+    from repro.lab import scenario_san_misconfiguration
+    from repro.core import Diads
+
+    bundle = scenario_san_misconfiguration().run()
+    report = Diads.from_bundle(bundle).diagnose("q2-report")
+    print(report.render())
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,128 @@
+"""Command-line interface: run scenarios and diagnose them from a shell.
+
+Usage (module form, no console-script needed)::
+
+    python -m repro.cli list
+    python -m repro.cli run san-misconfiguration --hours 12
+    python -m repro.cli run lock-contention --screens
+    python -m repro.cli sweep --hours 8
+
+``run`` simulates one scenario, diagnoses it, and prints the report (plus the
+Figure-3/6/7 screens with ``--screens``).  ``sweep`` evaluates every Table-1
+scenario and prints the reproduction table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import Diads, build_apg
+from .core.evaluation import evaluate_bundle
+from .core.report import render_apg_browser, render_apg_overview, render_query_table
+from .lab import (
+    all_table1_scenarios,
+    scenario_buffer_pool,
+    scenario_concurrent_db_san,
+    scenario_cpu_saturation,
+    scenario_data_property_change,
+    scenario_lock_contention,
+    scenario_plan_regression,
+    scenario_raid_rebuild,
+    scenario_san_misconfiguration,
+    scenario_two_external_workloads,
+)
+
+SCENARIOS = {
+    "san-misconfiguration": scenario_san_misconfiguration,
+    "san-misconfiguration-v2-burst": lambda **kw: scenario_san_misconfiguration(
+        with_v2_burst=True, **kw
+    ),
+    "two-external-workloads": scenario_two_external_workloads,
+    "data-property-change": scenario_data_property_change,
+    "concurrent-db-san": scenario_concurrent_db_san,
+    "lock-contention": scenario_lock_contention,
+    "plan-regression": scenario_plan_regression,
+    "cpu-saturation": scenario_cpu_saturation,
+    "buffer-pool-thrashing": scenario_buffer_pool,
+    "raid-rebuild": scenario_raid_rebuild,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DIADS reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available scenarios")
+
+    run = sub.add_parser("run", help="simulate and diagnose one scenario")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("--hours", type=float, default=12.0, help="simulated hours")
+    run.add_argument("--seed", type=int, default=None, help="override the seed")
+    run.add_argument(
+        "--screens", action="store_true", help="also print the tool screens"
+    )
+
+    sweep = sub.add_parser("sweep", help="evaluate all Table-1 scenarios")
+    sweep.add_argument("--hours", type=float, default=12.0)
+    return parser
+
+
+def cmd_list() -> int:
+    for name in sorted(SCENARIOS):
+        print(name)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    factory = SCENARIOS[args.scenario]
+    kwargs = {"hours": args.hours}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    scenario = factory(**kwargs)
+    print(f"Simulating {args.hours:g}h of scenario {scenario.info.name!r}...")
+    bundle = scenario.run()
+    if args.screens:
+        print()
+        print(render_query_table(bundle.stores.runs, bundle.query_name, limit=12))
+        apg = build_apg(bundle, bundle.query_name)
+        print()
+        print(render_apg_overview(apg))
+        leaf = apg.plan.leaves()[0].op_id
+        print()
+        print(render_apg_browser(apg, leaf))
+    report = Diads.from_bundle(bundle).diagnose(bundle.query_name)
+    print()
+    print(report.render())
+    top = report.top_cause
+    ok = top is not None and top.match.cause_id in scenario.info.ground_truth
+    print()
+    print(f"ground truth: {', '.join(scenario.info.ground_truth)} -> "
+          f"{'identified' if ok else 'MISSED'}")
+    return 0 if ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    failures = 0
+    for scenario in all_table1_scenarios(hours=args.hours):
+        evaluation = evaluate_bundle(scenario.run())
+        print(evaluation.row())
+        failures += 0 if evaluation.identified else 1
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""DIADS core: Annotated Plan Graphs and the integrated diagnosis workflow."""
+
+from .apg import AnnotatedPlanGraph, OperatorAnnotation, build_apg
+from .dependency import DependencyPaths, compute_dependency_paths
+from .symptoms import (
+    Condition,
+    Confidence,
+    RootCauseEntry,
+    RootCauseMatch,
+    Symptom,
+    SymptomsDatabase,
+    default_symptoms_database,
+)
+from .modules import (
+    COResult,
+    CRResult,
+    DAResult,
+    DiagnosisContext,
+    IAResult,
+    ImpactScore,
+    MetricFinding,
+    ModuleResult,
+    PDResult,
+    PlanChangeCause,
+    extract_symptoms,
+    self_times,
+)
+from .workflow import Diads, DiagnosisReport, InteractiveSession, MODULE_ORDER, RankedCause
+from .report import (
+    render_apg_browser,
+    render_apg_overview,
+    render_diagnosis,
+    render_query_table,
+    render_workflow_screen,
+)
+from .baselines import (
+    BaselineFinding,
+    CorrelationOnlyDiagnoser,
+    DbOnlyDiagnoser,
+    SanOnlyDiagnoser,
+)
+from .whatif import WhatIfAnalyzer, WhatIfLoadOutcome, WhatIfPlanOutcome
+from .selfheal import AppliedFix, Fix, SelfHealer
+from .evolution import SuggestedEntry, suggest_entry, suggest_from_reports
+from .evaluation import ScenarioEvaluation, evaluate_bundle, evaluate_scenario
+from .serialize import apg_to_dict, plan_from_dict, plan_to_dict, report_to_dict
+
+__all__ = [
+    "AnnotatedPlanGraph",
+    "OperatorAnnotation",
+    "build_apg",
+    "DependencyPaths",
+    "compute_dependency_paths",
+    "Symptom",
+    "Condition",
+    "RootCauseEntry",
+    "RootCauseMatch",
+    "SymptomsDatabase",
+    "Confidence",
+    "default_symptoms_database",
+    "DiagnosisContext",
+    "ModuleResult",
+    "PDResult",
+    "PlanChangeCause",
+    "COResult",
+    "CRResult",
+    "DAResult",
+    "MetricFinding",
+    "IAResult",
+    "ImpactScore",
+    "extract_symptoms",
+    "self_times",
+    "Diads",
+    "DiagnosisReport",
+    "InteractiveSession",
+    "RankedCause",
+    "MODULE_ORDER",
+    "render_diagnosis",
+    "render_query_table",
+    "render_apg_overview",
+    "render_apg_browser",
+    "render_workflow_screen",
+    "BaselineFinding",
+    "SanOnlyDiagnoser",
+    "DbOnlyDiagnoser",
+    "CorrelationOnlyDiagnoser",
+    "WhatIfAnalyzer",
+    "WhatIfPlanOutcome",
+    "WhatIfLoadOutcome",
+    "Fix",
+    "AppliedFix",
+    "SelfHealer",
+    "SuggestedEntry",
+    "suggest_entry",
+    "suggest_from_reports",
+    "ScenarioEvaluation",
+    "evaluate_bundle",
+    "evaluate_scenario",
+    "plan_to_dict",
+    "plan_from_dict",
+    "apg_to_dict",
+    "report_to_dict",
+]

@@ -1,0 +1,234 @@
+"""Silo-tool baselines: what DB-only, SAN-only and pure-ML diagnosis report.
+
+Section 5 argues: *"a SAN-only diagnosis tool may spot higher I/O loads in
+both V1 and V2, and attribute both of these as potential root causes.  Even
+worse, the tool may give more importance to V2 because most of the data is on
+V2.  A database-only tool can pinpoint the slowdown in the operators, but it
+would likely give several false positives like a suboptimal buffer pool
+setting or a suboptimal choice of execution plan."*  These diagnosers
+implement exactly those strategies so the claim becomes measurable
+(experiment E10), plus a pure-correlation "ML-only" tool that demonstrates
+event flooding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lab.environment import DiagnosisBundle
+from ..stats.correlation import pearson
+from .apg import COMPONENT_METRICS
+from .modules.correlated_operators import kde_anomaly
+
+__all__ = [
+    "BaselineFinding",
+    "SanOnlyDiagnoser",
+    "DbOnlyDiagnoser",
+    "CorrelationOnlyDiagnoser",
+]
+
+
+@dataclass(frozen=True)
+class BaselineFinding:
+    """One candidate cause reported by a baseline tool."""
+
+    cause: str
+    target: str
+    score: float
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"{self.cause} @ {self.target} (score {self.score:.2f}) {self.detail}".rstrip()
+
+
+def _labelled_runs(bundle: DiagnosisBundle, query_name: str):
+    runs = bundle.stores.runs.runs(query_name)
+    sat = [r for r in runs if r.satisfactory is True]
+    unsat = [r for r in runs if r.satisfactory is False]
+    return sat, unsat
+
+
+def _window_values(store, component_id, metric, runs):
+    values = []
+    for run in runs:
+        mean = store.window_mean(component_id, metric, run.start_time, run.end_time)
+        if mean is not None:
+            values.append(mean)
+    return values
+
+
+@dataclass
+class SanOnlyDiagnoser:
+    """A storage administrator's tool: volumes + their metrics, nothing else.
+
+    It flags every volume with anomalous I/O metrics and — lacking any notion
+    of which data the query actually reads — ranks the suspects by how much
+    I/O they serve ("most of the data is on V2").
+    """
+
+    threshold: float = 0.8
+
+    def diagnose(self, bundle: DiagnosisBundle, query_name: str) -> list[BaselineFinding]:
+        sat, unsat = _labelled_runs(bundle, query_name)
+        if not sat or not unsat:
+            return []
+        store = bundle.stores.metrics
+        # A SAN tool has no notion of query runs — it compares the healthy
+        # period against the complaint period wholesale.
+        sat_start = min(r.start_time for r in sat)
+        sat_end = max(r.end_time for r in sat)
+        onset = min(r.start_time for r in unsat)
+        horizon = max(r.end_time for r in unsat)
+        findings = []
+        for volume in bundle.topology.volumes:
+            vid = volume.component_id
+            best_metric, best_score = None, 0.0
+            for metric in COMPONENT_METRICS["volume"]:
+                s = store.values_between(vid, metric, sat_start, sat_end)
+                u = store.values_between(vid, metric, onset, horizon)
+                if len(s) < 2 or not u:
+                    continue
+                score = kde_anomaly(s, u)
+                if score > best_score:
+                    best_metric, best_score = metric, score
+            if best_score >= self.threshold:
+                io_weight = float(
+                    np.mean(_window_values(store, vid, "totalIOs", sat + unsat) or [0.0])
+                )
+                findings.append(
+                    BaselineFinding(
+                        cause="volume-contention",
+                        target=vid,
+                        score=best_score,
+                        detail=f"metric {best_metric}, totalIOs≈{io_weight:.0f}",
+                    )
+                )
+        # rank by served I/O, not by causal relevance — the silo-tool mistake
+        def io_of(f: BaselineFinding) -> float:
+            return float(
+                np.mean(
+                    _window_values(store, f.target, "totalIOs", sat + unsat) or [0.0]
+                )
+            )
+
+        findings.sort(key=io_of, reverse=True)
+        return findings
+
+
+@dataclass
+class DbOnlyDiagnoser:
+    """A database administrator's tool: operators + DB metrics, no SAN view.
+
+    It correctly pinpoints the slow operators but, with no visibility into
+    the storage layer, falls back to the usual database suspects — buffer
+    pool sizing, plan choice, locking — several of which are false positives
+    whenever the true cause lives in the SAN.
+    """
+
+    threshold: float = 0.8
+
+    def diagnose(self, bundle: DiagnosisBundle, query_name: str) -> list[BaselineFinding]:
+        sat, unsat = _labelled_runs(bundle, query_name)
+        if not sat or not unsat:
+            return []
+        store = bundle.stores.metrics
+        findings: list[BaselineFinding] = []
+
+        # operator drill-down (this part it gets right)
+        sat_times: dict[str, list[float]] = {}
+        unsat_times: dict[str, list[float]] = {}
+        for run in sat:
+            for op_id, t in run.operator_times().items():
+                sat_times.setdefault(op_id, []).append(t)
+        for run in unsat:
+            for op_id, t in run.operator_times().items():
+                unsat_times.setdefault(op_id, []).append(t)
+        slow_ops = []
+        for op_id in sat_times:
+            if op_id not in unsat_times:
+                continue
+            score = kde_anomaly(sat_times[op_id], unsat_times[op_id])
+            if score >= self.threshold:
+                slow_ops.append((op_id, score))
+        slow_ops.sort(key=lambda kv: kv[1], reverse=True)
+        if slow_ops:
+            findings.append(
+                BaselineFinding(
+                    cause="slow-operators",
+                    target=",".join(op for op, _ in slow_ops[:6]),
+                    score=slow_ops[0][1],
+                    detail=f"{len(slow_ops)} operators slowed down",
+                )
+            )
+
+        # database-internal hypotheses — emitted with no way to verify them
+        def db_score(metric: str) -> float:
+            s = _window_values(store, "db", metric, sat)
+            u = _window_values(store, "db", metric, unsat)
+            if len(s) < 2 or not u:
+                return 0.0
+            return kde_anomaly(s, u)
+
+        lock_score = db_score("lockWaitTime")
+        if lock_score >= self.threshold:
+            findings.append(
+                BaselineFinding("lock-contention", "db", lock_score, "lock waits elevated")
+            )
+        io_score = db_score("blocksRead")
+        findings.append(
+            BaselineFinding(
+                cause="suboptimal-buffer-pool",
+                target="db",
+                score=max(io_score, 0.5),
+                detail="operators wait on I/O; buffer pool may be undersized",
+            )
+        )
+        findings.append(
+            BaselineFinding(
+                cause="suboptimal-plan-choice",
+                target=query_name,
+                score=0.5,
+                detail="plan may be mis-costed for current data",
+            )
+        )
+        return findings
+
+
+@dataclass
+class CorrelationOnlyDiagnoser:
+    """Pure machine learning: correlate every metric with the slowdown.
+
+    No dependency pruning, no domain knowledge — every series whose per-run
+    means co-move with the query duration is reported.  Event flooding makes
+    innocent components (switches, sibling volumes) score highly.
+    """
+
+    top_k: int = 10
+    min_correlation: float = 0.6
+
+    def diagnose(self, bundle: DiagnosisBundle, query_name: str) -> list[BaselineFinding]:
+        sat, unsat = _labelled_runs(bundle, query_name)
+        runs = sat + unsat
+        if len(runs) < 3:
+            return []
+        store = bundle.stores.metrics
+        durations = [r.duration for r in runs]
+        findings = []
+        for component_id, metric in store.keys():
+            values = _window_values(store, component_id, metric, runs)
+            if len(values) != len(runs):
+                continue
+            coeff = pearson(values, durations)
+            if abs(coeff) >= self.min_correlation:
+                findings.append(
+                    BaselineFinding(
+                        cause="correlated-metric",
+                        target=f"{component_id}.{metric}",
+                        score=abs(coeff),
+                        detail=f"r={coeff:+.2f}",
+                    )
+                )
+        findings.sort(key=lambda f: f.score, reverse=True)
+        return findings[: self.top_k]

@@ -1,0 +1,99 @@
+"""Dependency-path computation: which components can affect an operator.
+
+Section 3 of the paper: *"the dependency path of an operator O is the set of
+physical (e.g., CPU, database cache, disk) and logical (e.g., volume,
+workload) system components whose performance can impact O's performance"*.
+
+* The **inner** path affects O directly: for a leaf operator it is the
+  end-to-end I/O chain (server → HBA → fabric → subsystem → pool → volume →
+  disks) of the tablespace its table lives on, plus the database instance
+  itself (buffer cache, lock manager, CPU).
+* The **outer** path affects O indirectly, through components on the inner
+  path: volumes sharing disks with O's volume (and, transitively, the
+  workloads on them).
+
+Interior operators inherit the union of their children's paths — a slow scan
+propagates upward, which is exactly the event flooding DIADS must see
+through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.catalog import Catalog
+from ..db.plans import PlanOperator
+from ..monitor.collector import DB_COMPONENT
+from ..san.topology import SanTopology, TopologyError
+
+__all__ = ["DependencyPaths", "compute_dependency_paths"]
+
+
+@dataclass(frozen=True)
+class DependencyPaths:
+    """Inner/outer component-id sets for one operator."""
+
+    inner: frozenset[str] = frozenset()
+    outer: frozenset[str] = frozenset()
+
+    @property
+    def all_components(self) -> frozenset[str]:
+        return self.inner | self.outer
+
+    def union(self, other: "DependencyPaths") -> "DependencyPaths":
+        return DependencyPaths(
+            inner=self.inner | other.inner, outer=self.outer | other.outer
+        )
+
+
+def _leaf_paths(
+    op: PlanOperator,
+    catalog: Catalog,
+    topology: SanTopology,
+    server_id: str,
+) -> DependencyPaths:
+    assert op.table is not None
+    volume_id = catalog.volume_of_table(op.table)
+    try:
+        chain = topology.io_path(server_id, volume_id)
+    except TopologyError:
+        # Fabric not wired (minimal test topologies): fall back to the
+        # storage-side chain only.
+        pool = topology.pool_of_volume(volume_id)
+        chain = [pool, topology.get_volume(volume_id)] + list(
+            topology.disks_of_volume(volume_id)
+        )
+    inner = {c.component_id for c in chain} | {server_id, DB_COMPONENT}
+    outer = {
+        v.component_id for v in topology.volumes_sharing_disks(volume_id)
+    }
+    return DependencyPaths(inner=frozenset(inner), outer=frozenset(outer))
+
+
+def compute_dependency_paths(
+    plan: PlanOperator,
+    catalog: Catalog,
+    topology: SanTopology,
+    server_id: str,
+) -> dict[str, DependencyPaths]:
+    """Dependency paths for every operator of ``plan``.
+
+    Returns op_id → :class:`DependencyPaths`.  Computed bottom-up so interior
+    operators union their children's paths.
+    """
+    paths: dict[str, DependencyPaths] = {}
+
+    def visit(op: PlanOperator) -> DependencyPaths:
+        if op.is_leaf and op.table:
+            result = _leaf_paths(op, catalog, topology, server_id)
+        else:
+            result = DependencyPaths(
+                inner=frozenset({server_id, DB_COMPONENT}), outer=frozenset()
+            )
+            for child in op.children:
+                result = result.union(visit(child))
+        paths[op.op_id] = result
+        return result
+
+    visit(plan)
+    return paths

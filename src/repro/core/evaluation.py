@@ -1,0 +1,91 @@
+"""Scenario evaluation: did DIADS find the injected root cause?
+
+Used by the Table-1 bench and the robustness examples.  The evaluation
+compares the diagnosis report against the scenario's ground truth (which the
+fault injector knows but DIADS never sees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lab.scenarios import Scenario, ScenarioBundle
+from .symptoms import SymptomsDatabase
+from .workflow import Diads, DiagnosisReport
+
+__all__ = ["ScenarioEvaluation", "evaluate_scenario", "evaluate_bundle"]
+
+
+@dataclass(frozen=True)
+class ScenarioEvaluation:
+    """Outcome of diagnosing one scenario."""
+
+    scenario_name: str
+    description: str
+    ground_truth: tuple[str, ...]
+    top_cause: str
+    top_binding: str | None
+    top_confidence: str
+    top_impact_pct: float | None
+    identified: bool
+    high_confidence_causes: tuple[str, ...]
+    report: DiagnosisReport = field(repr=False, compare=False, hash=False, default=None)
+
+    def row(self) -> str:
+        impact = (
+            f"{self.top_impact_pct:5.1f}%" if self.top_impact_pct is not None else "  n/a "
+        )
+        verdict = "OK" if self.identified else "MISS"
+        binding = f"[{self.top_binding}]" if self.top_binding else ""
+        return (
+            f"{self.scenario_name:<32} {verdict:<5} {self.top_cause}{binding} "
+            f"({self.top_confidence}, impact {impact})"
+        )
+
+
+def evaluate_bundle(
+    scenario_bundle: ScenarioBundle,
+    symptoms_db: SymptomsDatabase | None = None,
+    threshold: float = 0.8,
+) -> ScenarioEvaluation:
+    """Diagnose a scenario bundle and compare against its ground truth.
+
+    ``identified`` requires the top-ranked cause to be one of the injected
+    ones AND every injected cause to reach high confidence.
+    """
+    report = Diads.from_bundle(
+        scenario_bundle, symptoms_db=symptoms_db, threshold=threshold
+    ).diagnose(scenario_bundle.query_name)
+    top = report.top_cause
+    high = tuple(
+        rc.match.cause_id
+        for rc in report.ranked_causes
+        if rc.match.confidence.value == "high"
+    )
+    truth = scenario_bundle.info.ground_truth
+    identified = (
+        top is not None
+        and top.match.cause_id in truth
+        and set(truth) <= set(high)
+    )
+    return ScenarioEvaluation(
+        scenario_name=scenario_bundle.info.name,
+        description=scenario_bundle.info.description,
+        ground_truth=truth,
+        top_cause=top.match.cause_id if top else "(none)",
+        top_binding=top.match.binding if top else None,
+        top_confidence=top.match.confidence.value if top else "(none)",
+        top_impact_pct=top.impact_pct if top else None,
+        identified=identified,
+        high_confidence_causes=high,
+        report=report,
+    )
+
+
+def evaluate_scenario(
+    scenario: Scenario,
+    symptoms_db: SymptomsDatabase | None = None,
+    threshold: float = 0.8,
+) -> ScenarioEvaluation:
+    """Run a scenario end-to-end and evaluate the diagnosis."""
+    return evaluate_bundle(scenario.run(), symptoms_db=symptoms_db, threshold=threshold)

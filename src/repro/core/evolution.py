@@ -1,0 +1,157 @@
+"""Self-evolving symptoms database: ML proposes, the expert disposes.
+
+Section 7: *"An interesting course of future work is to enhance this
+relationship with machine learning techniques contributing towards
+identifying potential symptoms which can be checked by an expert and added to
+the symptoms database.  Considering that a symptoms database may never be
+complete, this provides a self-evolving mechanism."*
+
+When a diagnosis ends without a high-confidence match, the observed symptom
+combination is itself the candidate: :func:`suggest_entry` turns it into a
+draft :class:`RootCauseEntry` (weights spread over the observed symptoms,
+negative conditions for the conspicuously absent ones) for an administrator
+to review, rename, and add.  :func:`suggest_from_reports` batches this over
+many diagnoses and merges recurring patterns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+
+from .modules.symptoms_db import SDResult
+from .symptoms import Condition, RootCauseEntry, Symptom
+from .workflow import DiagnosisReport
+
+__all__ = ["SuggestedEntry", "suggest_entry", "suggest_from_reports"]
+
+#: Symptoms that are diagnostic on their own; event-propagation noise like
+#: "operators-anomalous" carries little identifying power and gets a lower
+#: weight share.
+_STRONG_PREFIXES = (
+    "volume-metric-anomaly",
+    "new-volume-on-shared-disks",
+    "external-workload-on-shared-disks",
+    "raid-rebuild-on-disks-of",
+    "lock-wait-anomaly",
+    "record-count-anomaly",
+    "server-cpu-anomaly",
+    "buffer-hit-drop",
+    "plan-cause-confirmed",
+)
+
+#: Absences worth encoding when no plan change / data change was seen.
+_NEGATIVE_CANDIDATES = ("plan-changed", "record-count-anomaly")
+
+
+@dataclass(frozen=True)
+class SuggestedEntry:
+    """A draft codebook entry awaiting expert review."""
+
+    entry: RootCauseEntry
+    support: int  # how many diagnoses exhibited this pattern
+    rationale: str
+
+    def describe(self) -> str:
+        conditions = "; ".join(c.describe() for c in self.entry.conditions)
+        return (
+            f"{self.entry.cause_id} (support {self.support}): {conditions}\n"
+            f"  rationale: {self.rationale}"
+        )
+
+
+def _generalise(sid: str) -> str:
+    """Replace a concrete volume binding with the {V} placeholder."""
+    if ":" in sid:
+        prefix, suffix = sid.split(":", 1)
+        if suffix.startswith("V") or suffix.startswith("vol"):
+            return f"{prefix}:{{V}}"
+    return sid
+
+
+def _pattern_of(sd: SDResult) -> tuple[str, ...]:
+    present = sorted({_generalise(s.sid) for s in sd.symptoms})
+    return tuple(present)
+
+
+def suggest_entry(report: DiagnosisReport, min_support: int = 1) -> SuggestedEntry | None:
+    """Draft one candidate entry from a single inconclusive diagnosis.
+
+    Returns None when the diagnosis already has a high-confidence cause (the
+    codebook covered it) or too few symptoms were observed.
+    """
+    sd: SDResult | None = report.context.results.get("SD")  # type: ignore[assignment]
+    if sd is None:
+        return None
+    if any(m.confidence.value == "high" for m in sd.matches):
+        return None
+    pattern = _pattern_of(sd)
+    strong = [s for s in pattern if s.startswith(_STRONG_PREFIXES)]
+    weak = [s for s in pattern if not s.startswith(_STRONG_PREFIXES)]
+    if not strong:
+        return None
+    absent = [n for n in _NEGATIVE_CANDIDATES if _generalise(n) not in pattern]
+
+    conditions = _weight_conditions(strong, weak, absent)
+    digest = hashlib.blake2b("|".join(pattern).encode(), digest_size=4).hexdigest()
+    per_volume = any("{V}" in c.pattern for c in conditions)
+    entry = RootCauseEntry(
+        cause_id=f"candidate-{digest}",
+        description="Auto-suggested root cause"
+        + (" affecting volume {V}" if per_volume else "")
+        + " — review before adoption",
+        conditions=tuple(conditions),
+        per_volume=per_volume,
+        kind="candidate",
+    )
+    return SuggestedEntry(
+        entry=entry,
+        support=min_support,
+        rationale=f"no existing entry reached high confidence; observed: {', '.join(pattern)}",
+    )
+
+
+def _weight_conditions(
+    strong: list[str], weak: list[str], absent: list[str]
+) -> list[Condition]:
+    """Spread 100% over the conditions: strong symptoms carry 70%."""
+    conditions: list[Condition] = []
+    budget_strong = 70.0 if (weak or absent) else 100.0
+    per_strong = budget_strong / len(strong)
+    for sid in strong:
+        conditions.append(Condition(sid, per_strong))
+    remaining = 100.0 - budget_strong
+    others = len(weak) + len(absent)
+    if others:
+        per_other = remaining / others
+        for sid in weak:
+            conditions.append(Condition(sid, per_other))
+        for sid in absent:
+            conditions.append(Condition(sid, per_other, present=False))
+    return conditions
+
+
+def suggest_from_reports(
+    reports: list[DiagnosisReport], min_support: int = 2
+) -> list[SuggestedEntry]:
+    """Merge suggestions across diagnoses; recurring patterns rank first."""
+    patterns: Counter[tuple[str, ...]] = Counter()
+    exemplar: dict[tuple[str, ...], DiagnosisReport] = {}
+    for report in reports:
+        sd = report.context.results.get("SD")
+        if sd is None:
+            continue
+        if any(m.confidence.value == "high" for m in sd.matches):
+            continue
+        key = _pattern_of(sd)
+        patterns[key] += 1
+        exemplar.setdefault(key, report)
+    out: list[SuggestedEntry] = []
+    for pattern, count in patterns.most_common():
+        if count < min_support:
+            continue
+        suggestion = suggest_entry(exemplar[pattern], min_support=count)
+        if suggestion is not None:
+            out.append(suggestion)
+    return out

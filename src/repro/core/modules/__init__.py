@@ -1,0 +1,33 @@
+"""The six modules of the DIADS diagnosis workflow (Figure 2)."""
+
+from .base import DiagnosisContext, ModuleResult
+from .plan_diff import PDResult, PlanChangeCause, PlanDiffModule
+from .correlated_operators import COResult, CorrelatedOperatorsModule, kde_anomaly
+from .record_counts import CRResult, RecordCountsModule, two_sided_anomaly
+from .dependency_analysis import DAResult, DependencyAnalysisModule, MetricFinding
+from .symptoms_db import SDResult, SymptomsDatabaseModule, extract_symptoms
+from .impact import IAResult, ImpactAnalysisModule, ImpactScore, self_times
+
+__all__ = [
+    "DiagnosisContext",
+    "ModuleResult",
+    "PlanDiffModule",
+    "PDResult",
+    "PlanChangeCause",
+    "CorrelatedOperatorsModule",
+    "COResult",
+    "kde_anomaly",
+    "RecordCountsModule",
+    "CRResult",
+    "two_sided_anomaly",
+    "DependencyAnalysisModule",
+    "DAResult",
+    "MetricFinding",
+    "SymptomsDatabaseModule",
+    "SDResult",
+    "extract_symptoms",
+    "ImpactAnalysisModule",
+    "IAResult",
+    "ImpactScore",
+    "self_times",
+]

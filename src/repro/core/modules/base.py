@@ -1,0 +1,89 @@
+"""Shared context and result types for the diagnosis workflow modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...db.executor import QueryRun
+from ...lab.environment import DiagnosisBundle
+from ..apg import AnnotatedPlanGraph
+
+__all__ = ["DiagnosisContext", "ModuleResult"]
+
+
+@dataclass
+class ModuleResult:
+    """Base class for per-module outputs (kept uniformly renderable)."""
+
+    module: str
+    summary: str
+
+    def describe(self) -> str:
+        return f"[{self.module}] {self.summary}"
+
+
+@dataclass
+class DiagnosisContext:
+    """State threaded through the workflow of Figure 2.
+
+    Built from the administrator's input: the bundle, the query, and the
+    satisfactory/unsatisfactory labelling already applied to its runs.
+    Modules read earlier results from ``results`` and append their own.
+    """
+
+    bundle: DiagnosisBundle
+    query_name: str
+    threshold: float = 0.8
+    correlation_threshold: float = 0.5
+    apg: AnnotatedPlanGraph | None = None
+    results: dict[str, ModuleResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        runs = self.bundle.stores.runs.runs(self.query_name)
+        if not runs:
+            raise ValueError(f"no runs recorded for query {self.query_name!r}")
+        self.sat_runs: list[QueryRun] = [r for r in runs if r.satisfactory is True]
+        self.unsat_runs: list[QueryRun] = [r for r in runs if r.satisfactory is False]
+        if not self.sat_runs or not self.unsat_runs:
+            raise ValueError(
+                "diagnosis requires both satisfactory and unsatisfactory runs "
+                f"(got {len(self.sat_runs)} / {len(self.unsat_runs)})"
+            )
+
+    @property
+    def onset(self) -> float:
+        """Start time of the first unsatisfactory run (slowdown onset)."""
+        return min(r.start_time for r in self.unsat_runs)
+
+    @property
+    def last_satisfactory_time(self) -> float:
+        return max(r.start_time for r in self.sat_runs)
+
+    @property
+    def last_satisfactory_before_onset(self) -> float:
+        """Start of the last good run preceding the slowdown onset.
+
+        Distinct from :attr:`last_satisfactory_time` when the problem is
+        transient and runs recover afterwards — causal events live between
+        this time and the onset.
+        """
+        onset = self.onset
+        before = [r.start_time for r in self.sat_runs if r.start_time < onset]
+        return max(before) if before else 0.0
+
+    @property
+    def horizon(self) -> float:
+        """End of the observed data."""
+        return max(r.end_time for r in self.unsat_runs + self.sat_runs)
+
+    def result(self, module: str) -> Any:
+        try:
+            return self.results[module]
+        except KeyError:
+            raise KeyError(
+                f"module {module!r} has not produced a result yet"
+            ) from None
+
+    def set_result(self, result: ModuleResult) -> None:
+        self.results[result.module] = result

@@ -1,0 +1,74 @@
+"""Module CO — Correlated Operators.
+
+Finds the correlated operator set (COS): the operators whose change in
+running time best explains plan P's slowdown.  Per operator Oi, a KDE is fit
+on the running times observed in satisfactory runs; the anomaly score is
+``prob(S_i <= u)`` where ``u`` is the (mean) running time over the
+unsatisfactory runs.  Operators scoring at or above the threshold (0.8 in the
+paper) join COS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...stats.kde import GaussianKDE
+from .base import DiagnosisContext, ModuleResult
+
+__all__ = ["COResult", "CorrelatedOperatorsModule", "kde_anomaly"]
+
+
+def kde_anomaly(sat_values: list[float], unsat_values: list[float]) -> float:
+    """The workflow's standard anomaly score for one observable.
+
+    Fits the KDE on the satisfactory samples and scores the mean of the
+    unsatisfactory observations (averaging tames run-to-run noise while
+    preserving genuine level shifts).
+    """
+    if not sat_values or not unsat_values:
+        return 0.0
+    u = float(np.mean(unsat_values))
+    return GaussianKDE.fit(sat_values).anomaly_score(u)
+
+
+@dataclass
+class COResult(ModuleResult):
+    """Outcome of Module CO."""
+
+    scores: dict[str, float] = field(default_factory=dict)
+    cos: set[str] = field(default_factory=set)
+    threshold: float = 0.8
+
+    def top(self, n: int = 10) -> list[tuple[str, float]]:
+        return sorted(self.scores.items(), key=lambda kv: kv[1], reverse=True)[:n]
+
+
+class CorrelatedOperatorsModule:
+    """Module CO."""
+
+    name = "CO"
+
+    def run(self, ctx: DiagnosisContext) -> COResult:
+        if ctx.apg is None:
+            raise RuntimeError("Module PD must run before CO (APG not built)")
+        sat_times, unsat_times = ctx.apg.operator_times_by_label()
+        scores: dict[str, float] = {}
+        for op in ctx.apg.plan.walk():
+            sat = sat_times.get(op.op_id, [])
+            unsat = unsat_times.get(op.op_id, [])
+            if len(sat) < 2 or not unsat:
+                continue
+            scores[op.op_id] = kde_anomaly(sat, unsat)
+        cos = {op_id for op_id, score in scores.items() if score >= ctx.threshold}
+        result = COResult(
+            module=self.name,
+            summary=f"{len(cos)}/{len(scores)} operators anomalous "
+            f"(threshold {ctx.threshold})",
+            scores=scores,
+            cos=cos,
+            threshold=ctx.threshold,
+        )
+        ctx.set_result(result)
+        return result

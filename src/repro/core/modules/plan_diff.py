@@ -1,0 +1,203 @@
+"""Module PD — Plan Diffing and plan-change cause analysis.
+
+First module of the workflow (Figure 2): compare the plans used in
+satisfactory vs unsatisfactory runs.  If they differ, pinpoint the cause of
+the plan change — index addition/dropping, changes in data properties
+(statistics), or changes in configuration parameters used during plan
+selection — by *replaying the optimizer* with each suspect change reverted
+and checking whether the satisfactory plan comes back.  If the plans match,
+the shared plan P is handed to the remaining modules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ...db.executor import QueryRun
+from ...db.optimizer import Optimizer
+from ...db.plans import PlanOperator, diff_plans
+from ...db.query import QuerySpec
+from ..apg import build_apg
+from .base import DiagnosisContext, ModuleResult
+
+__all__ = ["PlanChangeCause", "PDResult", "PlanDiffModule"]
+
+
+@dataclass(frozen=True)
+class PlanChangeCause:
+    """One candidate cause of a plan change, with replay verdict."""
+
+    kind: str  # index_dropped | db_config_changed | stats_updated | ...
+    component: str
+    time: float
+    confirmed: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        verdict = "CONFIRMED" if self.confirmed else "not confirmed"
+        return f"{self.kind} @ {self.component} (t={self.time:.0f}): {verdict} {self.detail}".rstrip()
+
+
+@dataclass
+class PDResult(ModuleResult):
+    """Outcome of Module PD."""
+
+    plans_differ: bool = False
+    sat_signature: str = ""
+    unsat_signature: str = ""
+    diff_description: str = ""
+    causes: list[PlanChangeCause] = field(default_factory=list)
+    shared_plan: PlanOperator | None = None
+
+    @property
+    def confirmed_causes(self) -> list[PlanChangeCause]:
+        return [c for c in self.causes if c.confirmed]
+
+
+def _dominant_plan(runs: list[QueryRun]) -> tuple[str, PlanOperator]:
+    """Most frequent plan signature among runs, with a representative plan."""
+    counts = Counter(r.plan_signature for r in runs)
+    signature = counts.most_common(1)[0][0]
+    plan = next(r.plan for r in runs if r.plan_signature == signature)
+    return signature, plan
+
+
+class PlanDiffModule:
+    """Module PD."""
+
+    name = "PD"
+
+    def run(self, ctx: DiagnosisContext) -> PDResult:
+        sat_sig, sat_plan = _dominant_plan(ctx.sat_runs)
+        unsat_sig, unsat_plan = _dominant_plan(ctx.unsat_runs)
+
+        if sat_sig == unsat_sig:
+            result = PDResult(
+                module=self.name,
+                summary="same plan P involved in satisfactory and unsatisfactory runs",
+                plans_differ=False,
+                sat_signature=sat_sig,
+                unsat_signature=unsat_sig,
+                shared_plan=unsat_plan,
+            )
+            ctx.apg = build_apg(ctx.bundle, ctx.query_name, plan=unsat_plan)
+            ctx.set_result(result)
+            return result
+
+        diff = diff_plans(sat_plan, unsat_plan)
+        causes = self._analyze_causes(ctx, sat_sig)
+        confirmed = [c for c in causes if c.confirmed]
+        summary = (
+            f"plan changed ({diff.describe()}); "
+            f"{len(confirmed)}/{len(causes)} candidate causes confirmed by replay"
+        )
+        result = PDResult(
+            module=self.name,
+            summary=summary,
+            plans_differ=True,
+            sat_signature=sat_sig,
+            unsat_signature=unsat_sig,
+            diff_description=diff.describe(),
+            causes=causes,
+            shared_plan=None,
+        )
+        # The APG is still built (over the unsatisfactory plan) so the report
+        # can display it, but the remaining modules are skipped.
+        ctx.apg = build_apg(ctx.bundle, ctx.query_name, plan=unsat_plan)
+        ctx.set_result(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _analyze_causes(
+        self, ctx: DiagnosisContext, sat_signature: str
+    ) -> list[PlanChangeCause]:
+        """Replay the optimizer with each suspect change reverted."""
+        spec = ctx.bundle.query_specs.get(ctx.query_name)
+        window_start = ctx.last_satisfactory_before_onset
+        window_end = ctx.onset + 1.0
+        suspects = [
+            e
+            for e in ctx.bundle.stores.events.in_window(window_start, window_end)
+            if e.kind in ("index_dropped", "index_created", "db_config_changed", "stats_updated")
+        ]
+        causes: list[PlanChangeCause] = []
+        for event in suspects:
+            confirmed = False
+            detail = ""
+            if isinstance(spec, QuerySpec):
+                confirmed, detail = self._replay(ctx, spec, sat_signature, event.kind, event)
+            else:
+                detail = "(no query spec available for replay)"
+            causes.append(
+                PlanChangeCause(
+                    kind=event.kind,
+                    component=event.component_id,
+                    time=event.time,
+                    confirmed=confirmed,
+                    detail=detail,
+                )
+            )
+        # Config-store diffs catch changes that emitted no event.
+        for change in ctx.bundle.stores.config.changes_between(window_start, window_end):
+            if any(c.component == change.path for c in causes):
+                continue
+            causes.append(
+                PlanChangeCause(
+                    kind=f"config-diff:{change.scope}",
+                    component=change.path,
+                    time=window_end,
+                    confirmed=False,
+                    detail=change.describe(),
+                )
+            )
+        return causes
+
+    def _replay(
+        self,
+        ctx: DiagnosisContext,
+        spec: QuerySpec,
+        sat_signature: str,
+        kind: str,
+        event,
+    ) -> tuple[bool, str]:
+        """Revert one change and replan; confirmed if the old plan returns."""
+        catalog = ctx.bundle.catalog
+        config = ctx.bundle.db_config
+        initial_catalog = ctx.bundle.initial_catalog
+        initial_config = ctx.bundle.initial_config
+        if kind == "index_dropped":
+            hypo = catalog.clone()
+            try:
+                original = initial_catalog.index(event.component_id)
+            except Exception:
+                return False, "(dropped index unknown in initial catalog)"
+            hypo.create_index(original)
+            plan = Optimizer(hypo, config).plan(spec)
+            return plan.signature() == sat_signature, "reverting the drop restores the plan"
+        if kind == "index_created":
+            hypo = catalog.clone()
+            if hypo.has_index(event.component_id):
+                hypo.drop_index(event.component_id)
+            plan = Optimizer(hypo, config).plan(spec)
+            return plan.signature() == sat_signature, "removing the new index restores the plan"
+        if kind == "db_config_changed":
+            reverted = {
+                key: getattr(initial_config, key)
+                for key in event.details
+                if hasattr(initial_config, key)
+            }
+            if not reverted:
+                return False, "(no revertible parameters in event)"
+            plan = Optimizer(catalog, config.with_changes(**reverted)).plan(spec)
+            return plan.signature() == sat_signature, "reverting parameters restores the plan"
+        if kind == "stats_updated":
+            hypo = catalog.clone()
+            try:
+                old_rows = initial_catalog.table(event.component_id).row_count
+            except Exception:
+                return False, "(table unknown in initial catalog)"
+            hypo.update_row_count(event.component_id, old_rows)
+            plan = Optimizer(hypo, config).plan(spec)
+            return plan.signature() == sat_signature, "reverting statistics restores the plan"
+        return False, ""

@@ -1,0 +1,96 @@
+"""Module CR — Correlated Record-counts.
+
+Checks whether the performance change of operators in COS correlates with
+their record counts: significant shifts mean the *data properties* changed
+between satisfactory and unsatisfactory runs.  Scoring is two-sided (a data
+change can shrink output too): the anomaly is ``2 * |cdf(u) - 0.5|`` under
+the KDE of satisfactory record counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...stats.kde import GaussianKDE
+from .base import DiagnosisContext, ModuleResult
+from .correlated_operators import COResult
+
+__all__ = ["CRResult", "RecordCountsModule", "two_sided_anomaly"]
+
+
+def two_sided_anomaly(sat_values: list[float], unsat_values: list[float]) -> float:
+    """Two-sided KDE anomaly: 0 when u is central, →1 when u is extreme.
+
+    Degenerate (constant) satisfactory samples are common for record counts
+    (they carry no execution noise); the KDE's bandwidth floor makes the
+    score effectively binary there: 0 if unchanged, 1 if shifted.
+    """
+    if not sat_values or not unsat_values:
+        return 0.0
+    u = float(np.mean(unsat_values))
+    cdf = GaussianKDE.fit(sat_values).cdf(u)
+    return float(2.0 * abs(cdf - 0.5))
+
+
+@dataclass
+class CRResult(ModuleResult):
+    """Outcome of Module CR."""
+
+    scores: dict[str, float] = field(default_factory=dict)
+    crs: set[str] = field(default_factory=set)
+    threshold: float = 0.8
+
+    @property
+    def data_properties_changed(self) -> bool:
+        return bool(self.crs)
+
+
+class RecordCountsModule:
+    """Module CR."""
+
+    name = "CR"
+
+    def run(self, ctx: DiagnosisContext) -> CRResult:
+        if ctx.apg is None:
+            raise RuntimeError("Module PD must run before CR (APG not built)")
+        co: COResult | None = ctx.results.get("CO")  # type: ignore[assignment]
+        sat_counts: dict[str, list[float]] = {}
+        unsat_counts: dict[str, list[float]] = {}
+        for run in ctx.apg.runs:
+            if run.satisfactory is None:
+                continue
+            target = sat_counts if run.satisfactory else unsat_counts
+            for op_id, count in run.record_counts().items():
+                target.setdefault(op_id, []).append(count)
+
+        scores: dict[str, float] = {}
+        for op in ctx.apg.plan.walk():
+            sat = sat_counts.get(op.op_id, [])
+            unsat = unsat_counts.get(op.op_id, [])
+            if len(sat) < 2 or not unsat:
+                continue
+            scores[op.op_id] = two_sided_anomaly(sat, unsat)
+
+        # CRS ⊆ COS per the paper: record-count shifts only matter for
+        # operators whose performance changed.
+        cos = co.cos if co is not None else set(scores)
+        crs = {
+            op_id
+            for op_id, score in scores.items()
+            if score >= ctx.threshold and op_id in cos
+        }
+        result = CRResult(
+            module=self.name,
+            summary=(
+                f"record counts shifted for {len(crs)} operators"
+                if crs
+                else "data properties unchanged"
+            ),
+            scores=scores,
+            crs=crs,
+            threshold=ctx.threshold,
+        )
+        ctx.set_result(result)
+        return result

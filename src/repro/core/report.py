@@ -1,0 +1,183 @@
+"""Text renderers: the library's replacement for the DIADS GUI.
+
+The paper's tool has three screens — query selection (Figure 3), APG
+visualisation (Figure 6) and interactive workflow execution (Figure 7) — plus
+the APG overview diagram of Figure 1.  Each is rendered here as plain text so
+examples and benches can reproduce what the screenshots show.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..db.plans import render_plan
+from ..monitor.runstore import RunStore
+from .apg import AnnotatedPlanGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .workflow import DiagnosisReport, InteractiveSession
+
+__all__ = [
+    "render_diagnosis",
+    "render_query_table",
+    "render_apg_overview",
+    "render_apg_browser",
+    "render_workflow_screen",
+]
+
+
+def _rule(char: str = "-", width: int = 78) -> str:
+    return char * width
+
+
+def render_query_table(runs: RunStore, query_name: str, limit: int | None = None) -> str:
+    """Figure 3: the query-selection screen as a table."""
+    rows = runs.runs(query_name)
+    if limit is not None:
+        rows = rows[-limit:]
+    lines = [
+        f"Query executions: {query_name}",
+        _rule("="),
+        f"{'Run':<16} {'Start':>10} {'End':>10} {'Duration':>12} {'Unsatisfactory':>15}",
+        _rule(),
+    ]
+    for run in rows:
+        mark = "[x]" if run.satisfactory is False else ("[ ]" if run.satisfactory else "[ ]")
+        lines.append(
+            f"{run.run_id:<16} {run.start_time:>10.0f} {run.end_time:>10.0f} "
+            f"{run.duration:>10.1f} s {mark:>12}"
+        )
+    lines.append(_rule())
+    lines.append(f"{len(rows)} executions shown")
+    return "\n".join(lines)
+
+
+def render_apg_overview(apg: AnnotatedPlanGraph) -> str:
+    """Figure 1: the APG — plan, storage mapping, example dependency paths."""
+    lines = [
+        f"Annotated Plan Graph — query {apg.query_name!r}",
+        _rule("="),
+        f"operators: {apg.operator_count} ({apg.leaf_count} leaves), "
+        f"volumes used: {', '.join(sorted(apg.volumes_used()))}",
+        "",
+        "Plan:",
+        render_plan(
+            apg.plan,
+            annotate=lambda op: (
+                f"vol {apg.volume_of_operator(op.op_id)}" if op.is_leaf and op.table else ""
+            ),
+        ),
+        "",
+        "Tablespace → volume mapping:",
+    ]
+    for ts in sorted(apg.catalog.tablespaces, key=lambda t: t.name):
+        tables = [t.name for t in apg.catalog.tables if t.tablespace == ts.name]
+        lines.append(f"  {ts.name} -> {ts.volume_id}  ({', '.join(sorted(tables))})")
+    lines.append("")
+    lines.append("Storage layout:")
+    for pool in sorted(apg.topology.pools, key=lambda p: p.component_id):
+        disks = ", ".join(d.component_id for d in apg.topology.disks_of_pool(pool.component_id))
+        volumes = ", ".join(
+            v.component_id for v in apg.topology.volumes_of_pool(pool.component_id)
+        )
+        lines.append(f"  {pool.component_id} [{pool.raid_level}] disks: {disks} | volumes: {volumes}")
+    # Example dependency path (the paper walks O23's).
+    example = next((op.op_id for op in apg.plan.leaves() if op.table), None)
+    if example:
+        inner = ", ".join(sorted(apg.inner_path(example)))
+        outer = ", ".join(sorted(apg.outer_path(example))) or "(none)"
+        lines += [
+            "",
+            f"Dependency paths of {example}:",
+            f"  inner: {inner}",
+            f"  outer: {outer}",
+        ]
+    return "\n".join(lines)
+
+
+def render_apg_browser(
+    apg: AnnotatedPlanGraph, op_id: str, run_index: int = -1
+) -> str:
+    """Figure 6: APG tree on the left, component metric table on the right
+    (here: stacked) for one selected operator and one execution."""
+    run = apg.runs[run_index]
+    annotation = apg.annotate(op_id, run)
+    lines = [
+        f"APG browser — operator {op_id}, run {run.run_id}",
+        _rule("="),
+        render_plan(
+            apg.plan,
+            annotate=lambda op: ">>> selected" if op.op_id == op_id else "",
+        ),
+        "",
+        f"Window: [{annotation.start:.0f}, {annotation.stop:.0f}] "
+        f"({annotation.running_time:.2f} s)   rows est/actual: "
+        f"{annotation.estimated_rows:.0f}/{annotation.actual_rows:.0f}",
+        "",
+        "Component annotations (monitored means over the window):",
+    ]
+    for component_id, metrics in sorted(annotation.component_metrics.items()):
+        rendered = ", ".join(f"{k}={v:.2f}" for k, v in sorted(metrics.items()))
+        lines.append(f"  {component_id:<12} {rendered}")
+    return "\n".join(lines)
+
+
+def render_workflow_screen(session: "InteractiveSession") -> str:
+    """Figure 7: module buttons with status + the last result panel."""
+    from .workflow import MODULE_ORDER
+
+    lines = ["DIADS workflow execution", _rule("=")]
+    buttons = []
+    for name in MODULE_ORDER:
+        if name in session.executed:
+            status = "done"
+        elif name in session.bypassed:
+            status = "bypassed"
+        elif session.pending and name == session.pending[0]:
+            status = "NEXT"
+        elif name in session.pending:
+            status = "disabled"
+        else:
+            status = "skipped"
+        buttons.append(f"[{name}:{status}]")
+    lines.append(" ".join(buttons))
+    lines.append(_rule())
+    if session.executed:
+        last = session.executed[-1]
+        lines.append(f"Result panel — {last}:")
+        lines.append(f"  {session.ctx.result(last).describe()}")
+    else:
+        lines.append("Result panel — (nothing executed yet)")
+    return "\n".join(lines)
+
+
+def render_diagnosis(report: "DiagnosisReport") -> str:
+    """The final diagnosis report (batch mode's output)."""
+    ctx = report.context
+    lines = [
+        f"DIADS diagnosis — query {report.query_name!r}",
+        _rule("="),
+        f"runs: {len(ctx.sat_runs)} satisfactory / {len(ctx.unsat_runs)} unsatisfactory; "
+        f"slowdown onset t={ctx.onset:.0f}",
+        "",
+        "Module results:",
+    ]
+    for name in ("PD", "CO", "CR", "DA", "SD", "IA"):
+        result = ctx.results.get(name)
+        lines.append(f"  {result.describe() if result else f'[{name}] (not run)'}")
+    sd = ctx.results.get("SD")
+    if sd is not None and getattr(sd, "symptoms", None):
+        lines += ["", "Symptoms observed:"]
+        for symptom in sd.symptoms:
+            when = f" (t={symptom.time:.0f})" if symptom.time is not None else ""
+            lines.append(f"  - {symptom.sid}{when}: {symptom.description}")
+    lines += ["", "Root causes (ranked):"]
+    if not report.ranked_causes:
+        lines.append("  (none)")
+    for i, ranked in enumerate(report.ranked_causes, start=1):
+        if ranked.match.confidence.value == "low" and i > 5:
+            remaining = len(report.ranked_causes) - i + 1
+            lines.append(f"  ... {remaining} more low-confidence causes omitted")
+            break
+        lines.append(f"  {i}. {ranked.describe()}")
+    return "\n".join(lines)

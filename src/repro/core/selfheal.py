@@ -1,0 +1,201 @@
+"""Self-healing: from diagnosed root cause to (proposed or applied) fix.
+
+Section 7: *"The current symptoms database design can be extended to include,
+along with symptoms, possible fixes for the root cause of the problem.  Once
+the tool identifies a root cause, it can then apply the fix to self-heal the
+environment.  ...the fix may be required within the database or storage or a
+combination of both layers."*
+
+The :class:`SelfHealer` maps root-cause kinds/ids to :class:`Fix` objects.
+``recommend`` is side-effect free (what a production deployment would file as
+a change ticket); ``apply`` executes the fix against a lab
+:class:`~repro.lab.environment.Environment` so recovery can be demonstrated
+end-to-end — re-run the environment after healing and the query speeds back
+up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..lab.environment import Environment
+from .workflow import DiagnosisReport, RankedCause
+
+__all__ = ["Fix", "AppliedFix", "SelfHealer"]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One remediation: human description + executable lab action."""
+
+    fix_id: str
+    description: str
+    layer: str  # "db" | "san" | "both"
+    action: Callable[[Environment, float], None] = field(compare=False)
+
+    def describe(self) -> str:
+        return f"[{self.layer}] {self.fix_id}: {self.description}"
+
+
+@dataclass(frozen=True)
+class AppliedFix:
+    """Record of a fix applied to an environment."""
+
+    fix: Fix
+    cause_id: str
+    applied_at: float
+
+
+class SelfHealer:
+    """Derives fixes from a diagnosis report."""
+
+    def __init__(self, min_confidence: str = "high") -> None:
+        if min_confidence not in ("high", "medium"):
+            raise ValueError("min_confidence must be 'high' or 'medium'")
+        self.min_confidence = min_confidence
+
+    # ------------------------------------------------------------------
+    def recommend(self, report: DiagnosisReport) -> list[Fix]:
+        """Fixes for every sufficiently confident cause, ranked like the report."""
+        allowed = {"high"} if self.min_confidence == "high" else {"high", "medium"}
+        fixes: list[Fix] = []
+        for ranked in report.ranked_causes:
+            if ranked.match.confidence.value not in allowed:
+                continue
+            fix = self._fix_for(report, ranked)
+            if fix is not None:
+                fixes.append(fix)
+        return fixes
+
+    def apply(
+        self, report: DiagnosisReport, env: Environment, at_time: float
+    ) -> list[AppliedFix]:
+        """Apply every recommended fix to the lab environment."""
+        applied = []
+        for ranked in report.ranked_causes:
+            if ranked.match.confidence.value != "high":
+                continue
+            fix = self._fix_for(report, ranked)
+            if fix is None:
+                continue
+            fix.action(env, at_time)
+            applied.append(
+                AppliedFix(fix=fix, cause_id=ranked.match.cause_id, applied_at=at_time)
+            )
+        return applied
+
+    # ------------------------------------------------------------------
+    def _fix_for(self, report: DiagnosisReport, ranked: RankedCause) -> Fix | None:
+        match = ranked.match
+        cause = match.cause_id
+        volume = match.binding
+
+        if cause == "volume-contention-san-misconfig" and volume:
+            return Fix(
+                fix_id=f"quiesce-offending-volume-near-{volume}",
+                description=(
+                    f"Stop/relocate the workload on the newly created volume "
+                    f"sharing {volume}'s disks (undo the misconfiguration)"
+                ),
+                layer="san",
+                action=lambda env, t, v=volume: _quiesce_sharing_workloads(env, t, v),
+            )
+        if cause == "volume-contention-external-workload" and volume:
+            return Fix(
+                fix_id=f"throttle-external-workload-{volume}",
+                description=(
+                    f"Throttle/reschedule the external workload contending "
+                    f"with {volume}"
+                ),
+                layer="san",
+                action=lambda env, t, v=volume: _quiesce_sharing_workloads(env, t, v),
+            )
+        if cause == "raid-rebuild-degradation" and volume:
+            return Fix(
+                fix_id=f"throttle-rebuild-{volume}",
+                description=f"Throttle the RAID rebuild on {volume}'s pool",
+                layer="san",
+                action=_throttle_rebuilds,
+            )
+        if cause == "lock-contention":
+            return Fix(
+                fix_id="kill-blocking-transactions",
+                description="Terminate the blocking transactions / escalate isolation",
+                layer="db",
+                action=lambda env, t: env.executor.locks.clear(),
+            )
+        if cause == "data-property-change":
+            return Fix(
+                fix_id="analyze-affected-tables",
+                description="Refresh optimizer statistics on the changed tables "
+                "so future plans reflect the new data",
+                layer="db",
+                action=_refresh_statistics,
+            )
+        if cause == "plan-regression-index-drop":
+            return Fix(
+                fix_id="recreate-dropped-index",
+                description="Re-create the dropped index the old plan depended on",
+                layer="db",
+                action=_recreate_dropped_indexes,
+            )
+        if cause == "plan-regression-config-change":
+            return Fix(
+                fix_id="revert-config-change",
+                description="Revert the optimizer configuration parameters",
+                layer="db",
+                action=_revert_db_config,
+            )
+        if cause == "buffer-pool-thrashing":
+            return Fix(
+                fix_id="restore-buffer-pool",
+                description="Grow the buffer pool back to its provisioned size",
+                layer="db",
+                action=lambda env, t: setattr(env.executor.buffer, "cache_mb", 96.0),
+            )
+        if cause == "cpu-saturation":
+            return Fix(
+                fix_id="evict-cpu-hog",
+                description="Move the CPU-hogging process off the DB server",
+                layer="db",
+                action=lambda env, t: env.cpu_contention.clear(),
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# fix actions (lab-environment mutations)
+# ---------------------------------------------------------------------------
+def _quiesce_sharing_workloads(env: Environment, t: float, volume_id: str) -> None:
+    """End external workloads whose volume shares disks with ``volume_id``."""
+    topo = env.testbed.topology
+    sharing = {v.component_id for v in topo.volumes_sharing_disks(volume_id)}
+    sharing.add(volume_id)
+    for workload in env.external:
+        if workload.volume_id in sharing and not workload.name.startswith("background"):
+            workload.end = min(workload.end, t)
+
+
+def _throttle_rebuilds(env: Environment, t: float) -> None:
+    for disk_id in list(env.iosim.rebuilding_disks):
+        env.iosim.finish_rebuild(disk_id)
+
+
+def _refresh_statistics(env: Environment, t: float) -> None:
+    for table, multiplier in env.data_multipliers.items():
+        current = env.catalog.table(table).row_count
+        env.catalog.update_row_count(table, int(current * multiplier))
+    env.collector.snapshot_config(t, "db_catalog", env.catalog.snapshot())
+
+
+def _recreate_dropped_indexes(env: Environment, t: float) -> None:
+    for index in env.initial_catalog.indexes:
+        if not env.catalog.has_index(index.name):
+            env.catalog.create_index(index)
+    env.collector.snapshot_config(t, "db_catalog", env.catalog.snapshot())
+
+
+def _revert_db_config(env: Environment, t: float) -> None:
+    env.db_config = env.initial_config
+    env.collector.snapshot_config(t, "db_config", env.db_config.snapshot())

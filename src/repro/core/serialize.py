@@ -1,0 +1,120 @@
+"""JSON-friendly serialization of plans, APGs and diagnosis reports.
+
+DIADS is a tool in a management pipeline: diagnoses get attached to problem
+tickets, APGs get displayed by other frontends.  Everything here produces
+plain dict/list/scalar structures (``json.dumps``-able) and, for plans, can
+round-trip back.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..db.plans import OpType, PlanOperator
+from .apg import AnnotatedPlanGraph
+from .workflow import DiagnosisReport
+
+__all__ = ["plan_to_dict", "plan_from_dict", "apg_to_dict", "report_to_dict"]
+
+
+def plan_to_dict(plan: PlanOperator) -> dict[str, Any]:
+    """Nested-dict form of a plan tree (round-trips via plan_from_dict)."""
+    return {
+        "op_id": plan.op_id,
+        "op_type": plan.op_type.value,
+        "table": plan.table,
+        "index": plan.index,
+        "est_rows": plan.est_rows,
+        "est_cost": plan.est_cost,
+        "loops": plan.loops,
+        "selectivity": plan.selectivity,
+        "detail": plan.detail,
+        "children": [plan_to_dict(child) for child in plan.children],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> PlanOperator:
+    """Inverse of :func:`plan_to_dict`."""
+    return PlanOperator(
+        op_id=data["op_id"],
+        op_type=OpType(data["op_type"]),
+        table=data.get("table"),
+        index=data.get("index"),
+        est_rows=data.get("est_rows", 1.0),
+        est_cost=data.get("est_cost", 0.0),
+        loops=data.get("loops", 1),
+        selectivity=data.get("selectivity", 1.0),
+        detail=data.get("detail", ""),
+        children=[plan_from_dict(child) for child in data.get("children", [])],
+    )
+
+
+def apg_to_dict(apg: AnnotatedPlanGraph, include_annotations: bool = False) -> dict[str, Any]:
+    """Structural (and optionally annotated) JSON form of an APG."""
+    out: dict[str, Any] = {
+        "query": apg.query_name,
+        "plan": plan_to_dict(apg.plan),
+        "operator_count": apg.operator_count,
+        "leaf_count": apg.leaf_count,
+        "volumes_used": sorted(apg.volumes_used()),
+        "dependency": {
+            op_id: {
+                "inner": sorted(paths.inner),
+                "outer": sorted(paths.outer),
+            }
+            for op_id, paths in sorted(apg.dependency.items())
+        },
+        "runs": [
+            {
+                "run_id": run.run_id,
+                "start": run.start_time,
+                "duration": run.duration,
+                "satisfactory": run.satisfactory,
+            }
+            for run in apg.runs
+        ],
+    }
+    if include_annotations and apg.runs:
+        last = apg.runs[-1]
+        out["annotations"] = {
+            op.op_id: {
+                "window": [last.operators[op.op_id].start, last.operators[op.op_id].stop],
+                "actual_rows": last.operators[op.op_id].actual_rows,
+                "components": apg.annotate(op.op_id, last).component_metrics,
+            }
+            for op in apg.plan.walk()
+            if op.op_id in last.operators
+        }
+    return out
+
+
+def report_to_dict(report: DiagnosisReport) -> dict[str, Any]:
+    """JSON form of a diagnosis report (the ticket attachment)."""
+    ctx = report.context
+    sd = ctx.results.get("SD")
+    return {
+        "query": report.query_name,
+        "runs": {
+            "satisfactory": len(ctx.sat_runs),
+            "unsatisfactory": len(ctx.unsat_runs),
+            "onset": ctx.onset,
+        },
+        "modules": {
+            name: result.summary for name, result in sorted(ctx.results.items())
+        },
+        "symptoms": [
+            {"sid": s.sid, "time": s.time, "description": s.description}
+            for s in (sd.symptoms if sd is not None else [])
+        ],
+        "causes": [
+            {
+                "cause_id": rc.match.cause_id,
+                "binding": rc.match.binding,
+                "confidence": rc.match.confidence.value,
+                "score": rc.match.score,
+                "impact_pct": rc.impact_pct,
+                "description": rc.match.description,
+            }
+            for rc in report.ranked_causes
+        ],
+    }

@@ -1,0 +1,393 @@
+"""Symptom model, codebook condition language, and the default symptoms DB.
+
+Module SD maps symptoms (observed by Modules CO/CR/DA plus events) to root
+causes using a symptoms database "motivated by an intuitive and
+commercially-used format called the Codebook" (Section 4.1):
+
+* each root-cause entry is a conjunction ``Cond1 & Cond2 & ... & Condz``,
+* each condition asserts presence (``∃symp``) or absence (``¬∃symp``) of a
+  symptom, optionally with a temporal qualifier (the event happened *before*
+  the slowdown onset),
+* each condition carries a weight; the weights of an entry sum to 100%,
+* the confidence score of a root cause is the sum of weights of the
+  conditions that hold — high ≥ 80, medium ≥ 50, low otherwise.
+
+Symptoms are identified by structured ids like ``volume-metric-anomaly:V1``.
+Entries may be *parameterised by volume*: condition patterns containing
+``{V}`` are evaluated once per candidate volume, and the best binding is
+reported (so the tool says "contention in V1", not just "contention").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable
+
+__all__ = [
+    "Symptom",
+    "Condition",
+    "RootCauseEntry",
+    "SymptomsDatabase",
+    "Confidence",
+    "RootCauseMatch",
+    "default_symptoms_database",
+    "HIGH_CONFIDENCE",
+    "MEDIUM_CONFIDENCE",
+]
+
+HIGH_CONFIDENCE = 80.0
+MEDIUM_CONFIDENCE = 50.0
+
+
+class Confidence(str, Enum):
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+    @classmethod
+    def from_score(cls, score: float) -> "Confidence":
+        if score >= HIGH_CONFIDENCE:
+            return cls.HIGH
+        if score >= MEDIUM_CONFIDENCE:
+            return cls.MEDIUM
+        return cls.LOW
+
+
+@dataclass(frozen=True)
+class Symptom:
+    """An observed symptom with optional structured details.
+
+    ``sid`` is a structured identifier; by convention parameterised symptoms
+    end with ``:<component>`` (e.g. ``volume-metric-anomaly:V1``).
+    ``time`` is when the underlying evidence occurred (for temporal
+    conditions); None for timeless symptoms such as module outputs.
+    """
+
+    sid: str
+    description: str = ""
+    time: float | None = None
+    details: tuple[tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(sid: str, description: str = "", time: float | None = None, **details: Any) -> "Symptom":
+        return Symptom(
+            sid=sid,
+            description=description,
+            time=time,
+            details=tuple(sorted(details.items())),
+        )
+
+
+@dataclass(frozen=True)
+class Condition:
+    """∃/¬∃ condition over a symptom pattern, with a weight.
+
+    ``pattern`` may contain the placeholder ``{V}`` (bound per volume) and a
+    trailing ``*`` wildcard.  ``before_onset=True`` additionally requires the
+    matched symptom's time to precede the slowdown onset — the paper's
+    example of a complex temporal symptom ("contention occurred before
+    failure").
+    """
+
+    pattern: str
+    weight: float
+    present: bool = True
+    before_onset: bool = False
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("condition weight must be positive")
+
+    def matches(
+        self,
+        symptoms: Iterable[Symptom],
+        binding: str | None,
+        onset: float | None,
+    ) -> bool:
+        pattern = self.pattern.replace("{V}", binding) if binding else self.pattern
+        found = False
+        for symptom in symptoms:
+            if pattern.endswith("*"):
+                hit = symptom.sid.startswith(pattern[:-1])
+            else:
+                hit = symptom.sid == pattern
+            if not hit:
+                continue
+            if self.before_onset and onset is not None and symptom.time is not None:
+                if symptom.time > onset:
+                    continue
+            found = True
+            break
+        return found if self.present else not found
+
+    def describe(self) -> str:
+        quant = "∃" if self.present else "¬∃"
+        tail = " (before onset)" if self.before_onset else ""
+        return f"{quant} {self.pattern}{tail} [w={self.weight:.0f}]"
+
+
+@dataclass(frozen=True)
+class RootCauseEntry:
+    """One codebook entry: a named root cause with weighted conditions."""
+
+    cause_id: str
+    description: str
+    conditions: tuple[Condition, ...]
+    per_volume: bool = False
+    kind: str = "generic"  # used by impact analysis to pick its method
+
+    def __post_init__(self) -> None:
+        total = sum(c.weight for c in self.conditions)
+        if abs(total - 100.0) > 1e-6:
+            raise ValueError(
+                f"entry {self.cause_id!r}: condition weights sum to {total}, expected 100"
+            )
+
+    def score(
+        self,
+        symptoms: Iterable[Symptom],
+        binding: str | None = None,
+        onset: float | None = None,
+    ) -> float:
+        symptoms = list(symptoms)
+        return sum(
+            c.weight for c in self.conditions if c.matches(symptoms, binding, onset)
+        )
+
+
+@dataclass(frozen=True)
+class RootCauseMatch:
+    """Outcome of evaluating one entry (with its best volume binding)."""
+
+    cause_id: str
+    description: str
+    score: float
+    confidence: Confidence
+    binding: str | None = None
+    kind: str = "generic"
+    matched_conditions: tuple[str, ...] = ()
+
+    @property
+    def display_id(self) -> str:
+        return f"{self.cause_id}[{self.binding}]" if self.binding else self.cause_id
+
+
+@dataclass
+class SymptomsDatabase:
+    """A collection of root-cause entries with evaluation."""
+
+    entries: list[RootCauseEntry] = field(default_factory=list)
+
+    def add(self, entry: RootCauseEntry) -> RootCauseEntry:
+        if any(e.cause_id == entry.cause_id for e in self.entries):
+            raise ValueError(f"duplicate root-cause entry {entry.cause_id!r}")
+        self.entries.append(entry)
+        return entry
+
+    def remove(self, cause_id: str) -> None:
+        self.entries = [e for e in self.entries if e.cause_id != cause_id]
+
+    def get(self, cause_id: str) -> RootCauseEntry:
+        for entry in self.entries:
+            if entry.cause_id == cause_id:
+                return entry
+        raise KeyError(f"no entry {cause_id!r}")
+
+    def evaluate(
+        self,
+        symptoms: Iterable[Symptom],
+        volumes: Iterable[str],
+        onset: float | None = None,
+    ) -> list[RootCauseMatch]:
+        """Score every entry; parameterised entries get their best binding.
+
+        Results are sorted by score descending.
+        """
+        symptoms = list(symptoms)
+        volumes = list(volumes)
+        matches: list[RootCauseMatch] = []
+        for entry in self.entries:
+            bindings: list[str | None] = list(volumes) if entry.per_volume else [None]
+            best_score, best_binding = -1.0, None
+            for binding in bindings:
+                score = entry.score(symptoms, binding=binding, onset=onset)
+                if score > best_score:
+                    best_score, best_binding = score, binding
+            matched = tuple(
+                c.describe()
+                for c in entry.conditions
+                if c.matches(symptoms, best_binding, onset)
+            )
+            matches.append(
+                RootCauseMatch(
+                    cause_id=entry.cause_id,
+                    description=entry.description.replace("{V}", best_binding or "?"),
+                    score=best_score,
+                    confidence=Confidence.from_score(best_score),
+                    binding=best_binding,
+                    kind=entry.kind,
+                    matched_conditions=matched,
+                )
+            )
+        matches.sort(key=lambda m: m.score, reverse=True)
+        return matches
+
+
+def default_symptoms_database() -> SymptomsDatabase:
+    """The in-house symptoms database for query slowdowns (Section 5).
+
+    Entries cover the Table-1 scenarios plus the extra root causes the
+    introduction lists (plan regression, CPU saturation, buffer-pool
+    problems, RAID rebuilds).
+    """
+    db = SymptomsDatabase()
+    db.add(
+        RootCauseEntry(
+            cause_id="volume-contention-san-misconfig",
+            description="Contention in volume {V} caused by a SAN misconfiguration "
+            "(new volume mapped onto shared disks)",
+            per_volume=True,
+            kind="volume-contention",
+            conditions=(
+                Condition("volume-metric-anomaly:{V}", 25),
+                Condition("operators-anomalous-volume:{V}", 20),
+                Condition("new-volume-on-shared-disks:{V}", 25, before_onset=True),
+                Condition("zone-or-lun-change", 15, before_onset=True),
+                Condition("volume-perf-degraded-event:{V}", 10),
+                Condition("plan-changed", 5, present=False),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="volume-contention-external-workload",
+            description="Contention in volume {V} caused by an external workload "
+            "on shared disks",
+            per_volume=True,
+            kind="volume-contention",
+            conditions=(
+                Condition("volume-metric-anomaly:{V}", 30),
+                Condition("operators-anomalous-volume:{V}", 25),
+                Condition("external-workload-on-shared-disks:{V}", 25),
+                Condition("new-volume-on-shared-disks:{V}", 10, present=False),
+                Condition("plan-changed", 10, present=False),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="volume-contention-db-workload",
+            description="Contention in volume {V} caused by a change in the "
+            "database workload",
+            per_volume=True,
+            kind="volume-contention",
+            conditions=(
+                Condition("volume-metric-anomaly:{V}", 30),
+                Condition("operators-anomalous-volume:{V}", 25),
+                Condition("db-io-increase", 25),
+                Condition("plan-changed", 10, present=False),
+                Condition("buffer-hit-drop", 10, present=False),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="data-property-change",
+            description="Change in data properties (record counts shifted between "
+            "satisfactory and unsatisfactory runs)",
+            kind="data-change",
+            conditions=(
+                Condition("record-count-anomaly", 45),
+                Condition("db-io-increase", 20),
+                Condition("dml-event", 20, before_onset=True),
+                Condition("plan-changed", 15, present=False),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="lock-contention",
+            description="Lock contention on database tables",
+            kind="lock-contention",
+            conditions=(
+                Condition("lock-wait-anomaly", 40),
+                Condition("locks-held-anomaly", 20),
+                Condition("operators-anomalous", 15),
+                Condition("record-count-anomaly", 10, present=False),
+                Condition("plan-changed", 15, present=False),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="plan-regression-index-drop",
+            description="Plan regression caused by a dropped index",
+            kind="plan-regression",
+            conditions=(
+                Condition("plan-changed", 40),
+                Condition("plan-cause-confirmed:index_dropped", 60),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="plan-regression-config-change",
+            description="Plan regression caused by a configuration-parameter change",
+            kind="plan-regression",
+            conditions=(
+                Condition("plan-changed", 40),
+                Condition("plan-cause-confirmed:db_config_changed", 60),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="plan-regression-stats-change",
+            description="Plan regression caused by refreshed statistics / data growth",
+            kind="plan-regression",
+            conditions=(
+                Condition("plan-changed", 40),
+                Condition("plan-cause-confirmed:stats_updated", 60),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="raid-rebuild-degradation",
+            description="Degraded performance of volume {V} during a RAID rebuild",
+            per_volume=True,
+            kind="volume-contention",
+            conditions=(
+                Condition("raid-rebuild-on-disks-of:{V}", 55),
+                Condition("volume-metric-anomaly:{V}", 20),
+                Condition("operators-anomalous-volume:{V}", 15),
+                Condition("plan-changed", 10, present=False),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="cpu-saturation",
+            description="CPU saturation of the database server",
+            kind="server",
+            conditions=(
+                Condition("server-cpu-anomaly", 60),
+                Condition("operators-anomalous", 20),
+                Condition("volume-metric-anomaly:*", 20, present=False),
+            ),
+        )
+    )
+    db.add(
+        RootCauseEntry(
+            cause_id="buffer-pool-thrashing",
+            description="Suboptimal buffer-pool behaviour (hit ratio collapse)",
+            kind="db-internal",
+            conditions=(
+                Condition("buffer-hit-drop", 50),
+                Condition("db-io-increase", 30),
+                Condition("record-count-anomaly", 20, present=False),
+            ),
+        )
+    )
+    return db

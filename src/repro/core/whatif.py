@@ -1,0 +1,210 @@
+"""What-if analysis: proactive impact assessment of planned changes.
+
+Section 7's first extension: *"an integrated database and SAN tool that
+allows administrators to proactively assess the impact of their planned
+changes on the other layer"*.  The analyzer answers three question shapes:
+
+* **config/what-if replanning** — would changing optimizer parameters or
+  dropping/creating an index change the plan of a query, and at what
+  estimated cost?
+* **workload placement** — if another application adds I/O load to a volume,
+  how much slower do queries using (or sharing disks with) it get?
+* **tablespace migration** — if a tablespace moves to another volume, what
+  happens to the query's I/O time?
+
+Predictions reuse the same building blocks DIADS diagnoses with: the APG's
+volume mapping, the I/O model for latencies, and monitored operator
+self-times as the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db.optimizer import DbConfig, Optimizer
+from ..db.plans import PlanOperator, diff_plans
+from ..db.query import QuerySpec
+from ..lab.environment import DiagnosisBundle
+from ..san.iomodel import IoSimulator, VolumeLoad
+from .apg import AnnotatedPlanGraph, build_apg
+from .modules.impact import self_times
+
+__all__ = ["WhatIfPlanOutcome", "WhatIfLoadOutcome", "WhatIfAnalyzer"]
+
+
+@dataclass(frozen=True)
+class WhatIfPlanOutcome:
+    """Replanning verdict for a hypothetical catalog/config change."""
+
+    plan_changes: bool
+    current_cost: float
+    hypothetical_cost: float
+    diff_description: str
+    hypothetical_plan: PlanOperator
+
+    @property
+    def cost_ratio(self) -> float:
+        if self.current_cost <= 0:
+            return 1.0
+        return self.hypothetical_cost / self.current_cost
+
+
+@dataclass(frozen=True)
+class WhatIfLoadOutcome:
+    """Predicted effect of an I/O-load or placement change on one query."""
+
+    baseline_duration: float
+    predicted_duration: float
+    volume_latency_before: dict[str, float] = field(default_factory=dict)
+    volume_latency_after: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def slowdown_pct(self) -> float:
+        if self.baseline_duration <= 0:
+            return 0.0
+        return (self.predicted_duration / self.baseline_duration - 1.0) * 100.0
+
+
+class WhatIfAnalyzer:
+    """Predictive queries over one diagnosis bundle."""
+
+    def __init__(self, bundle: DiagnosisBundle) -> None:
+        self.bundle = bundle
+
+    # ------------------------------------------------------------------
+    # plan-level what-if
+    # ------------------------------------------------------------------
+    def replan_under(
+        self,
+        query_name: str,
+        config_changes: dict | None = None,
+        drop_indexes: tuple[str, ...] = (),
+        create_indexes: tuple = (),
+    ) -> WhatIfPlanOutcome:
+        """Replay the optimizer under a hypothetical catalog/config."""
+        spec = self.bundle.query_specs.get(query_name)
+        if not isinstance(spec, QuerySpec):
+            raise ValueError(
+                f"query {query_name!r} has no declarative spec to replan"
+            )
+        current = Optimizer(self.bundle.catalog, self.bundle.db_config).plan(spec)
+        catalog = self.bundle.catalog.clone()
+        for index_name in drop_indexes:
+            catalog.drop_index(index_name)
+        for index in create_indexes:
+            catalog.create_index(index)
+        config: DbConfig = self.bundle.db_config
+        if config_changes:
+            config = config.with_changes(**config_changes)
+        hypothetical = Optimizer(catalog, config).plan(spec)
+        diff = diff_plans(current, hypothetical)
+        return WhatIfPlanOutcome(
+            plan_changes=not diff.same,
+            current_cost=current.est_cost or _total_cost(current),
+            hypothetical_cost=hypothetical.est_cost or _total_cost(hypothetical),
+            diff_description=diff.describe(),
+            hypothetical_plan=hypothetical,
+        )
+
+    # ------------------------------------------------------------------
+    # load-level what-if
+    # ------------------------------------------------------------------
+    def add_workload(
+        self, query_name: str, volume_id: str, read_iops: float, write_iops: float
+    ) -> WhatIfLoadOutcome:
+        """Predict query slowdown if a new external workload lands on a volume."""
+        extra = {volume_id: VolumeLoad(read_iops=read_iops, write_iops=write_iops)}
+        return self._predict(query_name, extra_loads=extra)
+
+    def move_tablespace(self, query_name: str, table: str, to_volume: str) -> WhatIfLoadOutcome:
+        """Predict query duration if ``table``'s I/O moved to another volume.
+
+        The prediction re-prices the table's leaf operators at the target
+        volume's current latency.  (The second-order effect — the moved load
+        changing both volumes' utilisation — is small for read-mostly report
+        queries and is ignored.)
+        """
+        self.bundle.topology.get_volume(to_volume)  # validate target
+        return self._predict(
+            query_name,
+            extra_loads={},
+            volume_override={table: to_volume},
+        )
+
+    # ------------------------------------------------------------------
+    def _apg(self, query_name: str) -> AnnotatedPlanGraph:
+        return build_apg(self.bundle, query_name)
+
+    def _current_loads(self, apg: AnnotatedPlanGraph) -> dict[str, VolumeLoad]:
+        """Approximate current offered loads from monitored front-end IOPS."""
+        store = self.bundle.stores.metrics
+        loads: dict[str, VolumeLoad] = {}
+        runs = [r for r in apg.runs if r.satisfactory is not False] or apg.runs
+        for volume in self.bundle.topology.volumes:
+            vid = volume.component_id
+            reads, writes = [], []
+            for run in runs[-8:]:
+                r = store.window_mean(vid, "frontendReadIO", run.start_time, run.end_time)
+                w = store.window_mean(vid, "frontendWriteIO", run.start_time, run.end_time)
+                if r is not None:
+                    reads.append(r)
+                if w is not None:
+                    writes.append(w)
+            if reads or writes:
+                loads[vid] = VolumeLoad(
+                    read_iops=float(np.mean(reads)) if reads else 0.0,
+                    write_iops=float(np.mean(writes)) if writes else 0.0,
+                )
+        return loads
+
+    def _predict(
+        self,
+        query_name: str,
+        extra_loads: dict[str, VolumeLoad],
+        volume_override: dict[str, str] | None = None,
+    ) -> WhatIfLoadOutcome:
+        """Scale the latest satisfactory run's leaf I/O by latency ratios."""
+        apg = self._apg(query_name)
+        sat_runs = [r for r in apg.runs if r.satisfactory is True] or apg.runs
+        baseline_run = sat_runs[-1]
+        iosim = IoSimulator(self.bundle.topology)
+        base_loads = self._current_loads(apg)
+        before = iosim.simulate(base_loads)
+        combined = dict(base_loads)
+        for vid, load in extra_loads.items():
+            combined[vid] = combined.get(vid, VolumeLoad()) + load
+        # A tablespace move shifts the moved table's share of front-end reads.
+        overrides = volume_override or {}
+        after = iosim.simulate(combined)
+
+        selves = self_times(apg.plan, baseline_run)
+        predicted = 0.0
+        lat_before: dict[str, float] = {}
+        lat_after: dict[str, float] = {}
+        for volume in self.bundle.topology.volumes:
+            vid = volume.component_id
+            lat_before[vid] = before.volume_read_latency(vid)
+            lat_after[vid] = after.volume_read_latency(vid)
+        for op in apg.plan.walk():
+            self_time = selves.get(op.op_id, 0.0)
+            if op.is_leaf and op.table:
+                volume_id = overrides.get(
+                    op.table, self.bundle.catalog.volume_of_table(op.table)
+                )
+                b, a = lat_before.get(volume_id, 1.0), lat_after.get(volume_id, 1.0)
+                ratio = a / b if b > 0 else 1.0
+                predicted += self_time * ratio
+            else:
+                predicted += self_time
+        return WhatIfLoadOutcome(
+            baseline_duration=baseline_run.duration,
+            predicted_duration=predicted,
+            volume_latency_before=lat_before,
+            volume_latency_after=lat_after,
+        )
+
+
+def _total_cost(plan: PlanOperator) -> float:
+    return sum(op.est_cost for op in plan.walk())

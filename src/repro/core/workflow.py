@@ -1,0 +1,232 @@
+"""The DIADS diagnosis workflow: batch and interactive execution (Figure 2).
+
+Batch mode runs every module in order and returns a
+:class:`DiagnosisReport`.  Interactive mode exposes the same pipeline one
+step at a time: after each module the administrator can inspect the result,
+*edit* it (e.g. remove an operator they know is harmless from COS), *re-run*
+a module, or *bypass* one — mirroring the tool's workflow-execution screen
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..lab.environment import DiagnosisBundle
+from ..lab.scenarios import ScenarioBundle
+from .modules.base import DiagnosisContext, ModuleResult
+from .modules.correlated_operators import CorrelatedOperatorsModule
+from .modules.dependency_analysis import DependencyAnalysisModule
+from .modules.impact import IAResult, ImpactAnalysisModule
+from .modules.plan_diff import PDResult, PlanDiffModule
+from .modules.record_counts import RecordCountsModule
+from .modules.symptoms_db import SDResult, SymptomsDatabaseModule
+from .symptoms import RootCauseMatch, SymptomsDatabase
+
+__all__ = ["RankedCause", "DiagnosisReport", "Diads", "InteractiveSession", "MODULE_ORDER"]
+
+MODULE_ORDER = ("PD", "CO", "CR", "DA", "SD", "IA")
+
+_CONFIDENCE_ORDER = {"high": 0, "medium": 1, "low": 2}
+
+
+@dataclass(frozen=True)
+class RankedCause:
+    """A root cause with its confidence and (when computed) impact."""
+
+    match: RootCauseMatch
+    impact_pct: float | None = None
+
+    @property
+    def display_id(self) -> str:
+        return self.match.display_id
+
+    def describe(self) -> str:
+        impact = (
+            f", impact {self.impact_pct:.1f}%" if self.impact_pct is not None else ""
+        )
+        return (
+            f"{self.match.display_id}: {self.match.confidence.value} confidence "
+            f"({self.match.score:.0f}%{impact}) — {self.match.description}"
+        )
+
+
+@dataclass
+class DiagnosisReport:
+    """Final output of a diagnosis: module results + ranked root causes."""
+
+    query_name: str
+    context: DiagnosisContext
+    ranked_causes: list[RankedCause] = field(default_factory=list)
+
+    @property
+    def top_cause(self) -> RankedCause | None:
+        return self.ranked_causes[0] if self.ranked_causes else None
+
+    def cause(self, cause_id: str) -> RankedCause:
+        for ranked in self.ranked_causes:
+            if ranked.match.cause_id == cause_id:
+                return ranked
+        raise KeyError(f"cause {cause_id!r} not in report")
+
+    def module_result(self, module: str) -> ModuleResult:
+        return self.context.result(module)
+
+    def render(self) -> str:
+        from .report import render_diagnosis
+
+        return render_diagnosis(self)
+
+
+def _rank(sd: SDResult, ia: IAResult | None) -> list[RankedCause]:
+    impacts = {}
+    if ia is not None:
+        impacts = {(s.cause_id, s.binding): s.impact_pct for s in ia.impacts}
+    ranked = [
+        RankedCause(match=m, impact_pct=impacts.get((m.cause_id, m.binding)))
+        for m in sd.matches
+    ]
+    ranked.sort(
+        key=lambda rc: (
+            _CONFIDENCE_ORDER.get(rc.match.confidence.value, 3),
+            -(rc.impact_pct if rc.impact_pct is not None else -1.0),
+            -rc.match.score,
+        )
+    )
+    return ranked
+
+
+class Diads:
+    """The integrated diagnosis tool over one monitoring bundle."""
+
+    def __init__(
+        self,
+        bundle: DiagnosisBundle,
+        threshold: float = 0.8,
+        correlation_threshold: float = 0.5,
+        symptoms_db: SymptomsDatabase | None = None,
+    ) -> None:
+        self.bundle = bundle
+        self.threshold = threshold
+        self.correlation_threshold = correlation_threshold
+        self.symptoms_db = symptoms_db
+
+    @classmethod
+    def from_bundle(cls, bundle: DiagnosisBundle | ScenarioBundle, **kwargs) -> "Diads":
+        if isinstance(bundle, ScenarioBundle):
+            return cls(bundle.bundle, **kwargs)
+        return cls(bundle, **kwargs)
+
+    # ------------------------------------------------------------------
+    def context(self, query_name: str) -> DiagnosisContext:
+        return DiagnosisContext(
+            bundle=self.bundle,
+            query_name=query_name,
+            threshold=self.threshold,
+            correlation_threshold=self.correlation_threshold,
+        )
+
+    def modules(self) -> dict[str, object]:
+        return {
+            "PD": PlanDiffModule(),
+            "CO": CorrelatedOperatorsModule(),
+            "CR": RecordCountsModule(),
+            "DA": DependencyAnalysisModule(),
+            "SD": SymptomsDatabaseModule(self.symptoms_db),
+            "IA": ImpactAnalysisModule(),
+        }
+
+    def diagnose(self, query_name: str) -> DiagnosisReport:
+        """Batch mode: run the full workflow and rank root causes."""
+        ctx = self.context(query_name)
+        modules = self.modules()
+        pd: PDResult = modules["PD"].run(ctx)  # type: ignore[union-attr]
+        if not pd.plans_differ:
+            modules["CO"].run(ctx)  # type: ignore[union-attr]
+            modules["CR"].run(ctx)  # type: ignore[union-attr]
+            modules["DA"].run(ctx)  # type: ignore[union-attr]
+        sd: SDResult = modules["SD"].run(ctx)  # type: ignore[union-attr]
+        ia: IAResult = modules["IA"].run(ctx)  # type: ignore[union-attr]
+        return DiagnosisReport(
+            query_name=query_name,
+            context=ctx,
+            ranked_causes=_rank(sd, ia),
+        )
+
+    def interactive(self, query_name: str) -> "InteractiveSession":
+        """Interactive mode: step through modules, editing results."""
+        return InteractiveSession(self, query_name)
+
+
+class InteractiveSession:
+    """Step-wise workflow execution with result editing (Figure 7).
+
+    The first pass must follow the module order; afterwards any module can be
+    re-executed in any order (matching the tool's behaviour: "Only the first
+    execution of the modules should be in order").
+    """
+
+    def __init__(self, diads: Diads, query_name: str) -> None:
+        self.diads = diads
+        self.query_name = query_name
+        self.ctx = diads.context(query_name)
+        self._modules = diads.modules()
+        self.executed: list[str] = []
+        self.bypassed: set[str] = set()
+
+    # -- progression ----------------------------------------------------
+    @property
+    def pending(self) -> list[str]:
+        skip = set(self.executed) | self.bypassed
+        order = list(MODULE_ORDER)
+        pd: PDResult | None = self.ctx.results.get("PD")  # type: ignore[assignment]
+        if pd is not None and pd.plans_differ:
+            # plan-change branch: statistical drill-down is not applicable
+            order = ["PD", "SD", "IA"]
+        return [m for m in order if m not in skip]
+
+    @property
+    def finished(self) -> bool:
+        return not self.pending
+
+    def run_next(self) -> ModuleResult | None:
+        """Execute the next pending module; None when finished."""
+        if self.finished:
+            return None
+        name = self.pending[0]
+        result = self._modules[name].run(self.ctx)  # type: ignore[union-attr]
+        self.executed.append(name)
+        return result
+
+    def run_all(self) -> None:
+        while not self.finished:
+            self.run_next()
+
+    # -- administrator interventions --------------------------------------
+    def rerun(self, module: str) -> ModuleResult:
+        """Re-execute an already-run module (any order allowed after 1st run)."""
+        if module not in self.executed:
+            raise ValueError(f"module {module!r} has not been run yet")
+        return self._modules[module].run(self.ctx)  # type: ignore[union-attr]
+
+    def edit(self, module: str, editor: Callable[[ModuleResult], None]) -> ModuleResult:
+        """Let the administrator amend a module result before the next step."""
+        result = self.ctx.result(module)
+        editor(result)
+        return result
+
+    def bypass(self, module: str) -> None:
+        """Skip a module entirely (its consumers see no result)."""
+        if module in self.executed:
+            raise ValueError(f"module {module!r} already executed")
+        self.bypassed.add(module)
+
+    # -- output --------------------------------------------------------------
+    def report(self) -> DiagnosisReport:
+        sd: SDResult | None = self.ctx.results.get("SD")  # type: ignore[assignment]
+        ia: IAResult | None = self.ctx.results.get("IA")  # type: ignore[assignment]
+        ranked = _rank(sd, ia) if sd is not None else []
+        return DiagnosisReport(
+            query_name=self.query_name, context=self.ctx, ranked_causes=ranked
+        )

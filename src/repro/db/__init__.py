@@ -1,0 +1,62 @@
+"""Database simulator substrate: catalog, TPC-H, plans, optimizer, executor."""
+
+from .catalog import Catalog, CatalogError, Column, Index, Table, Tablespace, PAGE_SIZE
+from .tpch import build_tpch_catalog, TPCH_BASE_ROWS, DEFAULT_LAYOUT
+from .plans import (
+    OpType,
+    PlanDiff,
+    PlanOperator,
+    canonical_q2_plan,
+    diff_plans,
+    render_plan,
+)
+from .query import JoinEdge, Predicate, QuerySpec, simple_report_query, tpch_q2_spec
+from .optimizer import CostModel, DbConfig, Optimizer
+from .buffer import BufferModel
+from .locks import LockContention, LockManager
+from .executor import Executor, OperatorRuntime, QueryRun
+from .metrics import (
+    DATABASE_METRICS,
+    METRIC_FAMILIES,
+    NETWORK_METRICS,
+    SERVER_METRICS,
+    STORAGE_METRICS,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "Index",
+    "Table",
+    "Tablespace",
+    "PAGE_SIZE",
+    "build_tpch_catalog",
+    "TPCH_BASE_ROWS",
+    "DEFAULT_LAYOUT",
+    "OpType",
+    "PlanOperator",
+    "PlanDiff",
+    "canonical_q2_plan",
+    "diff_plans",
+    "render_plan",
+    "QuerySpec",
+    "Predicate",
+    "JoinEdge",
+    "tpch_q2_spec",
+    "simple_report_query",
+    "CostModel",
+    "DbConfig",
+    "Optimizer",
+    "BufferModel",
+    "LockManager",
+    "LockContention",
+    "Executor",
+    "OperatorRuntime",
+    "QueryRun",
+    "DATABASE_METRICS",
+    "SERVER_METRICS",
+    "NETWORK_METRICS",
+    "STORAGE_METRICS",
+    "METRIC_FAMILIES",
+]

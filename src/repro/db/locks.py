@@ -1,0 +1,69 @@
+"""Table-lock manager with injectable contention windows.
+
+Scenario 5 of Table 1 is a *database-level* problem: a locking issue slows
+the query while noisy volume metrics emit spurious SAN symptoms.  The lock
+manager models that directly: contention windows add exponentially
+distributed wait time to operators touching the locked table, and surface in
+the ``Locks Held`` metric of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LockContention", "LockManager"]
+
+
+@dataclass(frozen=True)
+class LockContention:
+    """A window of lock contention on a table."""
+
+    table: str
+    start: float
+    end: float
+    mean_wait_ms: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("contention window must have positive duration")
+        if self.mean_wait_ms < 0:
+            raise ValueError("mean_wait_ms must be non-negative")
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass
+class LockManager:
+    """Tracks contention windows and samples wait times."""
+
+    contentions: list[LockContention] = field(default_factory=list)
+
+    def add_contention(
+        self, table: str, start: float, end: float, mean_wait_ms: float
+    ) -> LockContention:
+        contention = LockContention(table=table, start=start, end=end, mean_wait_ms=mean_wait_ms)
+        self.contentions.append(contention)
+        return contention
+
+    def clear(self) -> None:
+        self.contentions.clear()
+
+    def active_contentions(self, time: float) -> list[LockContention]:
+        return [c for c in self.contentions if c.active_at(time)]
+
+    def wait_time_ms(
+        self, table: str, time: float, rng: np.random.Generator | None = None
+    ) -> float:
+        """Sampled lock-wait time for one access to ``table`` at ``time``."""
+        active = [c for c in self.active_contentions(time) if c.table == table]
+        if not active:
+            return 0.0
+        rng = rng if rng is not None else np.random.default_rng()
+        return float(sum(rng.exponential(c.mean_wait_ms) for c in active))
+
+    def locks_held(self, time: float) -> int:
+        """Metric: number of contended locks held at ``time``."""
+        return len(self.active_contentions(time))

@@ -1,0 +1,78 @@
+"""Canonical metric names per Figure 4's four families.
+
+The collector emits (a reasonable subset of) these names; the Figure-4 bench
+verifies coverage of all four families.  Names are camelCase to match the
+storage metrics used in Table 2 (``writeIO``, ``writeTime``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DATABASE_METRICS",
+    "SERVER_METRICS",
+    "NETWORK_METRICS",
+    "STORAGE_METRICS",
+    "METRIC_FAMILIES",
+]
+
+DATABASE_METRICS = [
+    "operatorStartStopTimes",
+    "recordCounts",
+    "planRunningTime",
+    "locksHeld",
+    "lockWaitTime",
+    "blocksRead",
+    "bufferHits",
+    "indexScans",
+    "indexReads",
+    "indexFetches",
+    "seqScans",
+]
+
+SERVER_METRICS = [
+    "cpuUsagePct",
+    "cpuUsageMhz",
+    "processes",
+    "threads",
+    "handles",
+    "heapMemoryUsageKb",
+    "physicalMemoryUsagePct",
+    "kernelMemoryKb",
+    "memorySwappedKb",
+    "reservedMemoryCapacityKb",
+]
+
+NETWORK_METRICS = [
+    "bytesTransmitted",
+    "bytesReceived",
+    "packetsTransmitted",
+    "packetsReceived",
+    "lipCount",
+    "nosCount",
+    "errorFrames",
+    "dumpedFrames",
+    "linkFailures",
+    "crcErrors",
+    "addressErrors",
+]
+
+STORAGE_METRICS = [
+    "bytesRead",
+    "bytesWritten",
+    "readIO",
+    "writeIO",
+    "readTime",
+    "writeTime",
+    "physicalStorageReadOps",
+    "physicalStorageWriteOps",
+    "seqReadRequests",
+    "seqWriteRequests",
+    "totalIOs",
+]
+
+METRIC_FAMILIES = {
+    "database": DATABASE_METRICS,
+    "server": SERVER_METRICS,
+    "network": NETWORK_METRICS,
+    "storage": STORAGE_METRICS,
+}

@@ -1,0 +1,20 @@
+"""Cost-based query optimizer: cost model, access paths, join enumeration."""
+
+from .cost import AccessEstimate, CostModel, DbConfig
+from .paths import AccessPath, best_access_path, candidate_paths
+from .joins import BaseRel, JoinRel, JoinTree, enumerate_joins
+from .optimizer import Optimizer
+
+__all__ = [
+    "AccessEstimate",
+    "CostModel",
+    "DbConfig",
+    "AccessPath",
+    "best_access_path",
+    "candidate_paths",
+    "JoinTree",
+    "BaseRel",
+    "JoinRel",
+    "enumerate_joins",
+    "Optimizer",
+]

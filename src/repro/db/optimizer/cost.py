@@ -1,0 +1,177 @@
+"""Cost model and database configuration parameters.
+
+Models the PostgreSQL-style parameters that matter to plan choice.  These
+parameters are part of the *configuration* the APG records: the paper's
+plan-change analysis explicitly lists "changes in configuration parameters
+used during plan selection" as a cause Module PD must detect, and reference
+[18] (Reiss & Kanungo) showed how sensitive plan choice is to storage cost
+parameters — which is exactly the knob a SAN change turns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..catalog import Catalog, Index, Table
+
+__all__ = ["DbConfig", "CostModel", "AccessEstimate"]
+
+
+@dataclass(frozen=True)
+class DbConfig:
+    """Optimizer-visible configuration (a subset of postgresql.conf)."""
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    work_mem_kb: int = 4096
+    effective_cache_size_pages: int = 65536
+    enable_hashjoin: bool = True
+    enable_nestloop: bool = True
+    enable_indexscan: bool = True
+
+    def with_changes(self, **changes) -> "DbConfig":
+        """Functional update (configs are immutable so runs are comparable)."""
+        return replace(self, **changes)
+
+    def snapshot(self) -> dict:
+        return {
+            "seq_page_cost": self.seq_page_cost,
+            "random_page_cost": self.random_page_cost,
+            "cpu_tuple_cost": self.cpu_tuple_cost,
+            "cpu_index_tuple_cost": self.cpu_index_tuple_cost,
+            "cpu_operator_cost": self.cpu_operator_cost,
+            "work_mem_kb": self.work_mem_kb,
+            "effective_cache_size_pages": self.effective_cache_size_pages,
+            "enable_hashjoin": self.enable_hashjoin,
+            "enable_nestloop": self.enable_nestloop,
+            "enable_indexscan": self.enable_indexscan,
+        }
+
+
+@dataclass(frozen=True)
+class AccessEstimate:
+    """Cost/cardinality estimate for one access path or join."""
+
+    cost: float
+    rows: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0 or self.rows < 0:
+            raise ValueError("cost and rows must be non-negative")
+
+
+@dataclass
+class CostModel:
+    """Cost formulas over a catalog and a configuration."""
+
+    catalog: Catalog
+    config: DbConfig = field(default_factory=DbConfig)
+
+    # -- scans -----------------------------------------------------------
+    def seq_scan(self, table: Table, selectivity: float = 1.0) -> AccessEstimate:
+        """Full scan: every heap page sequentially + per-tuple CPU."""
+        cost = (
+            table.pages * self.config.seq_page_cost
+            + table.row_count * self.config.cpu_tuple_cost
+        )
+        return AccessEstimate(cost=cost, rows=max(table.row_count * selectivity, 1.0))
+
+    def index_scan(
+        self, table: Table, index: Index, selectivity: float
+    ) -> AccessEstimate:
+        """Index scan fetching ``selectivity`` of the table.
+
+        Heap fetches are random I/O discounted by the fraction of the table
+        expected to be cached (``effective_cache_size``) — the standard way
+        storage cost parameters leak into plan choice.
+        """
+        matched = max(table.row_count * selectivity, 1.0)
+        descent = index.height(table.row_count) * self.config.random_page_cost
+        leaf = index.leaf_pages(table.row_count) * selectivity * self.config.seq_page_cost
+        cached_fraction = min(
+            self.config.effective_cache_size_pages / max(table.pages, 1), 1.0
+        )
+        heap_pages = min(matched, float(table.pages))
+        effective_random = self.config.random_page_cost * (1.0 - 0.8 * cached_fraction)
+        heap = heap_pages * max(effective_random, self.config.seq_page_cost * 0.5)
+        cpu = matched * (self.config.cpu_index_tuple_cost + self.config.cpu_tuple_cost)
+        return AccessEstimate(cost=descent + leaf + heap + cpu, rows=matched)
+
+    def index_probe(self, table: Table, index: Index, rows_per_probe: float) -> float:
+        """Cost of ONE inner-side index lookup (for nested-loop joins)."""
+        descent = index.height(table.row_count) * self.config.random_page_cost
+        cached_fraction = min(
+            self.config.effective_cache_size_pages / max(table.pages, 1), 1.0
+        )
+        effective_random = self.config.random_page_cost * (1.0 - 0.8 * cached_fraction)
+        heap = max(rows_per_probe, 1.0) * max(effective_random, 0.1)
+        cpu = max(rows_per_probe, 1.0) * (
+            self.config.cpu_index_tuple_cost + self.config.cpu_tuple_cost
+        )
+        return descent + heap + cpu
+
+    # -- joins -------------------------------------------------------------
+    def hash_join(
+        self,
+        outer: AccessEstimate,
+        inner: AccessEstimate,
+        join_rows: float,
+    ) -> AccessEstimate:
+        """Build a hash on the inner, probe with the outer."""
+        build = inner.rows * (self.config.cpu_operator_cost * 2.0)
+        probe = outer.rows * (self.config.cpu_operator_cost * 1.5)
+        spill = 0.0
+        inner_kb = inner.rows * 0.1  # ~100 bytes/row
+        if inner_kb > self.config.work_mem_kb:
+            # grace-hash style spill: write + reread both inputs once
+            spill = (inner.rows + outer.rows) * self.config.cpu_operator_cost * 2.0
+        cost = outer.cost + inner.cost + build + probe + spill
+        return AccessEstimate(cost=cost, rows=max(join_rows, 1.0))
+
+    def nested_loop(
+        self,
+        outer: AccessEstimate,
+        inner_probe_cost: float,
+        join_rows: float,
+    ) -> AccessEstimate:
+        """Outer once; parametrised inner per outer row."""
+        cost = outer.cost + outer.rows * inner_probe_cost
+        return AccessEstimate(cost=cost, rows=max(join_rows, 1.0))
+
+    def merge_join(
+        self,
+        outer: AccessEstimate,
+        inner: AccessEstimate,
+        join_rows: float,
+    ) -> AccessEstimate:
+        cost = (
+            self.sort(outer).cost
+            + self.sort(inner).cost
+            + (outer.rows + inner.rows) * self.config.cpu_operator_cost
+        )
+        return AccessEstimate(cost=cost, rows=max(join_rows, 1.0))
+
+    # -- other operators ---------------------------------------------------
+    def sort(self, input_est: AccessEstimate) -> AccessEstimate:
+        n = max(input_est.rows, 2.0)
+        cost = input_est.cost + n * math.log2(n) * self.config.cpu_operator_cost * 2.0
+        return AccessEstimate(cost=cost, rows=input_est.rows)
+
+    def aggregate(self, input_est: AccessEstimate, groups: float) -> AccessEstimate:
+        cost = input_est.cost + input_est.rows * self.config.cpu_operator_cost * 2.0
+        return AccessEstimate(cost=cost, rows=max(min(groups, input_est.rows), 1.0))
+
+    # -- cardinality ---------------------------------------------------------
+    def join_cardinality(
+        self,
+        left_rows: float,
+        right_rows: float,
+        left_ndv: int,
+        right_ndv: int,
+    ) -> float:
+        """Classic System-R estimate: |L||R| / max(ndv(L), ndv(R))."""
+        return max(left_rows * right_rows / max(left_ndv, right_ndv, 1), 1.0)

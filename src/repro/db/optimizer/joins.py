@@ -1,0 +1,170 @@
+"""Join enumeration: System-R style dynamic programming over table subsets.
+
+For the handful of tables TPC-H queries join (≤ 8 here), exhaustive subset DP
+is cheap and gives the optimizer genuine sensitivity: dropping an index,
+changing ``random_page_cost`` or refreshing statistics flips the chosen join
+order/method, which is exactly what Module PD's plan-change analysis needs to
+reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..query import QuerySpec
+from .cost import AccessEstimate, CostModel
+from .paths import AccessPath, best_access_path
+
+__all__ = ["JoinTree", "BaseRel", "JoinRel", "enumerate_joins"]
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """Abstract node of the join DP (converted to PlanOperators later)."""
+
+    estimate: AccessEstimate
+
+    @property
+    def cost(self) -> float:
+        return self.estimate.cost
+
+    @property
+    def rows(self) -> float:
+        return self.estimate.rows
+
+
+@dataclass(frozen=True)
+class BaseRel(JoinTree):
+    path: AccessPath = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class JoinRel(JoinTree):
+    method: str = "hash"  # "hash" | "merge" | "nestloop-index" | "nestloop"
+    outer: JoinTree = None  # type: ignore[assignment]
+    inner: JoinTree = None  # type: ignore[assignment]
+    #: for nestloop-index: the inner base table + index used for probing
+    probe_table: str | None = None
+    probe_index: str | None = None
+    join_detail: str = ""
+
+
+def _join_rows(model: CostModel, query: QuerySpec, left: set[str], right: set[str],
+               left_rows: float, right_rows: float) -> tuple[float, str]:
+    """Cardinality after applying every join edge crossing the split."""
+    edges = query.join_edges_between(left, right)
+    if not edges:
+        return left_rows * right_rows, "cartesian"
+    rows = left_rows * right_rows
+    details = []
+    for edge in edges:
+        lt = edge.left_table if edge.left_table in left else edge.right_table
+        rt = edge.other(lt)
+        l_ndv = model.catalog.table(lt).column(edge.column_for(lt)).ndv
+        r_ndv = model.catalog.table(rt).column(edge.column_for(rt)).ndv
+        rows /= max(l_ndv, r_ndv, 1)
+        details.append(f"{lt}.{edge.column_for(lt)} = {rt}.{edge.column_for(rt)}")
+    return max(rows, 1.0), " AND ".join(details)
+
+
+def enumerate_joins(model: CostModel, query: QuerySpec) -> JoinTree:
+    """Best join tree over all tables of ``query``.
+
+    Cross joins are only considered when no connected split exists, with
+    their natural (huge) cardinality acting as the penalty.
+    """
+    tables = list(query.tables)
+    n = len(tables)
+    index_of = {t: i for i, t in enumerate(tables)}
+
+    best: dict[int, JoinTree] = {}
+    for table in tables:
+        path = best_access_path(model, query, table)
+        best[1 << index_of[table]] = BaseRel(estimate=path.estimate, path=path)
+
+    def tables_in(mask: int) -> set[str]:
+        return {t for t in tables if mask & (1 << index_of[t])}
+
+    for size in range(2, n + 1):
+        for combo in combinations(range(n), size):
+            mask = 0
+            for i in combo:
+                mask |= 1 << i
+            candidates: list[JoinTree] = []
+            # enumerate proper, non-empty splits; (sub, rest) and (rest, sub)
+            # are both generated because outer/inner roles are asymmetric
+            sub = (mask - 1) & mask
+            while sub:
+                rest = mask ^ sub
+                if rest and sub in best and rest in best:
+                    candidates.extend(_join_candidates(model, query, best[sub], best[rest],
+                                                       tables_in(sub), tables_in(rest)))
+                sub = (sub - 1) & mask
+            connected = [c for c in candidates
+                         if not (isinstance(c, JoinRel) and c.join_detail == "cartesian")]
+            pool = connected or candidates
+            if pool:
+                best[mask] = min(pool, key=lambda t: t.cost)
+
+    full = (1 << n) - 1
+    if full not in best:
+        raise RuntimeError("join enumeration failed to cover all tables")
+    return best[full]
+
+
+def _join_candidates(
+    model: CostModel,
+    query: QuerySpec,
+    outer: JoinTree,
+    inner: JoinTree,
+    outer_tables: set[str],
+    inner_tables: set[str],
+) -> list[JoinRel]:
+    rows, detail = _join_rows(model, query, outer_tables, inner_tables,
+                              outer.rows, inner.rows)
+    candidates: list[JoinRel] = []
+    if model.config.enable_hashjoin:
+        est = model.hash_join(outer.estimate, inner.estimate, rows)
+        candidates.append(
+            JoinRel(estimate=est, method="hash", outer=outer, inner=inner,
+                    join_detail=detail)
+        )
+    if detail != "cartesian":
+        # sort-merge join: competitive when hash joins are disabled or when
+        # work_mem is too small for the build side
+        est = model.merge_join(outer.estimate, inner.estimate, rows)
+        candidates.append(
+            JoinRel(estimate=est, method="merge", outer=outer, inner=inner,
+                    join_detail=detail)
+        )
+    # index nested loop: inner must be a single filtered base table with an
+    # index on (one of) the join column(s)
+    if model.config.enable_nestloop and len(inner_tables) == 1 and isinstance(inner, BaseRel):
+        inner_table = next(iter(inner_tables))
+        for edge in query.join_edges_between(outer_tables, inner_tables):
+            col = edge.column_for(inner_table)
+            for index in model.catalog.indexes_on(inner_table, col):
+                table = model.catalog.table(inner_table)
+                ndv = table.column(col).ndv
+                rows_per_probe = max(table.row_count / max(ndv, 1), 1.0)
+                probe_cost = model.index_probe(table, index, rows_per_probe)
+                est = model.nested_loop(outer.estimate, probe_cost, rows)
+                candidates.append(
+                    JoinRel(
+                        estimate=est,
+                        method="nestloop-index",
+                        outer=outer,
+                        inner=inner,
+                        probe_table=inner_table,
+                        probe_index=index.name,
+                        join_detail=detail,
+                    )
+                )
+    if not candidates:  # fall back to a plain (cartesian-ish) nested loop
+        est = model.nested_loop(outer.estimate, inner.cost, rows)
+        candidates.append(
+            JoinRel(estimate=est, method="nestloop", outer=outer, inner=inner,
+                    join_detail=detail)
+        )
+    return candidates

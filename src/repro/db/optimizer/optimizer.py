@@ -1,0 +1,161 @@
+"""Top-level optimizer: QuerySpec → PlanOperator tree.
+
+Converts the winning join tree into a concrete operator tree with O1..On ids
+(pre-order), adding Sort/Limit/Aggregate shaping on top.  The optimizer is
+deterministic given (catalog, config, query), so Module PD can *replay* it
+under hypothetical reverted changes to pinpoint what flipped a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catalog import Catalog
+from ..plans import OpType, PlanOperator
+from ..query import QuerySpec
+from .cost import CostModel, DbConfig
+from .joins import BaseRel, JoinRel, JoinTree, enumerate_joins
+
+__all__ = ["Optimizer"]
+
+
+@dataclass
+class Optimizer:
+    """Cost-based plan builder over a catalog and configuration."""
+
+    catalog: Catalog
+    config: DbConfig = field(default_factory=DbConfig)
+
+    def plan(self, query: QuerySpec) -> PlanOperator:
+        """Produce the cheapest plan for ``query`` with pre-order O-ids."""
+        model = CostModel(catalog=self.catalog, config=self.config)
+        tree = enumerate_joins(model, query)
+        root = self._convert(tree, query)
+        if query.aggregate:
+            root = PlanOperator(
+                op_id="tmp",
+                op_type=OpType.AGGREGATE,
+                children=[root],
+                est_rows=max(root.est_rows / 10.0, 1.0),
+                est_cost=model.aggregate(tree.estimate, groups=root.est_rows / 10.0).cost,
+            )
+        if query.order_by:
+            root = PlanOperator(
+                op_id="tmp",
+                op_type=OpType.SORT,
+                children=[root],
+                est_rows=root.est_rows,
+                est_cost=model.sort(tree.estimate).cost,
+            )
+        if query.limit is not None:
+            root = PlanOperator(
+                op_id="tmp",
+                op_type=OpType.LIMIT,
+                children=[root],
+                est_rows=min(float(query.limit), root.est_rows),
+                est_cost=root.est_cost,
+                detail=f"LIMIT {query.limit}",
+            )
+        self._assign_ids(root)
+        return root
+
+    def replan(self, query: QuerySpec, config: DbConfig | None = None,
+               catalog: Catalog | None = None) -> PlanOperator:
+        """Plan under an alternative config/catalog (what-if replay for PD)."""
+        alt = Optimizer(catalog=catalog or self.catalog, config=config or self.config)
+        return alt.plan(query)
+
+    # ------------------------------------------------------------------
+    def _convert(self, tree: JoinTree, query: QuerySpec) -> PlanOperator:
+        if isinstance(tree, BaseRel):
+            path = tree.path
+            return PlanOperator(
+                op_id="tmp",
+                op_type=path.op_type,
+                table=path.table,
+                index=path.index.name if path.index else None,
+                est_rows=path.rows,
+                est_cost=path.cost,
+                selectivity=path.selectivity,
+            )
+        assert isinstance(tree, JoinRel)
+        outer_op = self._convert(tree.outer, query)
+        if tree.method == "hash":
+            inner_op = self._convert(tree.inner, query)
+            hash_node = PlanOperator(
+                op_id="tmp",
+                op_type=OpType.HASH,
+                children=[inner_op],
+                est_rows=inner_op.est_rows,
+                est_cost=inner_op.est_cost,
+            )
+            return PlanOperator(
+                op_id="tmp",
+                op_type=OpType.HASH_JOIN,
+                children=[outer_op, hash_node],
+                est_rows=tree.rows,
+                est_cost=tree.cost,
+                detail=tree.join_detail,
+            )
+        if tree.method == "merge":
+            inner_op = self._convert(tree.inner, query)
+            sorted_outer = PlanOperator(
+                op_id="tmp",
+                op_type=OpType.SORT,
+                children=[outer_op],
+                est_rows=outer_op.est_rows,
+                est_cost=outer_op.est_cost,
+            )
+            sorted_inner = PlanOperator(
+                op_id="tmp",
+                op_type=OpType.SORT,
+                children=[inner_op],
+                est_rows=inner_op.est_rows,
+                est_cost=inner_op.est_cost,
+            )
+            return PlanOperator(
+                op_id="tmp",
+                op_type=OpType.MERGE_JOIN,
+                children=[sorted_outer, sorted_inner],
+                est_rows=tree.rows,
+                est_cost=tree.cost,
+                detail=tree.join_detail,
+            )
+        if tree.method == "nestloop-index":
+            table = self.catalog.table(tree.probe_table)  # type: ignore[arg-type]
+            ndv_col = self.catalog.index(tree.probe_index).column  # type: ignore[arg-type]
+            rows_per_probe = max(
+                table.row_count / max(table.column(ndv_col).ndv, 1), 1.0
+            )
+            inner_op = PlanOperator(
+                op_id="tmp",
+                op_type=OpType.INDEX_SCAN,
+                table=tree.probe_table,
+                index=tree.probe_index,
+                est_rows=rows_per_probe,
+                loops=max(int(tree.outer.rows), 1),
+                selectivity=min(rows_per_probe / max(table.row_count, 1), 1.0),
+                detail=tree.join_detail,
+            )
+            return PlanOperator(
+                op_id="tmp",
+                op_type=OpType.NESTED_LOOP,
+                children=[outer_op, inner_op],
+                est_rows=tree.rows,
+                est_cost=tree.cost,
+                detail=tree.join_detail,
+            )
+        inner_op = self._convert(tree.inner, query)
+        return PlanOperator(
+            op_id="tmp",
+            op_type=OpType.NESTED_LOOP,
+            children=[outer_op, inner_op],
+            est_rows=tree.rows,
+            est_cost=tree.cost,
+            detail=tree.join_detail,
+        )
+
+    @staticmethod
+    def _assign_ids(root: PlanOperator) -> None:
+        for i, op in enumerate(root.walk(), start=1):
+            op.op_id = f"O{i}"

@@ -1,0 +1,75 @@
+"""Access-path selection: sequential vs index scan per base table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog import Catalog, Index
+from ..plans import OpType
+from ..query import QuerySpec
+from .cost import AccessEstimate, CostModel
+
+__all__ = ["AccessPath", "best_access_path", "candidate_paths"]
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One way to read a base table."""
+
+    table: str
+    op_type: OpType
+    estimate: AccessEstimate
+    selectivity: float
+    index: Index | None = None
+
+    @property
+    def cost(self) -> float:
+        return self.estimate.cost
+
+    @property
+    def rows(self) -> float:
+        return self.estimate.rows
+
+
+def candidate_paths(
+    model: CostModel, query: QuerySpec, table_name: str
+) -> list[AccessPath]:
+    """All access paths for ``table_name``: the seq scan plus one index scan
+    per index whose column carries a filter predicate."""
+    table = model.catalog.table(table_name)
+    selectivity = query.selectivity_of(table_name)
+    paths = [
+        AccessPath(
+            table=table_name,
+            op_type=OpType.SEQ_SCAN,
+            estimate=model.seq_scan(table, selectivity),
+            selectivity=selectivity,
+        )
+    ]
+    if not model.config.enable_indexscan:
+        return paths
+    predicate_columns = {
+        p.column: p.selectivity for p in query.predicates if p.table == table_name
+    }
+    for index in model.catalog.indexes_on(table_name):
+        if index.column not in predicate_columns:
+            continue
+        # the index narrows by its own column; residual filters apply after
+        index_sel = predicate_columns[index.column]
+        est = model.index_scan(table, index, index_sel)
+        residual = selectivity / index_sel
+        paths.append(
+            AccessPath(
+                table=table_name,
+                op_type=OpType.INDEX_SCAN,
+                estimate=AccessEstimate(cost=est.cost, rows=max(est.rows * residual, 1.0)),
+                selectivity=selectivity,
+                index=index,
+            )
+        )
+    return paths
+
+
+def best_access_path(model: CostModel, query: QuerySpec, table_name: str) -> AccessPath:
+    """Cheapest access path for one table under the current config/stats."""
+    return min(candidate_paths(model, query, table_name), key=lambda p: p.cost)

@@ -1,0 +1,318 @@
+"""Query plan operator trees and the canonical Figure-1 plan for TPC-H Q2.
+
+A plan is a tree of :class:`PlanOperator`.  Leaves access a base table (and
+therefore, through the catalog's tablespace mapping, a SAN volume); interior
+operators consume their children's output.  The module also provides plan
+diffing (the structural half of Module PD) and a text renderer used by the
+APG browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterator
+
+__all__ = [
+    "OpType",
+    "PlanOperator",
+    "PlanDiff",
+    "diff_plans",
+    "canonical_q2_plan",
+    "render_plan",
+]
+
+
+class OpType(str, Enum):
+    """Operator kinds (PostgreSQL-flavoured)."""
+
+    SEQ_SCAN = "Seq Scan"
+    INDEX_SCAN = "Index Scan"
+    SORT = "Sort"
+    HASH = "Hash"
+    HASH_JOIN = "Hash Join"
+    MERGE_JOIN = "Merge Join"
+    NESTED_LOOP = "Nested Loop"
+    AGGREGATE = "Aggregate"
+    GROUP_AGGREGATE = "GroupAggregate"
+    MATERIALIZE = "Materialize"
+    LIMIT = "Limit"
+    RESULT = "Result"
+
+    @property
+    def is_scan(self) -> bool:
+        return self in (OpType.SEQ_SCAN, OpType.INDEX_SCAN)
+
+
+@dataclass
+class PlanOperator:
+    """One node of a plan tree.
+
+    ``op_id`` follows the paper's O1..On labelling.  ``est_rows`` is the
+    optimizer's cardinality estimate; actual record counts come from the
+    executor per run (the "record-counts (estimated and actual)" the APG
+    stores per operator).  ``loops`` models repeated execution of inner
+    sides of nested loops.
+    """
+
+    op_id: str
+    op_type: OpType
+    children: list["PlanOperator"] = field(default_factory=list)
+    table: str | None = None
+    index: str | None = None
+    est_rows: float = 1.0
+    est_cost: float = 0.0
+    loops: int = 1
+    selectivity: float = 1.0
+    detail: str = ""
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["PlanOperator"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def operators(self) -> list["PlanOperator"]:
+        return list(self.walk())
+
+    def leaves(self) -> list["PlanOperator"]:
+        return [op for op in self.walk() if not op.children]
+
+    def find(self, op_id: str) -> "PlanOperator":
+        for op in self.walk():
+            if op.op_id == op_id:
+                return op
+        raise KeyError(f"no operator {op_id!r} in plan")
+
+    def parent_map(self) -> dict[str, str | None]:
+        """op_id → parent op_id (None for the root)."""
+        parents: dict[str, str | None] = {self.op_id: None}
+        for op in self.walk():
+            for child in op.children:
+                parents[child.op_id] = op.op_id
+        return parents
+
+    def ancestors_of(self, op_id: str) -> list[str]:
+        """Ancestor op_ids of ``op_id`` ordered from parent to root."""
+        parents = self.parent_map()
+        if op_id not in parents:
+            raise KeyError(f"no operator {op_id!r} in plan")
+        chain = []
+        cursor = parents[op_id]
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = parents[cursor]
+        return chain
+
+    def subtree_ids(self, op_id: str) -> set[str]:
+        return {op.op_id for op in self.find(op_id).walk()}
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def tables_used(self) -> set[str]:
+        return {op.table for op in self.walk() if op.table}
+
+    def leaf_ids_on_tables(self, tables: set[str]) -> set[str]:
+        return {op.op_id for op in self.leaves() if op.table in tables}
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        """Structural signature: operator types, tables and indexes, shape.
+
+        Two plans with the same signature are "the same plan P" in the
+        workflow's sense, regardless of cost/cardinality estimates.
+        """
+        parts = [self.op_type.value]
+        if self.table:
+            parts.append(self.table)
+        if self.index:
+            parts.append(self.index)
+        inner = ",".join(child.signature() for child in self.children)
+        return f"{'/'.join(parts)}({inner})"
+
+    def clone(self) -> "PlanOperator":
+        return PlanOperator(
+            op_id=self.op_id,
+            op_type=self.op_type,
+            children=[c.clone() for c in self.children],
+            table=self.table,
+            index=self.index,
+            est_rows=self.est_rows,
+            est_cost=self.est_cost,
+            loops=self.loops,
+            selectivity=self.selectivity,
+            detail=self.detail,
+        )
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """Outcome of comparing the plans of satisfactory vs unsatisfactory runs."""
+
+    same: bool
+    only_in_first: tuple[str, ...] = ()
+    only_in_second: tuple[str, ...] = ()
+    changed_scans: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.same:
+            return "plans identical"
+        bits = []
+        if self.only_in_first:
+            bits.append(f"removed: {', '.join(self.only_in_first)}")
+        if self.only_in_second:
+            bits.append(f"added: {', '.join(self.only_in_second)}")
+        if self.changed_scans:
+            bits.append(f"scan changes: {', '.join(self.changed_scans)}")
+        return "; ".join(bits) or "plans differ structurally"
+
+
+def _op_multiset(plan: PlanOperator) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for op in plan.walk():
+        key = f"{op.op_type.value}" + (f"[{op.table}]" if op.table else "")
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def diff_plans(first: PlanOperator, second: PlanOperator) -> PlanDiff:
+    """Structural diff between two plans (Module PD's first step)."""
+    if first.signature() == second.signature():
+        return PlanDiff(same=True)
+    a, b = _op_multiset(first), _op_multiset(second)
+    only_a = tuple(sorted(k for k in a if a[k] > b.get(k, 0)))
+    only_b = tuple(sorted(k for k in b if b[k] > a.get(k, 0)))
+    scans = []
+    for table in sorted(first.tables_used() | second.tables_used()):
+        first_scans = sorted(
+            op.op_type.value for op in first.walk() if op.table == table and op.op_type.is_scan
+        )
+        second_scans = sorted(
+            op.op_type.value for op in second.walk() if op.table == table and op.op_type.is_scan
+        )
+        if first_scans != second_scans:
+            scans.append(f"{table}: {first_scans} -> {second_scans}")
+    return PlanDiff(
+        same=False,
+        only_in_first=only_a,
+        only_in_second=only_b,
+        changed_scans=tuple(scans),
+    )
+
+
+def canonical_q2_plan(row_scale: float = 1.0) -> PlanOperator:
+    """The hand-assembled Figure-1 plan for TPC-H Q2: 25 operators, 9 leaves.
+
+    Operator ids satisfy every constraint the paper states:
+
+    * leaves ``O8`` and ``O22`` are supplier accesses (tablespace on **V1**);
+    * the remaining 7 leaves (nation ×2, region ×2, partsupp ×2, part) are on
+      **V2**, with ``O4`` the partsupp leaf that becomes scenario 1's noise
+      false positive and ``O23`` the Index Scan on part whose dependency
+      paths Figure 1 walks through;
+    * ancestors(O8) = {O7, O6, O3, O2, O1} and
+      ancestors(O22) = {O21, O20, O18, O17, O3, O2, O1}, matching the
+      correlated-operator set reported for scenario 1 (modulo the root O1 —
+      see DESIGN.md).
+
+    ``row_scale`` scales cardinality estimates with the TPC-H scale factor.
+    """
+
+    def op(
+        op_id: str,
+        op_type: OpType,
+        children: list[PlanOperator] | None = None,
+        **kw,
+    ) -> PlanOperator:
+        if "est_rows" in kw:
+            kw["est_rows"] = max(kw["est_rows"] * row_scale, 1.0)
+        return PlanOperator(op_id=op_id, op_type=op_type, children=children or [], **kw)
+
+    # --- main block: part x partsupp x supplier x nation x region -------
+    o12 = op("O12", OpType.SEQ_SCAN, table="region", est_rows=1, selectivity=0.2,
+             detail="r_name = 'EUROPE'")
+    o11 = op("O11", OpType.HASH, [o12], est_rows=1)
+    o10 = op("O10", OpType.SEQ_SCAN, table="nation", est_rows=25, selectivity=1.0)
+    o9 = op("O9", OpType.HASH_JOIN, [o10, o11], est_rows=5,
+            detail="n_regionkey = r_regionkey")
+    o8 = op("O8", OpType.INDEX_SCAN, table="supplier", index="ix_supplier_nation",
+            est_rows=400, loops=5, selectivity=0.04,
+            detail="s_nationkey = n_nationkey")
+    o7 = op("O7", OpType.NESTED_LOOP, [o9, o8], est_rows=2000)
+    o23 = op("O23", OpType.INDEX_SCAN, table="part", index="pk_part",
+             est_rows=1, loops=1600, selectivity=0.002,
+             detail="p_partkey = ps_partkey AND p_size = 15 AND p_type LIKE '%BRASS'"
+                    " (memoized probes)")
+    o4 = op("O4", OpType.SEQ_SCAN, table="partsupp", est_rows=800_000, selectivity=1.0)
+    o13 = op("O13", OpType.NESTED_LOOP, [o4, o23], est_rows=1600)
+    o5 = op("O5", OpType.HASH, [o13], est_rows=1600)
+    o6 = op("O6", OpType.HASH_JOIN, [o7, o5], est_rows=320,
+            detail="s_suppkey = ps_suppkey")
+
+    # --- subquery block: min(ps_supplycost) per part in EUROPE ----------
+    o25 = op("O25", OpType.SEQ_SCAN, table="region", est_rows=1, selectivity=0.2,
+             detail="r_name = 'EUROPE'")
+    o24 = op("O24", OpType.HASH, [o25], est_rows=1)
+    o14 = op("O14", OpType.SEQ_SCAN, table="nation", est_rows=25, selectivity=1.0)
+    o16 = op("O16", OpType.HASH_JOIN, [o14, o24], est_rows=5,
+             detail="n_regionkey = r_regionkey")
+    o15 = op("O15", OpType.HASH, [o16], est_rows=5)
+    o19 = op("O19", OpType.SEQ_SCAN, table="partsupp", est_rows=800_000, selectivity=1.0)
+    o22 = op("O22", OpType.INDEX_SCAN, table="supplier", index="pk_supplier",
+             est_rows=1, loops=10_000, selectivity=0.0001,
+             detail="s_suppkey = ps_suppkey (memoized probes)")
+    o21 = op("O21", OpType.NESTED_LOOP, [o19, o22], est_rows=160_000)
+    o20 = op("O20", OpType.HASH_JOIN, [o21, o15], est_rows=32_000,
+             detail="s_nationkey = n_nationkey")
+    o18 = op("O18", OpType.GROUP_AGGREGATE, [o20], est_rows=29_000,
+             detail="min(ps_supplycost) GROUP BY ps_partkey")
+    o17 = op("O17", OpType.HASH, [o18], est_rows=29_000)
+
+    # --- top: join blocks, order, limit ---------------------------------
+    o3 = op("O3", OpType.HASH_JOIN, [o6, o17], est_rows=100,
+            detail="ps_partkey = min.ps_partkey AND ps_supplycost = min_cost")
+    o2 = op("O2", OpType.SORT, [o3], est_rows=100,
+            detail="s_acctbal DESC, n_name, s_name, p_partkey")
+    o1 = op("O1", OpType.LIMIT, [o2], est_rows=100, detail="LIMIT 100")
+
+    assert o1.size == 25, f"canonical plan must have 25 operators, got {o1.size}"
+    assert len(o1.leaves()) == 9, "canonical plan must have 9 leaves"
+    return o1
+
+
+def render_plan(
+    plan: PlanOperator,
+    annotate: Callable[[PlanOperator], str] | None = None,
+) -> str:
+    """ASCII tree rendering (the APG browser's left pane, Figure 6)."""
+    lines: list[str] = []
+
+    def visit(op: PlanOperator, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        label = f"{op.op_id} {op.op_type.value}"
+        if op.table:
+            label += f" on {op.table}"
+        if op.index:
+            label += f" using {op.index}"
+        if annotate is not None:
+            extra = annotate(op)
+            if extra:
+                label += f"  [{extra}]"
+        lines.append(prefix + connector + label)
+        child_prefix = prefix + ("" if is_root else ("   " if is_last else "│  "))
+        for i, child in enumerate(op.children):
+            visit(child, child_prefix, i == len(op.children) - 1, False)
+
+    visit(plan, "", True, True)
+    return "\n".join(lines)

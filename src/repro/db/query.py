@@ -1,0 +1,139 @@
+"""Declarative query specifications consumed by the optimizer.
+
+The optimizer does not parse SQL; a :class:`QuerySpec` captures what the cost
+model needs — the tables touched, per-table filter selectivities, the join
+graph, and top-level shaping (order by / limit / aggregate).  This keeps the
+"toy cost optimizer" genuinely cost-based (plans flip when statistics,
+indexes or configuration change) without dragging in a SQL front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Predicate", "JoinEdge", "QuerySpec", "tpch_q2_spec", "simple_report_query"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A filter on one table with its estimated selectivity."""
+
+    table: str
+    column: str
+    selectivity: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError("selectivity must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join between two tables."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def touches(self, table: str) -> bool:
+        return table in (self.left_table, self.right_table)
+
+    def other(self, table: str) -> str:
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise ValueError(f"{table!r} not part of this join edge")
+
+    def column_for(self, table: str) -> str:
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise ValueError(f"{table!r} not part of this join edge")
+
+
+@dataclass
+class QuerySpec:
+    """A join query over base tables."""
+
+    name: str
+    tables: list[str]
+    predicates: list[Predicate] = field(default_factory=list)
+    joins: list[JoinEdge] = field(default_factory=list)
+    order_by: bool = False
+    limit: int | None = None
+    aggregate: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("query must reference at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError("duplicate table references are not supported")
+        for pred in self.predicates:
+            if pred.table not in self.tables:
+                raise ValueError(f"predicate on unknown table {pred.table!r}")
+        for join in self.joins:
+            if join.left_table not in self.tables or join.right_table not in self.tables:
+                raise ValueError("join edge references unknown table")
+
+    def selectivity_of(self, table: str) -> float:
+        """Combined filter selectivity for a table (independence assumption)."""
+        result = 1.0
+        for pred in self.predicates:
+            if pred.table == table:
+                result *= pred.selectivity
+        return result
+
+    def join_edges_between(self, left: set[str], right: set[str]) -> list[JoinEdge]:
+        return [
+            j
+            for j in self.joins
+            if (j.left_table in left and j.right_table in right)
+            or (j.left_table in right and j.right_table in left)
+        ]
+
+
+def tpch_q2_spec() -> QuerySpec:
+    """The flattened main block of TPC-H Q2 for optimizer experiments.
+
+    (The canonical Figure-1 plan including the min-cost subquery is pinned in
+    :func:`repro.db.plans.canonical_q2_plan`; this spec exists so Module PD
+    scenarios can genuinely replan a Q2-shaped query.)
+    """
+    return QuerySpec(
+        name="q2-main",
+        tables=["part", "partsupp", "supplier", "nation", "region"],
+        predicates=[
+            Predicate("part", "p_size", 1.0 / 50.0, "p_size = 15"),
+            Predicate("part", "p_type", 1.0 / 30.0, "p_type LIKE '%BRASS'"),
+            Predicate("region", "r_name", 1.0 / 5.0, "r_name = 'EUROPE'"),
+        ],
+        joins=[
+            JoinEdge("part", "p_partkey", "partsupp", "ps_partkey"),
+            JoinEdge("supplier", "s_suppkey", "partsupp", "ps_suppkey"),
+            JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+            JoinEdge("nation", "n_regionkey", "region", "r_regionkey"),
+        ],
+        order_by=True,
+        limit=100,
+    )
+
+
+def simple_report_query() -> QuerySpec:
+    """A two-table reporting query whose plan flips when an index is dropped.
+
+    Used by the Module-PD scenarios: with ``ix_partsupp_suppkey`` present the
+    optimizer picks an index nested loop; dropping it (or inflating
+    ``random_page_cost``) flips to a hash join over sequential scans.
+    """
+    return QuerySpec(
+        name="supplier-parts-report",
+        tables=["supplier", "partsupp"],
+        predicates=[Predicate("supplier", "s_acctbal", 1.0 / 100.0, "s_acctbal > 9900")],
+        joins=[JoinEdge("supplier", "s_suppkey", "partsupp", "ps_suppkey")],
+        order_by=False,
+        limit=None,
+    )

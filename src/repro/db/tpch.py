@@ -1,0 +1,166 @@
+"""TPC-H schema and statistics at a configurable scale factor.
+
+The paper's testbed runs TPC-H on PostgreSQL with tables spread over two
+volumes.  Figure 1 pins the layout we reproduce by default:
+
+* ``supplier`` lives on volume **V1** (its two plan leaves O8/O22 are the
+  operators hit by the scenario-1 contention),
+* ``part``, ``partsupp``, ``nation``, ``region`` (and the rest of the schema)
+  live on **V2** — "most of the data is on V2".
+"""
+
+from __future__ import annotations
+
+from .catalog import Catalog, Column, Index, Table, Tablespace
+
+__all__ = ["build_tpch_catalog", "TPCH_BASE_ROWS", "DEFAULT_LAYOUT"]
+
+#: Base row counts at scale factor 1 (per the TPC-H specification).
+TPCH_BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Average row widths in bytes (approximate, per the spec's column types).
+_ROW_WIDTHS = {
+    "region": 120,
+    "nation": 110,
+    "supplier": 144,
+    "customer": 164,
+    "part": 155,
+    "partsupp": 144,
+    "orders": 110,
+    "lineitem": 112,
+}
+
+#: Default tablespace→volume layout reproducing Figure 1.
+DEFAULT_LAYOUT = {
+    "ts_supplier": "V1",
+    "ts_main": "V2",
+}
+
+#: Which tablespace each table uses under the default layout.
+_TABLE_SPACES = {
+    "supplier": "ts_supplier",
+    "region": "ts_main",
+    "nation": "ts_main",
+    "customer": "ts_main",
+    "part": "ts_main",
+    "partsupp": "ts_main",
+    "orders": "ts_main",
+    "lineitem": "ts_main",
+}
+
+
+def _scaled(base: int, scale: float) -> int:
+    if base in (5, 25):  # region and nation do not scale
+        return base
+    return max(int(base * scale), 1)
+
+
+def build_tpch_catalog(
+    scale: float = 1.0,
+    layout: dict[str, str] | None = None,
+    include_big_tables: bool = False,
+) -> Catalog:
+    """Build the TPC-H catalog.
+
+    ``layout`` maps tablespace names to volume ids (defaults to the Figure-1
+    placement).  ``include_big_tables`` adds customer/orders/lineitem, which
+    Q2 does not need; the default keeps the working set at Q2's five tables
+    so simulations stay fast.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    layout = dict(DEFAULT_LAYOUT if layout is None else layout)
+    catalog = Catalog()
+    for ts_name, volume_id in layout.items():
+        catalog.add_tablespace(Tablespace(name=ts_name, volume_id=volume_id))
+
+    tables = ["region", "nation", "supplier", "part", "partsupp"]
+    if include_big_tables:
+        tables += ["customer", "orders", "lineitem"]
+
+    for name in tables:
+        rows = _scaled(TPCH_BASE_ROWS[name], scale)
+        catalog.add_table(
+            Table(
+                name=name,
+                row_count=rows,
+                row_width=_ROW_WIDTHS[name],
+                tablespace=_TABLE_SPACES[name],
+                columns=_columns_for(name, rows),
+            )
+        )
+
+    for index in _default_indexes():
+        if index.table in tables:
+            catalog.create_index(index)
+    return catalog
+
+
+def _columns_for(name: str, rows: int) -> dict[str, Column]:
+    """Columns with NDVs good enough for selectivity estimation."""
+    cols: dict[str, tuple[int, int]] = {
+        "region": {"r_regionkey": (5, 4), "r_name": (5, 12)},
+        "nation": {"n_nationkey": (25, 4), "n_name": (25, 12), "n_regionkey": (5, 4)},
+        "supplier": {
+            "s_suppkey": (rows, 4),
+            "s_name": (rows, 18),
+            "s_nationkey": (25, 4),
+            "s_acctbal": (max(rows // 10, 1), 8),
+        },
+        "part": {
+            "p_partkey": (rows, 4),
+            "p_mfgr": (5, 14),
+            "p_type": (150, 16),
+            "p_size": (50, 4),
+        },
+        "partsupp": {
+            "ps_partkey": (max(rows // 4, 1), 4),
+            "ps_suppkey": (max(rows // 80, 1), 4),
+            "ps_supplycost": (max(rows // 8, 1), 8),
+        },
+        "customer": {
+            "c_custkey": (rows, 4),
+            "c_nationkey": (25, 4),
+            "c_mktsegment": (5, 10),
+        },
+        "orders": {
+            "o_orderkey": (rows, 4),
+            "o_custkey": (max(rows // 10, 1), 4),
+            "o_orderdate": (2406, 4),
+        },
+        "lineitem": {
+            "l_orderkey": (max(rows // 4, 1), 4),
+            "l_partkey": (max(rows // 30, 1), 4),
+            "l_suppkey": (max(rows // 600, 1), 4),
+            "l_shipdate": (2526, 4),
+        },
+    }[name]
+    return {
+        cname: Column(name=cname, ndv=ndv, avg_width=width)
+        for cname, (ndv, width) in cols.items()
+    }
+
+
+def _default_indexes() -> list[Index]:
+    return [
+        Index(name="pk_region", table="region", column="r_regionkey", unique=True),
+        Index(name="pk_nation", table="nation", column="n_nationkey", unique=True),
+        Index(name="pk_supplier", table="supplier", column="s_suppkey", unique=True),
+        Index(name="ix_supplier_nation", table="supplier", column="s_nationkey"),
+        Index(name="pk_part", table="part", column="p_partkey", unique=True),
+        Index(name="ix_part_size", table="part", column="p_size"),
+        Index(name="ix_partsupp_partkey", table="partsupp", column="ps_partkey"),
+        Index(name="ix_partsupp_suppkey", table="partsupp", column="ps_suppkey"),
+        Index(name="pk_customer", table="customer", column="c_custkey", unique=True),
+        Index(name="pk_orders", table="orders", column="o_orderkey", unique=True),
+        Index(name="ix_lineitem_orderkey", table="lineitem", column="l_orderkey"),
+    ]

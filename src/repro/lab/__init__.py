@@ -1,0 +1,43 @@
+"""Lab substrate: environment, workloads, fault injection, scenarios."""
+
+from .workloads import ExternalWorkload, QueryJob
+from .environment import DiagnosisBundle, Environment
+from .faults import FaultInjector
+from .scenarios import (
+    QUERY_NAME,
+    Scenario,
+    ScenarioBundle,
+    ScenarioInfo,
+    all_table1_scenarios,
+    scenario_buffer_pool,
+    scenario_concurrent_db_san,
+    scenario_cpu_saturation,
+    scenario_data_property_change,
+    scenario_lock_contention,
+    scenario_plan_regression,
+    scenario_raid_rebuild,
+    scenario_san_misconfiguration,
+    scenario_two_external_workloads,
+)
+
+__all__ = [
+    "QueryJob",
+    "ExternalWorkload",
+    "Environment",
+    "DiagnosisBundle",
+    "FaultInjector",
+    "QUERY_NAME",
+    "Scenario",
+    "ScenarioBundle",
+    "ScenarioInfo",
+    "all_table1_scenarios",
+    "scenario_san_misconfiguration",
+    "scenario_two_external_workloads",
+    "scenario_data_property_change",
+    "scenario_concurrent_db_san",
+    "scenario_lock_contention",
+    "scenario_plan_regression",
+    "scenario_cpu_saturation",
+    "scenario_buffer_pool",
+    "scenario_raid_rebuild",
+]

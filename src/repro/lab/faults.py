@@ -1,0 +1,243 @@
+"""Fault injector: the problems of Table 1 (and more), injected on schedule.
+
+The paper's demonstration uses "a fault injector that can inject a variety of
+faults at the database and SAN levels, including SAN misconfiguration,
+server, disk, or volume contention, RAID rebuilds, changes in data
+properties, and table-locking problems".  Each method here schedules one such
+fault on an :class:`~repro.lab.environment.Environment`; faults mutate the
+simulators, log the events a real SAN/DB would emit, and refresh the config
+snapshots the monitoring layer keeps.
+
+The injector exists for testing and verification only — exactly like the
+paper's (footnote 1); DIADS never sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..san.components import Server, Volume
+from ..san.events import SanEvent, SanEventKind
+from ..san.iomodel import VolumeLoad
+from .environment import Environment
+from .workloads import ExternalWorkload
+
+__all__ = ["FaultInjector"]
+
+
+@dataclass
+class FaultInjector:
+    """Schedules fault actions on one environment."""
+
+    env: Environment
+
+    # ------------------------------------------------------------------
+    def san_misconfiguration(
+        self,
+        at: float,
+        pool_id: str = "P1",
+        new_volume_id: str = "Vprime",
+        app_server_id: str = "srv-app",
+        write_iops: float = 240.0,
+        read_iops: float = 60.0,
+        until: float = float("inf"),
+    ) -> None:
+        """Scenario 1: a new volume V' lands on disks shared with V1.
+
+        Emits the full event combination DIADS must pinpoint: volume
+        creation, a new zone, and a new LUN mapping for the server whose
+        workload then hammers the shared spindles.
+        """
+
+        def apply(env: Environment, t: float) -> None:
+            topo = env.testbed.topology
+            if app_server_id not in topo:
+                topo.add(Server(component_id=app_server_id, name="App Server"))
+            topo.add(Volume(component_id=new_volume_id, name=new_volume_id, pool_id=pool_id))
+            topo.connect(pool_id, new_volume_id)
+            env.testbed.access.lun_mapping.map_volume(new_volume_id, app_server_id)
+            zone_name = f"zone-{app_server_id}"
+            if not any(z.name == zone_name for z in env.testbed.access.zoning.zones):
+                env.testbed.access.zoning.create_zone(zone_name, set())
+            env.log_san_event(
+                SanEvent(t, SanEventKind.VOLUME_CREATED, new_volume_id, {"pool": pool_id})
+            )
+            env.log_san_event(
+                SanEvent(t, SanEventKind.ZONE_CHANGED, zone_name, {"server": app_server_id})
+            )
+            env.log_san_event(
+                SanEvent(
+                    t, SanEventKind.LUN_MAPPED, new_volume_id, {"server": app_server_id}
+                )
+            )
+            env.add_external(
+                ExternalWorkload(
+                    name=f"app-workload-{new_volume_id}",
+                    volume_id=new_volume_id,
+                    load=VolumeLoad(read_iops=read_iops, write_iops=write_iops),
+                    start=t,
+                    end=until,
+                )
+            )
+            env.collector.snapshot_config(t, "san", topo.snapshot())
+            env.collector.snapshot_config(t, "access", env.testbed.access.snapshot())
+
+        self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def external_contention(
+        self,
+        at: float,
+        volume_id: str,
+        read_iops: float = 0.0,
+        write_iops: float = 0.0,
+        until: float = float("inf"),
+        pattern: str = "steady",
+        duty_cycle: float = 1.0,
+        burst_period_s: float = 600.0,
+        active_when=None,
+        name: str | None = None,
+    ) -> None:
+        """Contention from another application's workload on one volume."""
+
+        def apply(env: Environment, t: float) -> None:
+            env.add_external(
+                ExternalWorkload(
+                    name=name or f"contention-{volume_id}",
+                    volume_id=volume_id,
+                    load=VolumeLoad(read_iops=read_iops, write_iops=write_iops),
+                    start=t,
+                    end=until,
+                    pattern=pattern,
+                    duty_cycle=duty_cycle,
+                    burst_period_s=burst_period_s,
+                    active_when=active_when,
+                )
+            )
+            env.log_san_event(
+                SanEvent(
+                    t,
+                    SanEventKind.HIGH_SUBSYSTEM_LOAD,
+                    volume_id,
+                    {"read_iops": read_iops, "write_iops": write_iops},
+                )
+            )
+
+        self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def data_property_change(
+        self, at: float, table: str, multiplier: float, update_stats: bool = False
+    ) -> None:
+        """Scenario 3: a DML batch shifts data properties.
+
+        Actual row counts (and pages scanned) scale by ``multiplier`` while
+        the optimizer statistics stay stale unless ``update_stats`` —
+        matching "a subtle change in data properties" that the plan does not
+        react to but record counts reveal.
+        """
+
+        def apply(env: Environment, t: float) -> None:
+            env.data_multipliers[table] = (
+                env.data_multipliers.get(table, 1.0) * multiplier
+            )
+            env.stores.events.add_db_event(
+                t, "dml_batch", table, multiplier=multiplier
+            )
+            if update_stats:
+                tbl = env.catalog.table(table)
+                env.catalog.update_row_count(table, int(tbl.row_count * multiplier))
+                env.stores.events.add_db_event(t, "stats_updated", table)
+                env.collector.snapshot_config(t, "db_catalog", env.catalog.snapshot())
+
+        self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def lock_contention(
+        self, at: float, table: str, mean_wait_s: float, until: float
+    ) -> None:
+        """Scenario 5: table-locking problem inside the database."""
+
+        def apply(env: Environment, t: float) -> None:
+            env.executor.locks.add_contention(
+                table=table, start=t, end=until, mean_wait_ms=mean_wait_s * 1000.0
+            )
+            env.stores.events.add_db_event(
+                t, "lock_escalation", table, mean_wait_s=mean_wait_s
+            )
+
+        self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def drop_index(self, at: float, index_name: str) -> None:
+        """Plan-change trigger: drop an index (Module PD territory)."""
+
+        def apply(env: Environment, t: float) -> None:
+            env.catalog.drop_index(index_name)
+            env.stores.events.add_db_event(t, "index_dropped", index_name)
+            env.collector.snapshot_config(t, "db_catalog", env.catalog.snapshot())
+
+        self.env.schedule(at, apply)
+
+    def change_db_config(self, at: float, **changes) -> None:
+        """Plan-change trigger: alter optimizer configuration parameters."""
+
+        def apply(env: Environment, t: float) -> None:
+            env.db_config = env.db_config.with_changes(**changes)
+            env.stores.events.add_db_event(
+                t, "db_config_changed", "db", **changes
+            )
+            env.collector.snapshot_config(t, "db_config", env.db_config.snapshot())
+
+        self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def cpu_saturation(
+        self,
+        at: float,
+        until: float,
+        cpu_multiplier: float = 2.5,
+        server_pct: float = 70.0,
+    ) -> None:
+        """CPU saturation of the database server (another process hogs it)."""
+
+        def apply(env: Environment, t: float) -> None:
+            # CPU hogs emit no configuration event: they must be caught by
+            # the server-metric symptoms alone.
+            env.cpu_contention.append((t, until, cpu_multiplier, server_pct))
+
+        self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def shrink_buffer_pool(self, at: float, new_cache_mb: float) -> None:
+        """Misconfigured buffer pool: cache shrinks, hit ratios collapse."""
+
+        def apply(env: Environment, t: float) -> None:
+            env.executor.buffer.cache_mb = new_cache_mb
+            env.stores.events.add_db_event(
+                t, "db_config_changed", "db", buffer_cache_mb=new_cache_mb
+            )
+            env.collector.snapshot_config(t, "db_config", env.db_config.snapshot())
+
+        self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def raid_rebuild(
+        self, at: float, disk_id: str, duration_s: float, capacity_factor: float = 0.5
+    ) -> None:
+        """Disk failure + RAID rebuild degrading a pool for a while."""
+
+        def start(env: Environment, t: float) -> None:
+            env.iosim.start_rebuild(disk_id, capacity_factor)
+            env.log_san_event(
+                SanEvent(t, SanEventKind.RAID_REBUILD_STARTED, disk_id, {})
+            )
+
+        def finish(env: Environment, t: float) -> None:
+            env.iosim.finish_rebuild(disk_id)
+            env.log_san_event(
+                SanEvent(t, SanEventKind.RAID_REBUILD_FINISHED, disk_id, {})
+            )
+
+        self.env.schedule(at, start)
+        self.env.schedule(at + duration_s, finish)

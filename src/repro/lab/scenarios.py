@@ -1,0 +1,526 @@
+"""The experimental scenarios of Table 1 (plus the Table 2 variant and a
+plan-regression scenario for Module PD).
+
+Each scenario builds a fresh environment around the Figure-1 testbed: the
+TPC-H catalog laid out over volumes V1/V2, the canonical 25-operator Q2 plan
+executed every 30 simulated minutes, and a fault injected halfway through the
+timeline.  Runs after the fault are labelled unsatisfactory (the
+administrator's marking step), and the resulting
+:class:`~repro.lab.environment.DiagnosisBundle` is what DIADS diagnoses.
+
+Ground-truth root-cause identifiers match the entry ids of the default
+symptoms database (:mod:`repro.core.symptoms`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..db.plans import canonical_q2_plan
+from ..db.query import simple_report_query
+from ..db.tpch import build_tpch_catalog
+from ..san.builder import build_testbed
+from ..san.components import Server, Volume
+from .environment import DiagnosisBundle, Environment
+from .faults import FaultInjector
+from .workloads import QueryJob
+
+__all__ = [
+    "QUERY_NAME",
+    "ScenarioInfo",
+    "Scenario",
+    "ScenarioBundle",
+    "scenario_san_misconfiguration",
+    "scenario_two_external_workloads",
+    "scenario_data_property_change",
+    "scenario_concurrent_db_san",
+    "scenario_lock_contention",
+    "scenario_plan_regression",
+    "scenario_cpu_saturation",
+    "scenario_buffer_pool",
+    "scenario_raid_rebuild",
+    "all_table1_scenarios",
+]
+
+#: Name of the periodic report query every scenario diagnoses.
+QUERY_NAME = "q2-report"
+
+#: Query period (seconds): a run every simulated 30 minutes.
+QUERY_PERIOD_S = 1800.0
+
+#: Offset of the first query run into the timeline.
+FIRST_RUN_S = 600.0
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """Ground truth and paper cross-reference for one scenario."""
+
+    scenario_id: int
+    name: str
+    description: str
+    ground_truth: tuple[str, ...]
+    critical_modules: tuple[str, ...]
+    fault_time: float
+
+
+@dataclass
+class ScenarioBundle:
+    """A diagnosis-ready bundle plus its scenario ground truth.
+
+    Transparently proxies the wrapped :class:`DiagnosisBundle`'s attributes,
+    so anything that diagnoses a bundle accepts a scenario bundle directly.
+    """
+
+    info: ScenarioInfo
+    bundle: DiagnosisBundle
+    query_name: str = QUERY_NAME
+
+    # -- DiagnosisBundle proxy ------------------------------------------
+    @property
+    def stores(self):
+        return self.bundle.stores
+
+    @property
+    def testbed(self):
+        return self.bundle.testbed
+
+    @property
+    def topology(self):
+        return self.bundle.topology
+
+    @property
+    def catalog(self):
+        return self.bundle.catalog
+
+    @property
+    def db_config(self):
+        return self.bundle.db_config
+
+    @property
+    def initial_catalog(self):
+        return self.bundle.initial_catalog
+
+    @property
+    def initial_config(self):
+        return self.bundle.initial_config
+
+    @property
+    def query_names(self):
+        return self.bundle.query_names
+
+    @property
+    def query_specs(self):
+        return self.bundle.query_specs
+
+
+@dataclass
+class Scenario:
+    """A runnable experiment: build the environment, run it, label the runs."""
+
+    info: ScenarioInfo
+    build: Callable[[], Environment]
+    duration_s: float
+    query_name: str = QUERY_NAME
+    label_window: tuple[float, float] | None = None
+
+    def run(self) -> ScenarioBundle:
+        env = self.build()
+        bundle = env.run(self.duration_s)
+        window = self.label_window or (self.info.fault_time, self.duration_s + 1.0)
+        bundle.stores.runs.label_by_window(self.query_name, *window)
+        return ScenarioBundle(info=self.info, bundle=bundle, query_name=self.query_name)
+
+
+def _base_env(seed: int, monitor_noise: float = 0.05, executor_noise: float = 0.02) -> Environment:
+    env = Environment(
+        testbed=build_testbed(),
+        catalog=build_tpch_catalog(),
+        seed=seed,
+        monitor_noise_sigma=monitor_noise,
+        executor_noise_sigma=executor_noise,
+    )
+    env.add_job(
+        QueryJob(
+            name=QUERY_NAME,
+            period_s=QUERY_PERIOD_S,
+            first_run_s=FIRST_RUN_S,
+            pinned_plan=canonical_q2_plan(),
+        )
+    )
+    # The paper's testbed "is part of a production SAN environment, with the
+    # interconnecting fabric and storage controllers being shared by other
+    # applications": V3/V4 carry steady background traffic from other hosts,
+    # so P2's volumes have a non-trivial metric baseline.
+    from .workloads import ExternalWorkload
+    from ..san.iomodel import VolumeLoad
+
+    env.add_external(
+        ExternalWorkload(
+            name="background-V3",
+            volume_id="V3",
+            load=VolumeLoad(read_iops=45.0, write_iops=30.0),
+        )
+    )
+    env.add_external(
+        ExternalWorkload(
+            name="background-V4",
+            volume_id="V4",
+            load=VolumeLoad(read_iops=30.0, write_iops=20.0),
+        )
+    )
+    return env
+
+
+def _fault_time(hours: float) -> float:
+    return hours * 3600.0 / 2.0
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1 (+ Table 2 variant)
+# ---------------------------------------------------------------------------
+def scenario_san_misconfiguration(
+    hours: float = 24.0, seed: int = 7, with_v2_burst: bool = False
+) -> Scenario:
+    """Table 1, row 1: misconfigured volume V' lands on V1's disks.
+
+    With ``with_v2_burst`` the Table-2 variant is produced: additional bursty
+    I/O on V3 (sharing P2's disks with V2) raises V2's monitored back-end
+    metrics without touching the query, because the bursts are phased to miss
+    query-run starts.
+    """
+    fault_t = _fault_time(hours)
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        injector = FaultInjector(env)
+        injector.san_misconfiguration(at=fault_t, write_iops=300.0, read_iops=60.0)
+        if with_v2_burst:
+            injector.external_contention(
+                at=fault_t,
+                volume_id="V3",
+                write_iops=15.0,
+                read_iops=320.0,
+                name="bursty-load-V3",
+                # Short bursts, phased mid-way through each query period so
+                # they never coincide with a run start: the query barely
+                # feels them, but monitoring buckets capture (part of) them.
+                pattern="bursty",
+                duty_cycle=0.25,
+                burst_period_s=240.0,
+                active_when=lambda t: 900.0 <= (t - FIRST_RUN_S) % QUERY_PERIOD_S < 1500.0,
+            )
+        return env
+
+    suffix = " + bursty V2 load (Table 2 variant)" if with_v2_burst else ""
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=1,
+            name="san-misconfiguration" + ("-v2-burst" if with_v2_burst else ""),
+            description="SAN misconfiguration leading to contention in volume V1" + suffix,
+            ground_truth=("volume-contention-san-misconfig",),
+            critical_modules=("SD",),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2
+# ---------------------------------------------------------------------------
+def scenario_two_external_workloads(hours: float = 24.0, seed: int = 11) -> Scenario:
+    """Table 1, row 2: workloads hit both V1's and V2's disks, but only the
+    former overlaps query executions.  Module DA must prune the V2 symptoms."""
+    fault_t = _fault_time(hours)
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        topo = env.testbed.topology
+        # A pre-existing second app volume on P1 (no misconfiguration event —
+        # this scenario is pure workload contention).
+        topo.add(Server(component_id="srv-app2", name="App Server 2"))
+        topo.add(Volume(component_id="V5", name="V5", pool_id="P1"))
+        topo.connect("P1", "V5")
+        env.testbed.access.lun_mapping.map_volume("V5", "srv-app2")
+
+        injector = FaultInjector(env)
+        injector.external_contention(
+            at=fault_t, volume_id="V5", write_iops=240.0, read_iops=60.0,
+            name="app-load-on-P1",
+        )
+        injector.external_contention(
+            at=fault_t,
+            volume_id="V3",
+            write_iops=200.0,
+            read_iops=50.0,
+            name="app-load-on-P2-offwindow",
+            # Only active mid-period, after each query run has started.
+            active_when=lambda t: 900.0 <= (t - FIRST_RUN_S) % QUERY_PERIOD_S < 1500.0,
+        )
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=2,
+            name="two-external-workloads",
+            description=(
+                "Contention caused by external workloads on volumes V1 and V2; "
+                "only the former affects query performance"
+            ),
+            ground_truth=("volume-contention-external-workload",),
+            critical_modules=("DA",),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3
+# ---------------------------------------------------------------------------
+def scenario_data_property_change(
+    hours: float = 24.0, seed: int = 13, multiplier: float = 1.5
+) -> Scenario:
+    """Table 1, row 3: a DML batch changes data properties; the extra I/O
+    propagates to the SAN as (mild) volume contention on V2."""
+    fault_t = _fault_time(hours)
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        FaultInjector(env).data_property_change(
+            at=fault_t, table="partsupp", multiplier=multiplier
+        )
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=3,
+            name="data-property-change",
+            description=(
+                "SQL DML causes a subtle change in data properties; problem "
+                "propagates to SAN causing volume contention"
+            ),
+            ground_truth=("data-property-change",),
+            critical_modules=("CR", "IA"),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario 4
+# ---------------------------------------------------------------------------
+def scenario_concurrent_db_san(
+    hours: float = 24.0, seed: int = 17, multiplier: float = 1.35
+) -> Scenario:
+    """Table 1, row 4: concurrent DB (data change) and SAN (misconfiguration)
+    problems; both must be identified and ranked by impact."""
+    fault_t = _fault_time(hours)
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        injector = FaultInjector(env)
+        injector.san_misconfiguration(at=fault_t, write_iops=300.0, read_iops=60.0)
+        injector.data_property_change(at=fault_t, table="partsupp", multiplier=multiplier)
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=4,
+            name="concurrent-db-san",
+            description="Concurrent DB (data properties) and SAN (misconfiguration) problems",
+            ground_truth=("volume-contention-san-misconfig", "data-property-change"),
+            critical_modules=("IA",),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario 5
+# ---------------------------------------------------------------------------
+def scenario_lock_contention(
+    hours: float = 24.0, seed: int = 19, mean_wait_s: float = 2.5
+) -> Scenario:
+    """Table 1, row 5: a table-locking problem inside the database, with only
+    spurious (noise-induced) volume symptoms.  IA must mark any volume cause
+    as low impact."""
+    fault_t = _fault_time(hours)
+    end_t = hours * 3600.0
+
+    def build() -> Environment:
+        env = _base_env(seed, monitor_noise=0.08)
+        FaultInjector(env).lock_contention(
+            at=fault_t, table="supplier", mean_wait_s=mean_wait_s, until=end_t
+        )
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=5,
+            name="lock-contention",
+            description=(
+                "DB problem (locking-based) and spurious symptoms of volume "
+                "contention due to noise"
+            ),
+            ground_truth=("lock-contention",),
+            critical_modules=("IA",),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=end_t,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan-regression scenario (Module PD; beyond Table 1)
+# ---------------------------------------------------------------------------
+def scenario_plan_regression(
+    hours: float = 24.0, seed: int = 23, via: str = "index_drop"
+) -> Scenario:
+    """A plan change — index drop or config change — slows a replanned query.
+
+    Exercises the workflow's left branch (Figure 2): Module PD detects the
+    plan difference and pinpoints which schema/config change caused it.
+    """
+    if via not in ("index_drop", "config_change"):
+        raise ValueError("via must be 'index_drop' or 'config_change'")
+    fault_t = _fault_time(hours)
+
+    def build() -> Environment:
+        env = Environment(
+            testbed=build_testbed(),
+            catalog=build_tpch_catalog(),
+            seed=seed,
+        )
+        env.add_job(
+            QueryJob(
+                name="supplier-parts-report",
+                period_s=QUERY_PERIOD_S,
+                first_run_s=FIRST_RUN_S,
+                spec=simple_report_query(),
+            )
+        )
+        injector = FaultInjector(env)
+        if via == "index_drop":
+            injector.drop_index(at=fault_t, index_name="ix_partsupp_suppkey")
+        else:
+            injector.change_db_config(at=fault_t, random_page_cost=40.0)
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=6,
+            name=f"plan-regression-{via}",
+            description=f"Plan regression caused by {via.replace('_', ' ')}",
+            ground_truth=(
+                "plan-regression-index-drop"
+                if via == "index_drop"
+                else "plan-regression-config-change",
+            ),
+            critical_modules=("PD",),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+        query_name="supplier-parts-report",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension scenarios (root causes listed in the paper's introduction but not
+# part of the Table-1 evaluation)
+# ---------------------------------------------------------------------------
+def scenario_cpu_saturation(hours: float = 24.0, seed: int = 29) -> Scenario:
+    """CPU saturation of the database server — "another process hogs it"."""
+    fault_t = _fault_time(hours)
+    end_t = hours * 3600.0
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        FaultInjector(env).cpu_saturation(
+            at=fault_t, until=end_t, cpu_multiplier=4.0, server_pct=75.0
+        )
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=7,
+            name="cpu-saturation",
+            description="CPU saturation of the database server by an external process",
+            ground_truth=("cpu-saturation",),
+            critical_modules=("DA", "SD"),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=end_t,
+    )
+
+
+def scenario_buffer_pool(hours: float = 24.0, seed: int = 31) -> Scenario:
+    """Buffer-pool misconfiguration: the cache shrinks, physical I/O explodes."""
+    fault_t = _fault_time(hours)
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        FaultInjector(env).shrink_buffer_pool(at=fault_t, new_cache_mb=12.0)
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=8,
+            name="buffer-pool-thrashing",
+            description="Buffer pool shrunk by misconfiguration; hit ratio collapses",
+            ground_truth=("buffer-pool-thrashing",),
+            critical_modules=("DA", "SD"),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+    )
+
+
+def scenario_raid_rebuild(hours: float = 24.0, seed: int = 37) -> Scenario:
+    """Disk failure + RAID rebuild on V1's pool degrading the query."""
+    fault_t = _fault_time(hours)
+    rebuild_hours = hours * 3600.0 - fault_t  # rebuilding until the end
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        FaultInjector(env).raid_rebuild(
+            at=fault_t, disk_id="d1", duration_s=rebuild_hours, capacity_factor=0.35
+        )
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=9,
+            name="raid-rebuild",
+            description="Disk d1 fails; RAID rebuild degrades pool P1 / volume V1",
+            ground_truth=("raid-rebuild-degradation",),
+            critical_modules=("SD",),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+    )
+
+
+def all_table1_scenarios(hours: float = 24.0) -> list[Scenario]:
+    """The five Table-1 scenarios, in order."""
+    return [
+        scenario_san_misconfiguration(hours=hours),
+        scenario_two_external_workloads(hours=hours),
+        scenario_data_property_change(hours=hours),
+        scenario_concurrent_db_san(hours=hours),
+        scenario_lock_contention(hours=hours),
+    ]

@@ -1,0 +1,100 @@
+"""Workload definitions: the periodic report query and external SAN loads.
+
+The diagnosed query is "executed multiple times (e.g., in a periodic
+report-generation setting)" — :class:`QueryJob` models that.  External
+workloads are what other applications sharing the SAN do to the spindles;
+they can be steady, bursty (low duty cycle that coarse sampling averages
+away), or gated by an arbitrary predicate (e.g. "only between query runs",
+which scenario 2 uses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..db.plans import PlanOperator
+from ..db.query import QuerySpec
+from ..san.iomodel import VolumeLoad
+
+__all__ = ["QueryJob", "ExternalWorkload"]
+
+
+@dataclass
+class QueryJob:
+    """A recurring query: either a pinned plan or a spec the optimizer plans.
+
+    Pinned plans reproduce the Figure-1 Q2 setting (the plan is stable across
+    runs, so Modules CO..IA engage).  Spec-based jobs replan on every run, so
+    catalog/config faults genuinely change the executed plan (Module PD).
+    """
+
+    name: str
+    period_s: float
+    first_run_s: float = 0.0
+    pinned_plan: PlanOperator | None = None
+    spec: QuerySpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if (self.pinned_plan is None) == (self.spec is None):
+            raise ValueError("exactly one of pinned_plan / spec must be given")
+
+    def due_at(self, tick_start: float, tick_end: float) -> list[float]:
+        """Run start times falling inside [tick_start, tick_end)."""
+        if tick_end <= self.first_run_s:
+            return []
+        first_k = max(0, math.ceil((tick_start - self.first_run_s) / self.period_s))
+        times = []
+        k = first_k
+        while True:
+            t = self.first_run_s + k * self.period_s
+            if t >= tick_end:
+                break
+            if t >= tick_start:
+                times.append(t)
+            k += 1
+        return times
+
+
+@dataclass
+class ExternalWorkload:
+    """An I/O load another application offers to one volume.
+
+    ``pattern`` is ``"steady"`` or ``"bursty"``; bursty workloads are active
+    for ``duty_cycle`` of every ``burst_period_s`` window — short enough that
+    5-minute monitoring buckets blur them, which is how scenario variants
+    produce the moderate anomaly scores of Table 2's third column.
+    """
+
+    name: str
+    volume_id: str
+    load: VolumeLoad
+    start: float = 0.0
+    end: float = math.inf
+    pattern: str = "steady"
+    duty_cycle: float = 1.0
+    burst_period_s: float = 600.0
+    active_when: Callable[[float], bool] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("steady", "bursty"):
+            raise ValueError("pattern must be 'steady' or 'bursty'")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in (0, 1]")
+        if self.burst_period_s <= 0:
+            raise ValueError("burst_period_s must be positive")
+
+    def load_at(self, time: float) -> VolumeLoad | None:
+        """The load offered at ``time`` (None when inactive)."""
+        if not self.start <= time < self.end:
+            return None
+        if self.active_when is not None and not self.active_when(time):
+            return None
+        if self.pattern == "bursty":
+            phase = (time - self.start) % self.burst_period_s
+            if phase >= self.duty_cycle * self.burst_period_s:
+                return None
+        return self.load

@@ -1,0 +1,22 @@
+"""Monitoring substrate: noisy sampled metrics, events, config, run store."""
+
+from .timeseries import MetricStore, Sample
+from .events import DB_EVENT_KINDS, EventLog, EventRecord
+from .configstore import ConfigChange, ConfigStore, flatten
+from .runstore import RunStore
+from .collector import Collector, MonitoringStores, DB_COMPONENT
+
+__all__ = [
+    "MetricStore",
+    "Sample",
+    "EventLog",
+    "EventRecord",
+    "DB_EVENT_KINDS",
+    "ConfigStore",
+    "ConfigChange",
+    "flatten",
+    "RunStore",
+    "Collector",
+    "MonitoringStores",
+    "DB_COMPONENT",
+]

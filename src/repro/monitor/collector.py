@@ -1,0 +1,93 @@
+"""Collector: pulls simulator state into the monitoring stores each tick.
+
+Plays the role of IBM TotalStorage Productivity Center in Figure 5: it
+records SAN component metrics, server metrics and database metrics into the
+(noisy, bucketed) metric store, events into the event log, and configuration
+snapshots into the config store.  DIADS reads *only* these stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.executor import QueryRun
+from ..san.iomodel import SanPerfSample
+from .configstore import ConfigStore
+from .events import EventLog
+from .runstore import RunStore
+from .timeseries import MetricStore
+
+__all__ = ["MonitoringStores", "Collector"]
+
+#: Pseudo-component id under which database-level metrics are recorded.
+DB_COMPONENT = "db"
+
+
+@dataclass
+class MonitoringStores:
+    """The bundle of stores DIADS diagnoses from."""
+
+    metrics: MetricStore = field(default_factory=MetricStore)
+    events: EventLog = field(default_factory=EventLog)
+    config: ConfigStore = field(default_factory=ConfigStore)
+    runs: RunStore = field(default_factory=RunStore)
+
+
+@dataclass
+class Collector:
+    """Writes simulator outputs into the monitoring stores."""
+
+    stores: MonitoringStores
+
+    # -- SAN -------------------------------------------------------------
+    def collect_san(self, time: float, sample: SanPerfSample) -> None:
+        for (component_id, metric), value in sample.values.items():
+            self.stores.metrics.record(time, component_id, metric, value)
+
+    # -- server ------------------------------------------------------------
+    def collect_server(
+        self,
+        time: float,
+        server_id: str,
+        cpu_pct: float,
+        memory_pct: float = 35.0,
+        processes: float = 180.0,
+    ) -> None:
+        m = self.stores.metrics
+        m.record(time, server_id, "cpuUsagePct", cpu_pct)
+        m.record(time, server_id, "cpuUsageMhz", cpu_pct * 24.0)
+        m.record(time, server_id, "physicalMemoryUsagePct", memory_pct)
+        m.record(time, server_id, "heapMemoryUsageKb", memory_pct * 1024.0)
+        m.record(time, server_id, "kernelMemoryKb", 65536.0)
+        m.record(time, server_id, "memorySwappedKb", 0.0)
+        m.record(time, server_id, "reservedMemoryCapacityKb", 8.0 * 1024.0 * 1024.0)
+        m.record(time, server_id, "processes", processes)
+        m.record(time, server_id, "threads", processes * 4.0)
+        m.record(time, server_id, "handles", processes * 30.0)
+
+    # -- network ----------------------------------------------------------
+    def collect_network(self, time: float, switch_id: str, bytes_moved: float) -> None:
+        m = self.stores.metrics
+        m.record(time, switch_id, "bytesTransmitted", bytes_moved)
+        m.record(time, switch_id, "bytesReceived", bytes_moved)
+        m.record(time, switch_id, "packetsTransmitted", bytes_moved / 2048.0)
+        m.record(time, switch_id, "packetsReceived", bytes_moved / 2048.0)
+        for metric in ("lipCount", "nosCount", "errorFrames", "dumpedFrames",
+                       "linkFailures", "crcErrors", "addressErrors"):
+            m.record(time, switch_id, metric, 0.0)
+
+    # -- database -----------------------------------------------------------
+    def collect_query_run(self, run: QueryRun) -> None:
+        """Record a finished run: the run itself + its DB metrics as series."""
+        self.stores.runs.add(run)
+        time = run.end_time
+        for metric, value in run.db_metrics.items():
+            self.stores.metrics.record(time, DB_COMPONENT, metric, value)
+
+    def collect_db_tick(self, time: float, locks_held: float) -> None:
+        """Between-runs database heartbeat metrics."""
+        self.stores.metrics.record(time, DB_COMPONENT, "locksHeld", locks_held)
+
+    # -- config + events -------------------------------------------------------
+    def snapshot_config(self, time: float, scope: str, snapshot: dict) -> None:
+        self.stores.config.take_snapshot(time, scope, snapshot)

@@ -1,0 +1,94 @@
+"""Configuration snapshot store with diffing.
+
+The APG includes "(iii) changes in configuration and connectivity information
+over time".  The config store keeps timestamped snapshots per scope
+(``db_catalog``, ``db_config``, ``san``, ``access``) and can report the
+flattened set of changes between two points in time — the raw material for
+Module PD's plan-change analysis and Module SD's misconfiguration symptoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ConfigChange", "ConfigStore", "flatten"]
+
+
+def flatten(value: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten nested dicts/lists into dot-path → scalar leaves."""
+    out: dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            out.update(flatten(value[key], f"{prefix}.{key}" if prefix else str(key)))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            out.update(flatten(item, f"{prefix}[{i}]"))
+    else:
+        out[prefix or "value"] = value
+    return out
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """One changed configuration leaf between two snapshots."""
+
+    scope: str
+    path: str
+    before: Any
+    after: Any
+
+    @property
+    def kind(self) -> str:
+        if self.before is None:
+            return "added"
+        if self.after is None:
+            return "removed"
+        return "modified"
+
+    def describe(self) -> str:
+        if self.kind == "added":
+            return f"{self.scope}:{self.path} added = {self.after!r}"
+        if self.kind == "removed":
+            return f"{self.scope}:{self.path} removed (was {self.before!r})"
+        return f"{self.scope}:{self.path} changed {self.before!r} -> {self.after!r}"
+
+
+class ConfigStore:
+    """Timestamped snapshots per scope."""
+
+    def __init__(self) -> None:
+        self._snapshots: dict[str, list[tuple[float, dict[str, Any]]]] = {}
+
+    def take_snapshot(self, time: float, scope: str, snapshot: dict) -> None:
+        self._snapshots.setdefault(scope, []).append((time, flatten(snapshot)))
+        self._snapshots[scope].sort(key=lambda pair: pair[0])
+
+    def scopes(self) -> list[str]:
+        return sorted(self._snapshots)
+
+    def snapshot_at(self, scope: str, time: float) -> dict[str, Any] | None:
+        """Latest snapshot at or before ``time`` (None if none exists)."""
+        best = None
+        for when, snap in self._snapshots.get(scope, []):
+            if when <= time:
+                best = snap
+        return best
+
+    def diff(self, scope: str, t0: float, t1: float) -> list[ConfigChange]:
+        """Changes in ``scope`` between the snapshots in force at t0 and t1."""
+        before = self.snapshot_at(scope, t0) or {}
+        after = self.snapshot_at(scope, t1) or {}
+        changes = []
+        for path in sorted(set(before) | set(after)):
+            old, new = before.get(path), after.get(path)
+            if old != new:
+                changes.append(ConfigChange(scope=scope, path=path, before=old, after=new))
+        return changes
+
+    def changes_between(self, t0: float, t1: float) -> list[ConfigChange]:
+        """All changes across every scope between t0 and t1."""
+        out: list[ConfigChange] = []
+        for scope in self.scopes():
+            out.extend(self.diff(scope, t0, t1))
+        return out

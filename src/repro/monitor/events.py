@@ -1,0 +1,98 @@
+"""Unified event log across the database and SAN layers.
+
+APGs record configuration changes and incidents from both layers; Module SD
+treats them as symptoms with temporal structure (e.g. *the zone changed
+before the slowdown began*).  The log stores normalised
+:class:`EventRecord` rows regardless of origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..san.events import SanEvent
+
+__all__ = ["EventRecord", "EventLog", "DB_EVENT_KINDS"]
+
+#: Database-layer event kinds (SAN kinds come from repro.san.events).
+DB_EVENT_KINDS = (
+    "index_created",
+    "index_dropped",
+    "db_config_changed",
+    "stats_updated",
+    "dml_batch",
+    "lock_escalation",
+)
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """A timestamped event from either layer."""
+
+    time: float
+    kind: str
+    component_id: str
+    layer: str  # "db" | "san"
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        extra = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        suffix = f" ({extra})" if extra else ""
+        return f"[t={self.time:.0f}] {self.layer}/{self.kind} @ {self.component_id}{suffix}"
+
+
+class EventLog:
+    """Append-only event store with window/type queries."""
+
+    def __init__(self) -> None:
+        self._events: list[EventRecord] = []
+
+    def add(self, event: EventRecord) -> EventRecord:
+        self._events.append(event)
+        return event
+
+    def add_san_event(self, event: SanEvent) -> EventRecord:
+        return self.add(
+            EventRecord(
+                time=event.time,
+                kind=event.kind.value,
+                component_id=event.component_id,
+                layer="san",
+                details=dict(event.details),
+            )
+        )
+
+    def add_db_event(
+        self, time: float, kind: str, component_id: str, **details: Any
+    ) -> EventRecord:
+        if kind not in DB_EVENT_KINDS:
+            raise ValueError(f"unknown db event kind {kind!r}")
+        return self.add(
+            EventRecord(time=time, kind=kind, component_id=component_id, layer="db", details=details)
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def events(self) -> list[EventRecord]:
+        return sorted(self._events, key=lambda e: e.time)
+
+    def in_window(self, start: float, end: float) -> list[EventRecord]:
+        return [e for e in self.events if start <= e.time <= end]
+
+    def of_kind(self, *kinds: str) -> list[EventRecord]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def before(self, time: float) -> list[EventRecord]:
+        return [e for e in self.events if e.time < time]
+
+    def for_component(self, component_id: str) -> list[EventRecord]:
+        return [e for e in self.events if e.component_id == component_id]
+
+    def extend(self, events: Iterable[EventRecord]) -> None:
+        for event in events:
+            self.add(event)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,46 @@
+"""SAN simulator substrate: components, topology, zoning, I/O model, events."""
+
+from .components import (
+    Component,
+    ComponentType,
+    Disk,
+    FcPort,
+    FcSwitch,
+    Hba,
+    Server,
+    StoragePool,
+    StorageSubsystem,
+    Volume,
+)
+from .topology import SanTopology, TopologyError
+from .zoning import AccessControl, LunMapping, Zone, ZoningConfig
+from .iomodel import IoSimulator, SanPerfSample, VolumeLoad
+from .events import SanEvent, SanEventKind
+from .builder import Testbed, TopologyBuilder, build_testbed
+
+__all__ = [
+    "Component",
+    "ComponentType",
+    "Server",
+    "Hba",
+    "FcPort",
+    "FcSwitch",
+    "StorageSubsystem",
+    "StoragePool",
+    "Volume",
+    "Disk",
+    "SanTopology",
+    "TopologyError",
+    "Zone",
+    "ZoningConfig",
+    "LunMapping",
+    "AccessControl",
+    "IoSimulator",
+    "VolumeLoad",
+    "SanPerfSample",
+    "SanEvent",
+    "SanEventKind",
+    "TopologyBuilder",
+    "Testbed",
+    "build_testbed",
+]

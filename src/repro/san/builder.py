@@ -1,0 +1,157 @@
+"""Topology construction helpers and the canonical Figure-1 testbed.
+
+The paper's testbed: a PostgreSQL server on Redhat Linux, one HBA, a fibre
+channel fabric (edge + core switch), and an IBM DS6000-class storage
+controller exposing two Ext3 volumes V1 and V2 carved from pools P1 and P2.
+V3 and V4 share P2's disks with V2, which is what puts them on O23's *outer*
+dependency path.  Disks 1-4 back P1; disks 5-10 back P2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import (
+    Disk,
+    FcPort,
+    FcSwitch,
+    Hba,
+    Server,
+    StoragePool,
+    StorageSubsystem,
+    Volume,
+)
+from .topology import SanTopology
+from .zoning import AccessControl
+
+__all__ = ["TopologyBuilder", "Testbed", "build_testbed"]
+
+
+class TopologyBuilder:
+    """Small fluent helper for assembling topologies in tests and scenarios."""
+
+    def __init__(self) -> None:
+        self.topology = SanTopology()
+        self.access = AccessControl()
+
+    def server(self, server_id: str, name: str | None = None, **attrs) -> "TopologyBuilder":
+        self.topology.add(Server(component_id=server_id, name=name or server_id, **attrs))
+        return self
+
+    def hba(self, hba_id: str, server_id: str, ports: int = 2) -> "TopologyBuilder":
+        self.topology.add(Hba(component_id=hba_id, name=hba_id, server_id=server_id))
+        self.topology.connect(server_id, hba_id)
+        for i in range(ports):
+            port_id = f"{hba_id}-p{i}"
+            self.topology.add(FcPort(component_id=port_id, name=port_id, owner_id=hba_id))
+            self.topology.connect(hba_id, port_id)
+        return self
+
+    def switch(self, switch_id: str, **attrs) -> "TopologyBuilder":
+        self.topology.add(FcSwitch(component_id=switch_id, name=switch_id, **attrs))
+        return self
+
+    def subsystem(self, subsystem_id: str, name: str | None = None, ports: int = 2, **attrs) -> "TopologyBuilder":
+        self.topology.add(
+            StorageSubsystem(component_id=subsystem_id, name=name or subsystem_id, **attrs)
+        )
+        for i in range(ports):
+            port_id = f"{subsystem_id}-p{i}"
+            self.topology.add(FcPort(component_id=port_id, name=port_id, owner_id=subsystem_id))
+            self.topology.connect(subsystem_id, port_id)
+        return self
+
+    def pool(self, pool_id: str, subsystem_id: str, raid_level: str = "RAID5") -> "TopologyBuilder":
+        self.topology.add(
+            StoragePool(
+                component_id=pool_id, name=pool_id, subsystem_id=subsystem_id, raid_level=raid_level
+            )
+        )
+        self.topology.connect(subsystem_id, pool_id)
+        return self
+
+    def disks(self, pool_id: str, disk_ids: list[str], **attrs) -> "TopologyBuilder":
+        for disk_id in disk_ids:
+            self.topology.add(Disk(component_id=disk_id, name=disk_id, pool_id=pool_id, **attrs))
+            self.topology.connect(pool_id, disk_id)
+        return self
+
+    def volume(self, volume_id: str, pool_id: str, size_gb: float = 100.0) -> "TopologyBuilder":
+        self.topology.add(
+            Volume(component_id=volume_id, name=volume_id, pool_id=pool_id, size_gb=size_gb)
+        )
+        self.topology.connect(pool_id, volume_id)
+        return self
+
+    def cable(self, a: str, b: str) -> "TopologyBuilder":
+        """Directed fabric link (initiator side → storage side)."""
+        self.topology.connect(a, b)
+        return self
+
+    def zone(self, name: str, port_ids: list[str]) -> "TopologyBuilder":
+        self.access.zoning.create_zone(name, set(port_ids))
+        return self
+
+    def lun(self, volume_id: str, server_id: str) -> "TopologyBuilder":
+        self.access.lun_mapping.map_volume(volume_id, server_id)
+        return self
+
+
+@dataclass
+class Testbed:
+    """The canonical experimental SAN with well-known component ids."""
+
+    topology: SanTopology
+    access: AccessControl
+    db_server_id: str = "srv-db"
+    subsystem_id: str = "ds6000"
+    pool1_id: str = "P1"
+    pool2_id: str = "P2"
+    volume_ids: dict[str, str] = field(
+        default_factory=lambda: {"V1": "V1", "V2": "V2", "V3": "V3", "V4": "V4"}
+    )
+
+    @property
+    def v1(self) -> str:
+        return self.volume_ids["V1"]
+
+    @property
+    def v2(self) -> str:
+        return self.volume_ids["V2"]
+
+
+def build_testbed() -> Testbed:
+    """Build the Figure-1 SAN: 1 DB server, 2 switches, DS6000, P1/P2, V1-V4.
+
+    Disk ids are ``d1``..``d10``: d1-d4 form pool P1 (backing V1), d5-d10 form
+    pool P2 (backing V2, V3, V4 — hence their shared-disk coupling).
+    """
+    b = TopologyBuilder()
+    b.server("srv-db", name="Redhat Linux DB Server", cpu_cores=8, memory_gb=32.0)
+    b.hba("hba0", "srv-db", ports=2)
+    b.switch("fcsw-edge")
+    b.switch("fcsw-core")
+    b.subsystem("ds6000", name="IBM DS6000", ports=2)
+    b.pool("P1", "ds6000", raid_level="RAID5")
+    b.pool("P2", "ds6000", raid_level="RAID5")
+    b.disks("P1", [f"d{i}" for i in range(1, 5)], max_iops=180.0, service_time_ms=5.0)
+    b.disks("P2", [f"d{i}" for i in range(5, 11)], max_iops=180.0, service_time_ms=5.0)
+    b.volume("V1", "P1", size_gb=120.0)
+    b.volume("V2", "P2", size_gb=400.0)
+    b.volume("V3", "P2", size_gb=150.0)
+    b.volume("V4", "P2", size_gb=150.0)
+
+    # Fabric: HBA ports → edge switch → core switch → subsystem.
+    b.cable("hba0-p0", "fcsw-edge")
+    b.cable("hba0-p1", "fcsw-edge")
+    b.cable("fcsw-edge", "fcsw-core")
+    b.cable("fcsw-core", "ds6000")
+
+    b.zone("zone-db", ["hba0-p0", "hba0-p1", "ds6000-p0", "ds6000-p1"])
+    b.lun("V1", "srv-db")
+    b.lun("V2", "srv-db")
+
+    problems = b.topology.validate()
+    if problems:  # pragma: no cover - construction invariant
+        raise RuntimeError(f"testbed invalid: {problems}")
+    return Testbed(topology=b.topology, access=b.access)

@@ -1,0 +1,176 @@
+"""Component model for the simulated Storage Area Network.
+
+The paper's taxonomy (Figure 1) spans physical components — servers, Host Bus
+Adapters (HBAs) and their Fibre Channel ports, FC switches, storage
+subsystems (controllers), disks — and logical ones — storage pools and the
+volumes carved out of them.  Each component type here carries the attributes
+the I/O model and the monitoring collector need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = [
+    "ComponentType",
+    "Component",
+    "Server",
+    "Hba",
+    "FcPort",
+    "FcSwitch",
+    "StorageSubsystem",
+    "StoragePool",
+    "Volume",
+    "Disk",
+]
+
+
+class ComponentType(str, Enum):
+    """Kinds of SAN components recognised by the topology and the APG."""
+
+    SERVER = "server"
+    HBA = "hba"
+    FC_PORT = "fc_port"
+    SWITCH = "switch"
+    SUBSYSTEM = "subsystem"
+    POOL = "pool"
+    VOLUME = "volume"
+    DISK = "disk"
+
+
+@dataclass
+class Component:
+    """Base class: every SAN entity has a stable id, a display name, a type."""
+
+    component_id: str
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    #: overridden by subclasses
+    ctype: ComponentType = field(init=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.component_id:
+            raise ValueError("component_id must be non-empty")
+
+    def describe(self) -> str:
+        """One-line human description used by the APG text renderer."""
+        return f"{self.ctype.value}:{self.name}"
+
+
+@dataclass
+class Server(Component):
+    """A host attached to the SAN (the DB server, or an interfering app server)."""
+
+    cpu_cores: int = 8
+    memory_gb: float = 32.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.SERVER
+
+
+@dataclass
+class Hba(Component):
+    """Host Bus Adapter installed in a server."""
+
+    server_id: str = ""
+    port_count: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.HBA
+
+
+@dataclass
+class FcPort(Component):
+    """A Fibre Channel port on an HBA, switch, or subsystem."""
+
+    owner_id: str = ""
+    speed_gbps: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.FC_PORT
+
+
+@dataclass
+class FcSwitch(Component):
+    """Core or edge FC switch in the fabric."""
+
+    port_count: int = 32
+    per_port_mbps: float = 400.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.SWITCH
+
+
+@dataclass
+class StorageSubsystem(Component):
+    """Storage controller (the paper's testbed uses an IBM DS6000).
+
+    ``read_cache_hit`` is the base random-read cache hit fraction;
+    sequential streams get an additional prefetch bonus in the I/O model.
+    """
+
+    read_cache_hit: float = 0.25
+    sequential_prefetch_bonus: float = 0.55
+    write_cache_absorption: float = 0.35
+    cache_latency_ms: float = 0.3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.SUBSYSTEM
+
+
+@dataclass
+class StoragePool(Component):
+    """Logical aggregation of disks inside a subsystem (RAID rank)."""
+
+    subsystem_id: str = ""
+    raid_level: str = "RAID5"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.POOL
+
+    @property
+    def write_penalty(self) -> float:
+        """Back-end physical writes per logical write for the RAID level."""
+        return {"RAID0": 1.0, "RAID1": 2.0, "RAID5": 4.0, "RAID6": 6.0, "RAID10": 2.0}.get(
+            self.raid_level, 1.0
+        )
+
+
+@dataclass
+class Volume(Component):
+    """Logical volume carved from a pool and exposed to servers via LUNs."""
+
+    pool_id: str = ""
+    size_gb: float = 100.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.VOLUME
+
+
+@dataclass
+class Disk(Component):
+    """Physical spindle.
+
+    ``max_iops`` is the knee of the throughput curve; ``service_time_ms`` the
+    unloaded per-I/O service time.  Latency grows as utilisation approaches 1
+    (see :mod:`repro.san.iomodel`).
+    """
+
+    pool_id: str = ""
+    max_iops: float = 180.0
+    service_time_ms: float = 5.0
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.ctype = ComponentType.DISK

@@ -1,0 +1,138 @@
+"""Zoning and LUN mapping/masking configuration.
+
+Two settings dictate data accessibility in a SAN (Section 3.1.1):
+
+* **Zoning** — which subsystem ports a given server (via its HBA ports) may
+  talk to; expressed as named zones over FC port ids.
+* **LUN mapping/masking** — which volumes a particular host may see.
+
+Scenario 1's root cause is precisely a change here: a new volume plus a new
+zone/mapping lets an external workload land on disks shared with V1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import FcPort, Hba
+from .topology import SanTopology, TopologyError
+
+__all__ = ["Zone", "ZoningConfig", "LunMapping", "AccessControl"]
+
+
+@dataclass
+class Zone:
+    """A named set of FC port ids allowed to communicate with one another."""
+
+    name: str
+    port_ids: set[str] = field(default_factory=set)
+
+    def add(self, port_id: str) -> None:
+        self.port_ids.add(port_id)
+
+    def remove(self, port_id: str) -> None:
+        self.port_ids.discard(port_id)
+
+
+class ZoningConfig:
+    """Collection of zones with membership queries."""
+
+    def __init__(self) -> None:
+        self._zones: dict[str, Zone] = {}
+
+    def create_zone(self, name: str, port_ids: set[str] | None = None) -> Zone:
+        if name in self._zones:
+            raise ValueError(f"zone {name!r} already exists")
+        zone = Zone(name=name, port_ids=set(port_ids or ()))
+        self._zones[name] = zone
+        return zone
+
+    def delete_zone(self, name: str) -> None:
+        self._zones.pop(name, None)
+
+    def zone(self, name: str) -> Zone:
+        try:
+            return self._zones[name]
+        except KeyError:
+            raise KeyError(f"unknown zone {name!r}") from None
+
+    @property
+    def zones(self) -> list[Zone]:
+        return list(self._zones.values())
+
+    def ports_zoned_together(self, port_a: str, port_b: str) -> bool:
+        return any(port_a in z.port_ids and port_b in z.port_ids for z in self._zones.values())
+
+    def snapshot(self) -> dict:
+        return {name: sorted(zone.port_ids) for name, zone in sorted(self._zones.items())}
+
+
+class LunMapping:
+    """Volume → allowed servers (masking)."""
+
+    def __init__(self) -> None:
+        self._map: dict[str, set[str]] = {}
+
+    def map_volume(self, volume_id: str, server_id: str) -> None:
+        self._map.setdefault(volume_id, set()).add(server_id)
+
+    def unmap_volume(self, volume_id: str, server_id: str) -> None:
+        self._map.get(volume_id, set()).discard(server_id)
+
+    def servers_for(self, volume_id: str) -> set[str]:
+        return set(self._map.get(volume_id, set()))
+
+    def volumes_for(self, server_id: str) -> set[str]:
+        return {vol for vol, servers in self._map.items() if server_id in servers}
+
+    def is_mapped(self, volume_id: str, server_id: str) -> bool:
+        return server_id in self._map.get(volume_id, set())
+
+    def snapshot(self) -> dict:
+        return {vol: sorted(servers) for vol, servers in sorted(self._map.items())}
+
+
+@dataclass
+class AccessControl:
+    """Zoning + LUN masking evaluated against a topology."""
+
+    zoning: ZoningConfig = field(default_factory=ZoningConfig)
+    lun_mapping: LunMapping = field(default_factory=LunMapping)
+
+    def server_ports(self, topology: SanTopology, server_id: str) -> list[FcPort]:
+        """All FC ports on HBAs belonging to ``server_id``."""
+        ports: list[FcPort] = []
+        for component in topology:
+            if isinstance(component, Hba) and component.server_id == server_id:
+                ports.extend(
+                    c for c in topology.children(component.component_id) if isinstance(c, FcPort)
+                )
+        return ports
+
+    def subsystem_ports(self, topology: SanTopology, subsystem_id: str) -> list[FcPort]:
+        return [
+            c for c in topology.children(subsystem_id) if isinstance(c, FcPort)
+        ]
+
+    def can_access(self, topology: SanTopology, server_id: str, volume_id: str) -> bool:
+        """True iff masking allows the volume AND zoning connects the ports."""
+        if not self.lun_mapping.is_mapped(volume_id, server_id):
+            return False
+        try:
+            subsystem = topology.subsystem_of_volume(volume_id)
+        except TopologyError:
+            return False
+        host_ports = self.server_ports(topology, server_id)
+        storage_ports = self.subsystem_ports(topology, subsystem.component_id)
+        if not host_ports or not storage_ports:
+            # Topologies built without explicit port components fall back to
+            # masking-only checks (ports are optional detail).
+            return True
+        return any(
+            self.zoning.ports_zoned_together(hp.component_id, sp.component_id)
+            for hp in host_ports
+            for sp in storage_ports
+        )
+
+    def snapshot(self) -> dict:
+        return {"zones": self.zoning.snapshot(), "lun_mapping": self.lun_mapping.snapshot()}

@@ -1,0 +1,31 @@
+"""Statistical substrate: KDE anomaly scoring, correlation, baseline detectors."""
+
+from .kde import GaussianKDE, anomaly_score, scott_bandwidth, silverman_bandwidth
+from .correlation import fisher_significance, lagged_pearson, pearson, spearman
+from .baselines import (
+    DETECTOR_FACTORIES,
+    AnomalyDetector,
+    GaussianNaiveBayesDetector,
+    KDEDetector,
+    PercentileDetector,
+    ThresholdDetector,
+    ZScoreDetector,
+)
+
+__all__ = [
+    "GaussianKDE",
+    "anomaly_score",
+    "silverman_bandwidth",
+    "scott_bandwidth",
+    "pearson",
+    "spearman",
+    "lagged_pearson",
+    "fisher_significance",
+    "AnomalyDetector",
+    "KDEDetector",
+    "ThresholdDetector",
+    "ZScoreDetector",
+    "PercentileDetector",
+    "GaussianNaiveBayesDetector",
+    "DETECTOR_FACTORIES",
+]

@@ -1,0 +1,200 @@
+"""Alternative anomaly detectors used as baselines against KDE.
+
+Section 5 of the paper observes that *"Compared to correlation analysis using
+advanced models (e.g., Bayesian networks), KDE can produce accurate results
+with few tens of samples, and is more robust to noise in the data."*  To make
+that observation measurable (experiment E8), this module implements the
+detector families DIADS could have used instead:
+
+* :class:`ThresholdDetector` — flag values above a fixed multiple of the
+  healthy mean (what a rule-of-thumb dashboard alert does).
+* :class:`ZScoreDetector` — parametric Gaussian assumption.
+* :class:`PercentileDetector` — empirical CDF without smoothing.
+* :class:`GaussianNaiveBayesDetector` — two-class generative model over the
+  healthy/unhealthy labels, the simplest stand-in for the "advanced model"
+  family (a Bayesian network over one variable degenerates to this).
+
+All detectors share one interface: :meth:`fit` on healthy samples (and, for
+the supervised one, unhealthy samples), then :meth:`score` returning a value
+in ``[0, 1]`` where higher means more anomalous, so they are drop-in
+replacements for the KDE anomaly score inside the diagnosis modules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from .kde import GaussianKDE
+
+__all__ = [
+    "AnomalyDetector",
+    "KDEDetector",
+    "ThresholdDetector",
+    "ZScoreDetector",
+    "PercentileDetector",
+    "GaussianNaiveBayesDetector",
+    "DETECTOR_FACTORIES",
+]
+
+
+class AnomalyDetector(Protocol):
+    """Common scoring protocol for anomaly detectors."""
+
+    def fit(self, healthy: Iterable[float]) -> "AnomalyDetector":
+        """Learn the healthy distribution; returns self for chaining."""
+        ...
+
+    def score(self, observed: float) -> float:
+        """Anomaly score in [0, 1]; higher is more anomalous."""
+        ...
+
+
+def _to_array(values: Iterable[float]) -> np.ndarray:
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("detector requires at least one healthy sample")
+    return arr.ravel()
+
+
+@dataclass
+class KDEDetector:
+    """The paper's detector: KDE CDF as the anomaly score."""
+
+    bandwidth: float | str = "silverman"
+    _kde: GaussianKDE | None = field(default=None, repr=False)
+
+    def fit(self, healthy: Iterable[float]) -> "KDEDetector":
+        self._kde = GaussianKDE.fit(healthy, bandwidth=self.bandwidth)
+        return self
+
+    def score(self, observed: float) -> float:
+        if self._kde is None:
+            raise RuntimeError("fit() must be called before score()")
+        return self._kde.anomaly_score(observed)
+
+
+@dataclass
+class ThresholdDetector:
+    """Flags values above ``factor`` times the healthy mean.
+
+    The score is a hard 0/1 step — exactly how static alert thresholds in
+    monitoring dashboards behave, which is what makes them brittle.
+    """
+
+    factor: float = 1.5
+    _threshold: float | None = field(default=None, repr=False)
+
+    def fit(self, healthy: Iterable[float]) -> "ThresholdDetector":
+        self._threshold = float(_to_array(healthy).mean()) * self.factor
+        return self
+
+    def score(self, observed: float) -> float:
+        if self._threshold is None:
+            raise RuntimeError("fit() must be called before score()")
+        return 1.0 if observed > self._threshold else 0.0
+
+
+@dataclass
+class ZScoreDetector:
+    """Gaussian-assumption detector: score = Phi((u - mean) / std)."""
+
+    _mean: float = field(default=0.0, repr=False)
+    _std: float = field(default=1.0, repr=False)
+
+    def fit(self, healthy: Iterable[float]) -> "ZScoreDetector":
+        arr = _to_array(healthy)
+        self._mean = float(arr.mean())
+        self._std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        return self
+
+    def score(self, observed: float) -> float:
+        if self._std <= 0.0:
+            return 1.0 if observed > self._mean else 0.0
+        z = (observed - self._mean) / self._std
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass
+class PercentileDetector:
+    """Empirical CDF without smoothing; degrades sharply at small n."""
+
+    _sorted: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, healthy: Iterable[float]) -> "PercentileDetector":
+        self._sorted = np.sort(_to_array(healthy))
+        return self
+
+    def score(self, observed: float) -> float:
+        if self._sorted is None:
+            raise RuntimeError("fit() must be called before score()")
+        rank = float(np.searchsorted(self._sorted, observed, side="right"))
+        return rank / self._sorted.size
+
+
+@dataclass
+class GaussianNaiveBayesDetector:
+    """Supervised two-class Gaussian model: P(unhealthy | u).
+
+    Stand-in for the "advanced model" family: it needs labelled unhealthy
+    samples (which real deployments rarely have many of) and it is sensitive
+    to noise in the class-conditional variance estimates — the two weaknesses
+    the paper attributes to heavier models.
+    """
+
+    prior_unhealthy: float = 0.5
+    _healthy: tuple[float, float] | None = field(default=None, repr=False)
+    _unhealthy: tuple[float, float] | None = field(default=None, repr=False)
+
+    def fit(
+        self,
+        healthy: Iterable[float],
+        unhealthy: Iterable[float] | None = None,
+    ) -> "GaussianNaiveBayesDetector":
+        h = _to_array(healthy)
+        self._healthy = (float(h.mean()), max(float(h.std(ddof=1)) if h.size > 1 else 0.0, 1e-9))
+        if unhealthy is not None:
+            u = _to_array(unhealthy)
+            self._unhealthy = (
+                float(u.mean()),
+                max(float(u.std(ddof=1)) if u.size > 1 else 0.0, 1e-9),
+            )
+        else:
+            # Unsupervised fallback: assume "unhealthy" doubles the mean with
+            # the same spread, a weak prior that mimics bootstrap labelling.
+            self._unhealthy = (2.0 * self._healthy[0], self._healthy[1])
+        return self
+
+    def score(self, observed: float) -> float:
+        if self._healthy is None or self._unhealthy is None:
+            raise RuntimeError("fit() must be called before score()")
+        ph = self._likelihood(observed, *self._healthy) * (1.0 - self.prior_unhealthy)
+        pu = self._likelihood(observed, *self._unhealthy) * self.prior_unhealthy
+        total = ph + pu
+        if total <= 0.0:
+            # Both likelihoods underflowed (observation far outside both
+            # classes): fall back to nearest-mean classification.
+            near_unhealthy = abs(observed - self._unhealthy[0]) < abs(
+                observed - self._healthy[0]
+            )
+            return 1.0 if near_unhealthy else 0.0
+        return pu / total
+
+    @staticmethod
+    def _likelihood(x: float, mean: float, std: float) -> float:
+        z = (x - mean) / std
+        return math.exp(-0.5 * z * z) / (std * math.sqrt(2.0 * math.pi))
+
+
+#: Factories for benchmark sweeps (E8): name -> zero-argument constructor.
+DETECTOR_FACTORIES = {
+    "kde-silverman": lambda: KDEDetector("silverman"),
+    "kde-scott": lambda: KDEDetector("scott"),
+    "threshold": ThresholdDetector,
+    "zscore": ZScoreDetector,
+    "percentile": PercentileDetector,
+    "naive-bayes": GaussianNaiveBayesDetector,
+}

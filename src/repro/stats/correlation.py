@@ -1,0 +1,112 @@
+"""Correlation helpers shared by the diagnosis modules and baselines.
+
+Module DA needs to decide whether a component metric moved *with* an
+operator's running time; the pure-ML baselines (Section 5's comparison
+observation) need plain correlation coefficients.  Everything here is
+implemented on numpy only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "lagged_pearson",
+    "fisher_significance",
+]
+
+
+def _pair(xs: Iterable[float], ys: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(list(xs) if not isinstance(xs, np.ndarray) else xs, dtype=float).ravel()
+    y = np.asarray(list(ys) if not isinstance(ys, np.ndarray) else ys, dtype=float).ravel()
+    if x.size != y.size:
+        raise ValueError(f"series lengths differ: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("correlation requires at least two points")
+    return x, y
+
+
+def pearson(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Pearson correlation coefficient; 0.0 when either series is constant."""
+    x, y = _pair(xs, ys)
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = float(np.sqrt((xd * xd).sum() * (yd * yd).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((xd * yd).sum() / denom)
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their positions), 1-based."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    x, y = _pair(xs, ys)
+    return pearson(_ranks(x), _ranks(y))
+
+
+def lagged_pearson(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    max_lag: int = 0,
+) -> tuple[float, int]:
+    """Best Pearson correlation over integer lags in ``[-max_lag, max_lag]``.
+
+    Returns ``(coefficient, lag)`` where ``lag > 0`` means ``ys`` trails
+    ``xs``.  Useful for metrics sampled on slightly offset intervals.
+    """
+    if max_lag < 0:
+        raise ValueError("max_lag must be non-negative")
+    x = np.asarray(xs, dtype=float).ravel()
+    y = np.asarray(ys, dtype=float).ravel()
+    best = (0.0, 0)
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            xi, yi = x[: x.size - lag or None], y[lag:]
+        else:
+            xi, yi = x[-lag:], y[: y.size + lag]
+        if min(xi.size, yi.size) < 2:
+            continue
+        n = min(xi.size, yi.size)
+        coeff = pearson(xi[:n], yi[:n])
+        if abs(coeff) > abs(best[0]):
+            best = (coeff, lag)
+    return best
+
+
+def fisher_significance(coefficient: float, n: int) -> float:
+    """Approximate two-sided p-value for a Pearson coefficient via Fisher's z.
+
+    Good enough to rank correlations; not meant for publication-grade
+    hypothesis testing.
+    """
+    if n < 4:
+        return 1.0
+    r = max(min(coefficient, 0.999999), -0.999999)
+    z = 0.5 * np.log((1.0 + r) / (1.0 - r)) * np.sqrt(n - 3)
+    # two-sided tail of the standard normal
+    return float(2.0 * (1.0 - _phi(abs(z))))
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF via the same erf approximation as repro.stats.kde."""
+    from .kde import _erf
+
+    return float(0.5 * (1.0 + _erf(np.asarray(z / np.sqrt(2.0)))))

@@ -1,0 +1,87 @@
+"""Shared fixtures.
+
+Scenario bundles are expensive (a simulated working day each), so they are
+session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.plans import canonical_q2_plan
+from repro.db.tpch import build_tpch_catalog
+from repro.lab.scenarios import (
+    scenario_concurrent_db_san,
+    scenario_data_property_change,
+    scenario_lock_contention,
+    scenario_plan_regression,
+    scenario_san_misconfiguration,
+    scenario_two_external_workloads,
+)
+from repro.san.builder import build_testbed
+
+#: Shorter-than-default timeline used by the session fixtures: 10 simulated
+#: hours → 10 satisfactory + 10 unsatisfactory runs, enough for "few tens of
+#: samples" KDE behaviour while keeping the suite fast.
+FIXTURE_HOURS = 10.0
+
+
+@pytest.fixture
+def testbed():
+    return build_testbed()
+
+
+@pytest.fixture
+def catalog():
+    return build_tpch_catalog()
+
+
+@pytest.fixture
+def q2_plan():
+    return canonical_q2_plan()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def scenario1():
+    return scenario_san_misconfiguration(hours=FIXTURE_HOURS).run()
+
+
+@pytest.fixture(scope="session")
+def scenario1_burst():
+    return scenario_san_misconfiguration(hours=FIXTURE_HOURS, with_v2_burst=True).run()
+
+
+@pytest.fixture(scope="session")
+def scenario2():
+    return scenario_two_external_workloads(hours=FIXTURE_HOURS).run()
+
+
+@pytest.fixture(scope="session")
+def scenario3():
+    return scenario_data_property_change(hours=FIXTURE_HOURS).run()
+
+
+@pytest.fixture(scope="session")
+def scenario4():
+    return scenario_concurrent_db_san(hours=FIXTURE_HOURS).run()
+
+
+@pytest.fixture(scope="session")
+def scenario5():
+    return scenario_lock_contention(hours=FIXTURE_HOURS).run()
+
+
+@pytest.fixture(scope="session")
+def scenario_pd():
+    return scenario_plan_regression(hours=FIXTURE_HOURS).run()
+
+
+@pytest.fixture(scope="session")
+def scenario_pd_config():
+    return scenario_plan_regression(hours=FIXTURE_HOURS, via="config_change").run()

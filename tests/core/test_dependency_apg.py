@@ -1,0 +1,110 @@
+"""Tests for dependency-path computation and the APG itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.apg import build_apg
+from repro.core.dependency import compute_dependency_paths
+
+
+@pytest.fixture
+def paths(q2_plan, catalog, testbed):
+    return compute_dependency_paths(
+        q2_plan, catalog, testbed.topology, testbed.db_server_id
+    )
+
+
+class TestDependencyPaths:
+    def test_every_operator_covered(self, paths, q2_plan):
+        assert set(paths) == {op.op_id for op in q2_plan.walk()}
+
+    def test_v1_leaf_inner_path(self, paths):
+        """The paper's example: an operator on V1 depends on server, HBA,
+        switches, subsystem, pool, volume and disks."""
+        inner = paths["O8"].inner
+        assert {"srv-db", "hba0", "ds6000", "P1", "V1", "db"} <= inner
+        assert {"d1", "d2", "d3", "d4"} <= inner
+        assert "fcsw-edge" in inner and "fcsw-core" in inner
+        assert "V2" not in inner
+
+    def test_o23_paths_match_paper(self, paths):
+        """Figure 1: O23's inner path includes pool P2, volume V2, disks 5-10;
+        outer path includes V3 and V4 (shared disks)."""
+        inner = paths["O23"].inner
+        assert {"P2", "V2"} <= inner
+        assert {f"d{i}" for i in range(5, 11)} <= inner
+        assert paths["O23"].outer == frozenset({"V3", "V4"})
+
+    def test_v1_leaf_has_no_outer_volumes_initially(self, paths):
+        assert paths["O8"].outer == frozenset()
+
+    def test_interior_unions_children(self, paths):
+        o3 = paths["O3"]
+        assert paths["O8"].inner <= o3.inner
+        assert paths["O23"].inner <= o3.inner
+        assert paths["O23"].outer <= o3.outer
+
+    def test_root_covers_everything(self, paths, q2_plan):
+        root = paths["O1"].all_components
+        for op in q2_plan.leaves():
+            assert paths[op.op_id].all_components <= root
+
+
+class TestApg:
+    def test_build_from_scenario(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        assert apg.operator_count == 25
+        assert apg.leaf_count == 9
+
+    def test_volumes_used(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        assert apg.volumes_used() == {"V1", "V2"}
+
+    def test_leaves_on_volume(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        assert set(apg.leaves_on_volume("V1")) == {"O8", "O22"}
+        assert len(apg.leaves_on_volume("V2")) == 7
+
+    def test_runs_filtered_by_signature(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        signatures = {r.plan_signature for r in apg.runs}
+        assert signatures == {apg.plan.signature()}
+
+    def test_annotation_window_and_metrics(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        run = apg.runs[-1]
+        annotation = apg.annotate("O22", run)
+        assert annotation.running_time > 0
+        assert "V1" in annotation.component_metrics
+        assert "readTime" in annotation.component_metrics["V1"]
+        assert "db" in annotation.component_metrics
+
+    def test_annotation_excludes_unrelated_volume(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        annotation = apg.annotate("O22", apg.runs[-1])
+        # V2 is not on O22's dependency paths (V1 shares no disks with P2)
+        assert "V2" not in annotation.component_metrics
+
+    def test_operator_times_by_label(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        sat, unsat = apg.operator_times_by_label()
+        assert len(sat["O1"]) == len(
+            [r for r in apg.runs if r.satisfactory is True]
+        )
+        # slowdown visible in the root operator
+        assert min(unsat["O1"]) > max(sat["O1"])
+
+    def test_unknown_query_raises(self, scenario1):
+        with pytest.raises(ValueError):
+            build_apg(scenario1.bundle, "no-such-query")
+
+    def test_component_ids_cover_san_and_db(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        ids = apg.component_ids()
+        assert {"V1", "V2", "P1", "P2", "ds6000", "srv-db", "db"} <= ids
+
+    def test_volume_of_operator(self, scenario1):
+        apg = build_apg(scenario1.bundle, scenario1.query_name)
+        assert apg.volume_of_operator("O8") == "V1"
+        assert apg.volume_of_operator("O3") is None

@@ -1,0 +1,97 @@
+"""Tests for the evaluation harnesses and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import SCENARIOS, build_parser, main
+from repro.core.evaluation import evaluate_bundle
+from repro.stats.evaluation import DetectorScore, evaluate_detectors, sweep_detectors
+
+
+class TestDetectorEvaluation:
+    def test_scores_cover_all_detectors(self):
+        scores = evaluate_detectors(10, 0.05, trials=40, rng=np.random.default_rng(0))
+        names = {s.detector for s in scores}
+        assert {"kde-silverman", "threshold", "zscore", "percentile"} <= names
+
+    def test_rates_bounded(self):
+        for s in evaluate_detectors(10, 0.05, trials=40, rng=np.random.default_rng(1)):
+            assert 0.0 <= s.accuracy <= 1.0
+            assert 0.0 <= s.true_positive_rate <= 1.0
+            assert 0.0 <= s.false_positive_rate <= 1.0
+            assert 0.0 <= s.f1 <= 1.0
+
+    def test_kde_easy_case_high_accuracy(self):
+        scores = evaluate_detectors(40, 0.02, trials=100, rng=np.random.default_rng(2))
+        kde = next(s for s in scores if s.detector == "kde-silverman")
+        assert kde.accuracy >= 0.9
+
+    def test_sweep_shape(self):
+        scores = sweep_detectors(sample_sizes=(5, 10), noise_levels=(0.05,), trials=20)
+        points = {(s.detector, s.n_samples) for s in scores}
+        assert ("kde-silverman", 5) in points and ("kde-silverman", 10) in points
+
+    def test_scale_parameter(self):
+        small = evaluate_detectors(
+            20, 0.05, trials=60, rng=np.random.default_rng(3), scale=0.01
+        )
+        kde = next(s for s in small if s.detector == "kde-silverman")
+        assert kde.accuracy >= 0.8  # adaptive bandwidth transfers to tiny scales
+
+    def test_f1_zero_when_no_tp(self):
+        score = DetectorScore(
+            detector="x", n_samples=5, noise_sigma=0.1,
+            accuracy=0.5, true_positive_rate=0.0, false_positive_rate=0.0,
+        )
+        assert score.f1 == 0.0
+
+
+class TestScenarioEvaluation:
+    def test_evaluate_bundle_identifies(self, scenario1):
+        evaluation = evaluate_bundle(scenario1)
+        assert evaluation.identified
+        assert evaluation.top_binding == "V1"
+        assert "OK" in evaluation.row()
+
+    def test_evaluation_row_format(self, scenario1):
+        row = evaluate_bundle(scenario1).row()
+        assert "san-misconfiguration" in row
+        assert "high" in row
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "lock-contention", "--hours", "8"])
+        assert args.command == "run" and args.hours == 8.0
+        assert parser.parse_args(["list"]).command == "list"
+        assert parser.parse_args(["sweep"]).command == "sweep"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_command_end_to_end(self, capsys):
+        code = main(["run", "san-misconfiguration", "--hours", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identified" in out
+        assert "volume-contention-san-misconfig" in out
+
+    def test_run_with_screens(self, capsys):
+        code = main(["run", "data-property-change", "--hours", "6", "--screens"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Annotated Plan Graph" in out
+        assert "Query executions" in out
+
+    def test_scenario_registry_complete(self):
+        assert len(SCENARIOS) == 10

@@ -1,0 +1,171 @@
+"""Tests for the Section-7 extensions: self-healing, symptoms-DB evolution,
+and the extension scenarios (CPU, buffer pool, RAID rebuild)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Diads, SelfHealer, suggest_entry, suggest_from_reports
+from repro.core.symptoms import SymptomsDatabase, default_symptoms_database
+from repro.lab.scenarios import (
+    ScenarioBundle,
+    scenario_buffer_pool,
+    scenario_cpu_saturation,
+    scenario_raid_rebuild,
+    scenario_san_misconfiguration,
+)
+
+HOURS = 10.0
+
+
+@pytest.fixture(scope="module")
+def cpu_bundle():
+    return scenario_cpu_saturation(hours=HOURS).run()
+
+
+@pytest.fixture(scope="module")
+def buffer_bundle():
+    return scenario_buffer_pool(hours=HOURS).run()
+
+
+@pytest.fixture(scope="module")
+def raid_bundle():
+    return scenario_raid_rebuild(hours=HOURS).run()
+
+
+class TestExtensionScenarios:
+    def test_cpu_saturation_diagnosed(self, cpu_bundle):
+        report = Diads.from_bundle(cpu_bundle).diagnose(cpu_bundle.query_name)
+        assert report.top_cause.match.cause_id == "cpu-saturation"
+        assert report.top_cause.match.confidence.value == "high"
+
+    def test_cpu_scenario_volume_metrics_stay_clean(self, cpu_bundle):
+        report = Diads.from_bundle(cpu_bundle).diagnose(cpu_bundle.query_name)
+        sd = report.module_result("SD")
+        sids = {s.sid for s in sd.symptoms}
+        assert "server-cpu-anomaly" in sids
+        assert not any(s.startswith("volume-metric-anomaly") for s in sids)
+
+    def test_buffer_pool_diagnosed(self, buffer_bundle):
+        report = Diads.from_bundle(buffer_bundle).diagnose(buffer_bundle.query_name)
+        assert report.top_cause.match.cause_id == "buffer-pool-thrashing"
+        sd = report.module_result("SD")
+        sids = {s.sid for s in sd.symptoms}
+        assert {"buffer-hit-drop", "db-io-increase"} <= sids
+
+    def test_buffer_pool_ranks_above_contention(self, buffer_bundle):
+        """The extra physical I/O does load the volumes, but the thrashing
+        cause must outrank any induced-contention interpretation."""
+        report = Diads.from_bundle(buffer_bundle).diagnose(buffer_bundle.query_name)
+        ids = [rc.match.cause_id for rc in report.ranked_causes]
+        for cause in ids:
+            if cause == "buffer-pool-thrashing":
+                break
+            assert not cause.startswith("volume-contention"), ids
+
+    def test_raid_rebuild_diagnosed(self, raid_bundle):
+        report = Diads.from_bundle(raid_bundle).diagnose(raid_bundle.query_name)
+        assert report.top_cause.match.cause_id == "raid-rebuild-degradation"
+        assert report.top_cause.match.binding == "V1"
+
+
+class TestSelfHealer:
+    def _run_and_diagnose(self, scenario):
+        env = scenario.build()
+        bundle = env.run(scenario.duration_s)
+        bundle.stores.runs.label_by_window(
+            scenario.query_name, scenario.info.fault_time, scenario.duration_s + 1
+        )
+        sb = ScenarioBundle(
+            info=scenario.info, bundle=bundle, query_name=scenario.query_name
+        )
+        report = Diads.from_bundle(sb).diagnose(scenario.query_name)
+        return env, report
+
+    def test_recommendation_matches_cause(self):
+        env, report = self._run_and_diagnose(
+            scenario_san_misconfiguration(hours=HOURS)
+        )
+        fixes = SelfHealer().recommend(report)
+        assert len(fixes) == 1
+        assert fixes[0].layer == "san"
+        assert "V1" in fixes[0].fix_id
+
+    def test_recommend_is_side_effect_free(self):
+        env, report = self._run_and_diagnose(
+            scenario_san_misconfiguration(hours=HOURS)
+        )
+        workloads_before = [(w.name, w.end) for w in env.external]
+        SelfHealer().recommend(report)
+        assert [(w.name, w.end) for w in env.external] == workloads_before
+
+    def test_apply_heals_the_environment(self):
+        """After healing, continued simulation returns to baseline speed."""
+        scenario = scenario_san_misconfiguration(hours=HOURS)
+        env, report = self._run_and_diagnose(scenario)
+        applied = SelfHealer().apply(report, env, at_time=scenario.duration_s)
+        assert applied and applied[0].cause_id == "volume-contention-san-misconfig"
+
+        env.run(2 * 3600.0, start_s=scenario.duration_s)
+        runs = env.stores.runs.runs(scenario.query_name)
+        pre_fault = [r.duration for r in runs if r.start_time < scenario.info.fault_time]
+        healed = [r.duration for r in runs if r.start_time >= scenario.duration_s]
+        assert healed
+        assert max(healed) < 1.2 * max(pre_fault)
+
+    def test_low_confidence_causes_get_no_fix(self, cpu_bundle):
+        report = Diads.from_bundle(cpu_bundle).diagnose(cpu_bundle.query_name)
+        fixes = SelfHealer().recommend(report)
+        # only the high-confidence cpu cause is actionable
+        assert [f.fix_id for f in fixes] == ["evict-cpu-hog"]
+
+    def test_min_confidence_validation(self):
+        with pytest.raises(ValueError):
+            SelfHealer(min_confidence="low")
+
+
+class TestEvolution:
+    @pytest.fixture(scope="class")
+    def uncovered_report(self, scenario1):
+        """Scenario 1 diagnosed with an EMPTY symptoms database."""
+        return Diads.from_bundle(scenario1, symptoms_db=SymptomsDatabase()).diagnose(
+            scenario1.query_name
+        )
+
+    def test_suggests_entry_when_uncovered(self, uncovered_report):
+        suggestion = suggest_entry(uncovered_report)
+        assert suggestion is not None
+        patterns = {c.pattern for c in suggestion.entry.conditions}
+        assert "volume-metric-anomaly:{V}" in patterns
+        assert "new-volume-on-shared-disks:{V}" in patterns
+
+    def test_suggested_entry_weights_normalised(self, uncovered_report):
+        suggestion = suggest_entry(uncovered_report)
+        total = sum(c.weight for c in suggestion.entry.conditions)
+        assert total == pytest.approx(100.0)
+
+    def test_adopted_entry_reaches_high_confidence(self, scenario1, uncovered_report):
+        db = SymptomsDatabase()
+        db.add(suggest_entry(uncovered_report).entry)
+        report = Diads.from_bundle(scenario1, symptoms_db=db).diagnose(
+            scenario1.query_name
+        )
+        assert report.top_cause.match.confidence.value == "high"
+        assert report.top_cause.match.binding == "V1"
+
+    def test_no_suggestion_when_codebook_covers(self, scenario1):
+        report = Diads.from_bundle(
+            scenario1, symptoms_db=default_symptoms_database()
+        ).diagnose(scenario1.query_name)
+        assert suggest_entry(report) is None
+
+    def test_batch_suggestions_require_support(self, scenario1):
+        empty_db_report = Diads.from_bundle(
+            scenario1, symptoms_db=SymptomsDatabase()
+        ).diagnose(scenario1.query_name)
+        assert suggest_from_reports([empty_db_report], min_support=2) == []
+        merged = suggest_from_reports(
+            [empty_db_report, empty_db_report], min_support=2
+        )
+        assert len(merged) == 1
+        assert merged[0].support == 2

@@ -1,0 +1,205 @@
+"""Per-module tests for the diagnosis workflow, driven by scenario 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modules.base import DiagnosisContext
+from repro.core.modules.correlated_operators import CorrelatedOperatorsModule, kde_anomaly
+from repro.core.modules.dependency_analysis import DependencyAnalysisModule
+from repro.core.modules.impact import ImpactAnalysisModule, self_times
+from repro.core.modules.plan_diff import PlanDiffModule
+from repro.core.modules.record_counts import RecordCountsModule, two_sided_anomaly
+from repro.core.modules.symptoms_db import SymptomsDatabaseModule, extract_symptoms
+
+
+@pytest.fixture(scope="module")
+def ctx1(scenario1):
+    """Scenario-1 context with the full pipeline already executed."""
+    ctx = DiagnosisContext(bundle=scenario1.bundle, query_name=scenario1.query_name)
+    PlanDiffModule().run(ctx)
+    CorrelatedOperatorsModule().run(ctx)
+    RecordCountsModule().run(ctx)
+    DependencyAnalysisModule().run(ctx)
+    SymptomsDatabaseModule().run(ctx)
+    ImpactAnalysisModule().run(ctx)
+    return ctx
+
+
+class TestContext:
+    def test_requires_labelled_runs(self, scenario1):
+        with pytest.raises(ValueError):
+            DiagnosisContext(bundle=scenario1.bundle, query_name="missing")
+
+    def test_onset_after_last_satisfactory(self, ctx1):
+        assert ctx1.onset > ctx1.last_satisfactory_time
+
+    def test_result_accessors(self, ctx1):
+        assert ctx1.result("CO").module == "CO"
+        with pytest.raises(KeyError):
+            ctx1.result("XX")
+
+
+class TestScoringHelpers:
+    def test_kde_anomaly_level_shift(self):
+        assert kde_anomaly([10.0, 10.2, 9.8, 10.1], [14.0, 14.2]) > 0.99
+
+    def test_kde_anomaly_no_shift(self):
+        score = kde_anomaly([10.0, 10.2, 9.8, 10.1], [10.05])
+        assert 0.1 < score < 0.9
+
+    def test_kde_anomaly_empty_inputs(self):
+        assert kde_anomaly([], [1.0]) == 0.0
+        assert kde_anomaly([1.0], []) == 0.0
+
+    def test_two_sided_detects_both_directions(self):
+        sat = [100.0, 101.0, 99.0, 100.5]
+        assert two_sided_anomaly(sat, [150.0]) > 0.95
+        assert two_sided_anomaly(sat, [50.0]) > 0.95
+        assert two_sided_anomaly(sat, [100.2]) < 0.5
+
+    def test_two_sided_constant_counts(self):
+        assert two_sided_anomaly([100.0] * 5, [100.0]) == pytest.approx(0.0, abs=1e-6)
+        assert two_sided_anomaly([100.0] * 5, [150.0]) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPD:
+    def test_same_plan_branch(self, ctx1):
+        pd = ctx1.result("PD")
+        assert not pd.plans_differ
+        assert pd.shared_plan is not None
+        assert ctx1.apg is not None
+
+    def test_plan_change_branch(self, scenario_pd):
+        ctx = DiagnosisContext(
+            bundle=scenario_pd.bundle, query_name=scenario_pd.query_name
+        )
+        pd = PlanDiffModule().run(ctx)
+        assert pd.plans_differ
+        confirmed = pd.confirmed_causes
+        assert len(confirmed) == 1
+        assert confirmed[0].kind == "index_dropped"
+        assert confirmed[0].component == "ix_partsupp_suppkey"
+
+    def test_config_change_cause_confirmed(self, scenario_pd_config):
+        ctx = DiagnosisContext(
+            bundle=scenario_pd_config.bundle, query_name=scenario_pd_config.query_name
+        )
+        pd = PlanDiffModule().run(ctx)
+        assert pd.plans_differ
+        assert any(
+            c.kind == "db_config_changed" and c.confirmed for c in pd.causes
+        )
+
+
+class TestCO:
+    def test_v1_leaves_in_cos(self, ctx1):
+        co = ctx1.result("CO")
+        assert {"O8", "O22"} <= co.cos
+
+    def test_ancestor_propagation(self, ctx1):
+        """Event propagation: ancestors of the slow V1 leaves score high."""
+        co = ctx1.result("CO")
+        assert {"O17", "O18", "O20", "O21", "O3", "O2"} <= co.cos
+
+    def test_most_v2_leaves_not_in_cos(self, ctx1):
+        co = ctx1.result("CO")
+        v2_leaves = {"O4", "O10", "O12", "O14", "O19", "O23", "O25"}
+        assert len(v2_leaves & co.cos) <= 2
+
+    def test_scores_bounded(self, ctx1):
+        co = ctx1.result("CO")
+        assert all(0.0 <= s <= 1.0 for s in co.scores.values())
+        assert len(co.scores) == 25
+
+    def test_top_returns_sorted(self, ctx1):
+        top = ctx1.result("CO").top(5)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestCR:
+    def test_no_data_change_in_scenario1(self, ctx1):
+        cr = ctx1.result("CR")
+        assert not cr.data_properties_changed
+
+    def test_data_change_detected_in_scenario3(self, scenario3):
+        ctx = DiagnosisContext(bundle=scenario3.bundle, query_name=scenario3.query_name)
+        PlanDiffModule().run(ctx)
+        CorrelatedOperatorsModule().run(ctx)
+        cr = RecordCountsModule().run(ctx)
+        assert cr.data_properties_changed
+        # the partsupp leaves are the shifted ones
+        assert {"O4", "O19"} & cr.crs
+
+
+class TestDA:
+    def test_v1_metrics_anomalous(self, ctx1):
+        da = ctx1.result("DA")
+        assert da.score("V1", "writeTime") >= 0.8
+        assert da.score("V1", "writeIO") >= 0.8
+
+    def test_v2_metrics_normal(self, ctx1):
+        da = ctx1.result("DA")
+        assert da.score("V2", "writeIO") < 0.8
+
+    def test_v1_in_ccs(self, ctx1):
+        da = ctx1.result("DA")
+        assert "V1" in da.ccs
+        assert "V2" not in da.ccs
+
+    def test_p1_disks_flagged(self, ctx1):
+        da = ctx1.result("DA")
+        assert {"d1", "d2", "d3", "d4"} & da.components_with_anomalies()
+
+    def test_findings_include_correlation(self, ctx1):
+        da = ctx1.result("DA")
+        finding = da.findings[("V1", "readTime")]
+        assert abs(finding.best_correlation) >= 0.5
+        assert finding.correlated_operator is not None
+
+
+class TestSD:
+    def test_symptom_extraction_core_set(self, ctx1):
+        sd = ctx1.result("SD")
+        sids = {s.sid for s in sd.symptoms}
+        assert "operators-anomalous-volume:V1" in sids
+        assert "volume-metric-anomaly:V1" in sids
+        assert "new-volume-on-shared-disks:V1" in sids
+        assert "zone-or-lun-change" in sids
+        assert "most-volume-leaves-normal:V2" in sids
+
+    def test_high_confidence_root_cause(self, ctx1):
+        sd = ctx1.result("SD")
+        high = sd.high_confidence()
+        assert [m.cause_id for m in high] == ["volume-contention-san-misconfig"]
+        assert high[0].binding == "V1"
+
+    def test_db_workload_alternative_medium(self, ctx1):
+        """Paper: the db-workload contention entry lands at medium."""
+        sd = ctx1.result("SD")
+        match = sd.match("volume-contention-db-workload")
+        assert match.confidence.value == "medium"
+
+    def test_extract_symptoms_standalone(self, ctx1):
+        symptoms = extract_symptoms(ctx1)
+        assert {s.sid for s in symptoms} == {s.sid for s in ctx1.result("SD").symptoms}
+
+
+class TestIA:
+    def test_impact_near_total_for_true_cause(self, ctx1):
+        """Paper: impact score 99.8% for the V1-contention root cause."""
+        ia = ctx1.result("IA")
+        assert ia.impact_of("volume-contention-san-misconfig") > 90.0
+
+    def test_extra_plan_time_positive(self, ctx1):
+        assert ctx1.result("IA").extra_plan_time > 0
+
+    def test_ranked_puts_high_confidence_first(self, ctx1):
+        ranked = ctx1.result("IA").ranked()
+        assert ranked[0].confidence == "high"
+
+    def test_self_times_sum_to_duration(self, ctx1):
+        run = ctx1.apg.runs[-1]
+        selves = self_times(ctx1.apg.plan, run)
+        assert sum(selves.values()) == pytest.approx(run.duration, rel=1e-6)

@@ -1,0 +1,212 @@
+"""Tests for the symptom model, condition DSL and the default codebook."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.symptoms import (
+    Condition,
+    Confidence,
+    RootCauseEntry,
+    Symptom,
+    SymptomsDatabase,
+    default_symptoms_database,
+)
+
+
+def S(sid, time=None):
+    return Symptom.make(sid, time=time)
+
+
+class TestConditionMatching:
+    def test_exists(self):
+        cond = Condition("a", 50)
+        assert cond.matches([S("a")], None, None)
+        assert not cond.matches([S("b")], None, None)
+
+    def test_absence(self):
+        cond = Condition("a", 50, present=False)
+        assert cond.matches([S("b")], None, None)
+        assert not cond.matches([S("a")], None, None)
+
+    def test_binding_substitution(self):
+        cond = Condition("anomaly:{V}", 50)
+        assert cond.matches([S("anomaly:V1")], "V1", None)
+        assert not cond.matches([S("anomaly:V1")], "V2", None)
+
+    def test_wildcard(self):
+        cond = Condition("volume-metric-anomaly:*", 50)
+        assert cond.matches([S("volume-metric-anomaly:V9")], None, None)
+
+    def test_before_onset(self):
+        cond = Condition("event", 50, before_onset=True)
+        assert cond.matches([S("event", time=10.0)], None, 20.0)
+        assert not cond.matches([S("event", time=30.0)], None, 20.0)
+
+    def test_before_onset_ignores_timeless(self):
+        cond = Condition("event", 50, before_onset=True)
+        assert cond.matches([S("event")], None, 20.0)
+
+    def test_weight_positive(self):
+        with pytest.raises(ValueError):
+            Condition("a", 0)
+
+
+class TestEntries:
+    def test_weights_must_sum_to_100(self):
+        with pytest.raises(ValueError):
+            RootCauseEntry(
+                cause_id="x",
+                description="",
+                conditions=(Condition("a", 60), Condition("b", 20)),
+            )
+
+    def test_score_partial(self):
+        entry = RootCauseEntry(
+            cause_id="x",
+            description="",
+            conditions=(Condition("a", 60), Condition("b", 40)),
+        )
+        assert entry.score([S("a")]) == 60.0
+        assert entry.score([S("a"), S("b")]) == 100.0
+        assert entry.score([]) == 0.0
+
+    def test_confidence_bands(self):
+        assert Confidence.from_score(85) is Confidence.HIGH
+        assert Confidence.from_score(80) is Confidence.HIGH
+        assert Confidence.from_score(79.9) is Confidence.MEDIUM
+        assert Confidence.from_score(50) is Confidence.MEDIUM
+        assert Confidence.from_score(49.9) is Confidence.LOW
+
+
+class TestDatabase:
+    def test_duplicate_entry_rejected(self):
+        db = SymptomsDatabase()
+        entry = RootCauseEntry(
+            cause_id="x", description="", conditions=(Condition("a", 100),)
+        )
+        db.add(entry)
+        with pytest.raises(ValueError):
+            db.add(entry)
+
+    def test_remove_and_get(self):
+        db = default_symptoms_database()
+        db.get("lock-contention")
+        db.remove("lock-contention")
+        with pytest.raises(KeyError):
+            db.get("lock-contention")
+
+    def test_evaluate_sorted_by_score(self):
+        db = default_symptoms_database()
+        matches = db.evaluate([S("lock-wait-anomaly"), S("operators-anomalous")], ["V1"])
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_per_volume_binding_selects_best(self):
+        db = default_symptoms_database()
+        symptoms = [
+            S("volume-metric-anomaly:V1"),
+            S("operators-anomalous-volume:V1"),
+            S("new-volume-on-shared-disks:V1"),
+            S("zone-or-lun-change"),
+            S("volume-perf-degraded-event:V1"),
+        ]
+        matches = db.evaluate(symptoms, ["V1", "V2"])
+        top = matches[0]
+        assert top.cause_id == "volume-contention-san-misconfig"
+        assert top.binding == "V1"
+        assert top.confidence is Confidence.HIGH
+
+    def test_scenario1_medium_db_workload_alternative(self):
+        """The paper: 'V1's contention due to a change in database workload
+        got a medium confidence score' — no db-io-increase symptom."""
+        db = default_symptoms_database()
+        symptoms = [
+            S("volume-metric-anomaly:V1"),
+            S("operators-anomalous-volume:V1"),
+        ]
+        match = next(
+            m
+            for m in db.evaluate(symptoms, ["V1"])
+            if m.cause_id == "volume-contention-db-workload"
+        )
+        assert match.confidence is Confidence.MEDIUM
+
+    def test_plan_change_blocks_contention_entries(self):
+        db = default_symptoms_database()
+        symptoms = [
+            S("volume-metric-anomaly:V1"),
+            S("operators-anomalous-volume:V1"),
+            S("new-volume-on-shared-disks:V1"),
+            S("zone-or-lun-change"),
+            S("volume-perf-degraded-event:V1"),
+            S("plan-changed"),
+        ]
+        match = next(
+            m
+            for m in db.evaluate(symptoms, ["V1"])
+            if m.cause_id == "volume-contention-san-misconfig"
+        )
+        assert match.score == 95.0  # loses the ¬plan-changed weight
+
+    def test_default_db_covers_table1_causes(self):
+        ids = {e.cause_id for e in default_symptoms_database().entries}
+        assert {
+            "volume-contention-san-misconfig",
+            "volume-contention-external-workload",
+            "data-property-change",
+            "lock-contention",
+            "plan-regression-index-drop",
+        } <= ids
+
+    def test_all_default_entries_normalised(self):
+        for entry in default_symptoms_database().entries:
+            assert sum(c.weight for c in entry.conditions) == pytest.approx(100.0)
+
+
+class TestProperties:
+    symptom_ids = st.lists(
+        st.sampled_from(
+            [
+                "volume-metric-anomaly:V1",
+                "operators-anomalous-volume:V1",
+                "operators-anomalous",
+                "record-count-anomaly",
+                "lock-wait-anomaly",
+                "db-io-increase",
+                "plan-changed",
+                "zone-or-lun-change",
+            ]
+        ),
+        max_size=8,
+        unique=True,
+    )
+
+    @given(symptom_ids)
+    @settings(max_examples=50, deadline=None)
+    def test_scores_always_in_range(self, sids):
+        db = default_symptoms_database()
+        for match in db.evaluate([S(x) for x in sids], ["V1", "V2"]):
+            assert 0.0 <= match.score <= 100.0
+
+    @given(symptom_ids)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_more_symptoms_never_lower_positive_only_entries(self, sids):
+        """Entries without absence-conditions can only gain score."""
+        db = default_symptoms_database()
+        entry = db.get("volume-contention-db-workload")
+        positive_only = RootCauseEntry(
+            cause_id="pos",
+            description="",
+            conditions=tuple(c for c in entry.conditions if c.present)
+            + (Condition("pad", 10),),
+        ) if sum(c.weight for c in entry.conditions if c.present) == 90 else None
+        if positive_only is None:
+            return
+        base = positive_only.score([S(x) for x in sids], binding="V1")
+        more = positive_only.score(
+            [S(x) for x in sids] + [S("db-io-increase")], binding="V1"
+        )
+        assert more >= base

@@ -1,0 +1,144 @@
+"""Tests for the catalog and the TPC-H schema factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.catalog import (
+    Catalog,
+    CatalogError,
+    Column,
+    Index,
+    Table,
+    Tablespace,
+)
+from repro.db.tpch import TPCH_BASE_ROWS, build_tpch_catalog
+
+
+class TestCatalogBasics:
+    def test_tablespace_required_for_table(self):
+        cat = Catalog()
+        with pytest.raises(CatalogError):
+            cat.add_table(
+                Table(name="t", row_count=1, row_width=10, tablespace="missing")
+            )
+
+    def test_duplicate_table_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_table(
+                Table(name="part", row_count=1, row_width=10, tablespace="ts_main")
+            )
+
+    def test_volume_of_table(self, catalog):
+        assert catalog.volume_of_table("supplier") == "V1"
+        assert catalog.volume_of_table("part") == "V2"
+
+    def test_tables_on_volume(self, catalog):
+        v1_tables = {t.name for t in catalog.tables_on_volume("V1")}
+        assert v1_tables == {"supplier"}
+        v2_tables = {t.name for t in catalog.tables_on_volume("V2")}
+        assert {"part", "partsupp", "nation", "region"} <= v2_tables
+
+    def test_pages_derived_from_rows(self, catalog):
+        partsupp = catalog.table("partsupp")
+        assert partsupp.pages == pytest.approx(
+            partsupp.row_count / (8192 // partsupp.row_width), rel=0.01
+        )
+
+    def test_unknown_table_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("nope")
+
+    def test_unknown_column_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("part").column("nope")
+
+    def test_update_row_count(self, catalog):
+        catalog.update_row_count("part", 123)
+        assert catalog.table("part").row_count == 123
+
+    def test_negative_row_count_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.update_row_count("part", -1)
+
+
+class TestIndexes:
+    def test_default_indexes_present(self, catalog):
+        assert catalog.has_index("pk_supplier")
+        assert catalog.has_index("ix_partsupp_suppkey")
+
+    def test_drop_and_create(self, catalog):
+        dropped = catalog.drop_index("ix_partsupp_suppkey")
+        assert not catalog.has_index("ix_partsupp_suppkey")
+        catalog.create_index(dropped)
+        assert catalog.has_index("ix_partsupp_suppkey")
+
+    def test_drop_unknown_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop_index("nope")
+
+    def test_create_on_unknown_column_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_index(Index(name="bad", table="part", column="ghost"))
+
+    def test_indexes_on_filters_by_column(self, catalog):
+        found = catalog.indexes_on("partsupp", "ps_suppkey")
+        assert [i.name for i in found] == ["ix_partsupp_suppkey"]
+
+    def test_index_height_grows_with_rows(self):
+        idx = Index(name="i", table="t", column="c")
+        assert idx.height(100) <= idx.height(10_000_000)
+
+
+class TestSnapshotsAndClone:
+    def test_snapshot_reflects_drop(self, catalog):
+        before = catalog.snapshot()
+        catalog.drop_index("pk_part")
+        after = catalog.snapshot()
+        assert "pk_part" in before["indexes"]
+        assert "pk_part" not in after["indexes"]
+
+    def test_clone_is_independent(self, catalog):
+        clone = catalog.clone()
+        clone.drop_index("pk_part")
+        clone.update_row_count("part", 1)
+        assert catalog.has_index("pk_part")
+        assert catalog.table("part").row_count != 1
+
+    def test_clone_preserves_layout(self, catalog):
+        clone = catalog.clone()
+        assert clone.volume_of_table("supplier") == "V1"
+
+
+class TestTpchFactory:
+    def test_row_counts_at_sf1(self, catalog):
+        assert catalog.table("supplier").row_count == TPCH_BASE_ROWS["supplier"]
+        assert catalog.table("partsupp").row_count == TPCH_BASE_ROWS["partsupp"]
+
+    def test_region_nation_do_not_scale(self):
+        cat = build_tpch_catalog(scale=3.0)
+        assert cat.table("region").row_count == 5
+        assert cat.table("nation").row_count == 25
+        assert cat.table("part").row_count == 600_000
+
+    def test_big_tables_optional(self):
+        small = build_tpch_catalog()
+        with pytest.raises(CatalogError):
+            small.table("lineitem")
+        big = build_tpch_catalog(include_big_tables=True)
+        assert big.table("lineitem").row_count == TPCH_BASE_ROWS["lineitem"]
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_tpch_catalog(scale=0)
+
+    def test_custom_layout(self):
+        cat = build_tpch_catalog(layout={"ts_supplier": "VX", "ts_main": "VY"})
+        assert cat.volume_of_table("supplier") == "VX"
+        assert cat.volume_of_table("part") == "VY"
+
+    def test_column_validation(self):
+        with pytest.raises(ValueError):
+            Column(name="c", ndv=0)
+        with pytest.raises(ValueError):
+            Column(name="c", null_fraction=1.5)

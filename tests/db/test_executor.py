@@ -1,0 +1,212 @@
+"""Tests for the analytical executor: timings, windows, record counts, loads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.buffer import BufferModel
+from repro.db.executor import Executor
+from repro.db.locks import LockManager
+from repro.db.plans import canonical_q2_plan
+
+FLAT = {"V1": 4.0, "V2": 4.0}
+V1_SLOW = {"V1": 40.0, "V2": 4.0}
+
+
+@pytest.fixture
+def executor(catalog):
+    return Executor(catalog, noise_sigma=0.0)  # deterministic for unit tests
+
+
+def run_once(executor, plan, latencies, **kw):
+    return executor.execute(
+        plan, 100.0, latencies, rng=np.random.default_rng(0), **kw
+    )
+
+
+class TestBasics:
+    def test_all_operators_timed(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        assert set(run.operators) == {f"O{i}" for i in range(1, 26)}
+
+    def test_duration_is_root_inclusive(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        assert run.duration == pytest.approx(run.operators["O1"].inclusive_time)
+        assert run.end_time == pytest.approx(run.start_time + run.duration)
+
+    def test_inclusive_equals_self_plus_children(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        for op in q2_plan.walk():
+            rt = run.operators[op.op_id]
+            children = sum(run.operators[c.op_id].inclusive_time for c in op.children)
+            assert rt.inclusive_time == pytest.approx(rt.self_time + children)
+
+    def test_windows_nest(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        for op in q2_plan.walk():
+            parent = run.operators[op.op_id]
+            for child in op.children:
+                c = run.operators[child.op_id]
+                assert parent.start <= c.start and c.stop <= parent.stop + 1e-9
+
+    def test_sibling_windows_sequential(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        o3 = q2_plan.find("O3")
+        first, second = o3.children
+        assert run.operators[first.op_id].stop <= run.operators[second.op_id].start + 1e-9
+
+    def test_leaves_carry_volume(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        assert run.operators["O8"].volume_id == "V1"
+        assert run.operators["O4"].volume_id == "V2"
+        assert run.operators["O3"].volume_id is None
+
+
+class TestLatencySensitivity:
+    def test_v1_latency_slows_v1_leaves_only(self, executor, q2_plan):
+        base = run_once(executor, q2_plan, FLAT)
+        slow = run_once(executor, q2_plan, V1_SLOW)
+        assert slow.operators["O22"].io_time > 5 * base.operators["O22"].io_time
+        assert slow.operators["O4"].io_time == pytest.approx(
+            base.operators["O4"].io_time, rel=0.01
+        )
+
+    def test_propagation_to_ancestors(self, executor, q2_plan):
+        base = run_once(executor, q2_plan, FLAT)
+        slow = run_once(executor, q2_plan, V1_SLOW)
+        for ancestor in ["O21", "O20", "O18", "O17", "O3", "O2", "O1"]:
+            assert (
+                slow.operators[ancestor].inclusive_time
+                > base.operators[ancestor].inclusive_time
+            )
+
+    def test_self_time_of_interior_unchanged(self, executor, q2_plan):
+        base = run_once(executor, q2_plan, FLAT)
+        slow = run_once(executor, q2_plan, V1_SLOW)
+        assert slow.operators["O21"].self_time == pytest.approx(
+            base.operators["O21"].self_time, rel=0.05
+        )
+
+
+class TestDataMultipliers:
+    def test_record_counts_scale(self, executor, q2_plan):
+        base = run_once(executor, q2_plan, FLAT)
+        grown = run_once(
+            executor, q2_plan, FLAT, data_multipliers={"partsupp": 1.5}
+        )
+        assert grown.operators["O4"].actual_rows == pytest.approx(
+            1.5 * base.operators["O4"].actual_rows
+        )
+        # supplier leaf unaffected
+        assert grown.operators["O22"].actual_rows == pytest.approx(
+            base.operators["O22"].actual_rows
+        )
+
+    def test_multiplier_propagates_to_ancestors(self, executor, q2_plan):
+        grown = run_once(executor, q2_plan, FLAT, data_multipliers={"partsupp": 2.0})
+        base = run_once(executor, q2_plan, FLAT)
+        assert grown.operators["O18"].actual_rows > base.operators["O18"].actual_rows
+
+    def test_more_data_more_io(self, executor, q2_plan):
+        base = run_once(executor, q2_plan, FLAT)
+        grown = run_once(executor, q2_plan, FLAT, data_multipliers={"partsupp": 1.5})
+        assert grown.operators["O4"].physical_reads > base.operators["O4"].physical_reads
+
+
+class TestLocks:
+    def test_lock_wait_added_to_table_leaves(self, catalog, q2_plan):
+        locks = LockManager()
+        locks.add_contention("supplier", 0.0, 1e9, mean_wait_ms=2000.0)
+        executor = Executor(catalog, locks=locks, noise_sigma=0.0)
+        run = run_once(executor, q2_plan, FLAT)
+        assert run.operators["O22"].lock_wait > 0
+        assert run.operators["O4"].lock_wait == 0.0
+        assert run.db_metrics["lockWaitTime"] > 0
+
+    def test_no_wait_outside_window(self, catalog, q2_plan):
+        locks = LockManager()
+        locks.add_contention("supplier", 1e6, 2e6, mean_wait_ms=2000.0)
+        executor = Executor(catalog, locks=locks, noise_sigma=0.0)
+        run = run_once(executor, q2_plan, FLAT)  # at t=100
+        assert run.operators["O22"].lock_wait == 0.0
+
+
+class TestDbMetrics:
+    def test_metric_families_present(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        for key in (
+            "blocksRead", "bufferHits", "seqScans", "indexScans",
+            "locksHeld", "lockWaitTime", "cpuTime", "planRunningTime",
+        ):
+            assert key in run.db_metrics
+
+    def test_scan_counts(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        # nation x2, region x2, partsupp x2 sequential; supplier x2 + part via index
+        assert run.db_metrics["seqScans"] == 6.0
+        assert run.db_metrics["indexScans"] == 3.0
+
+    def test_blocks_plus_hits_equals_logical(self, executor, q2_plan):
+        run = run_once(executor, q2_plan, FLAT)
+        logical = sum(rt.logical_reads for rt in run.operators.values())
+        assert run.db_metrics["blocksRead"] + run.db_metrics["bufferHits"] == pytest.approx(
+            logical
+        )
+
+
+class TestVolumeLoadEstimate:
+    def test_volumes_covered(self, executor, q2_plan):
+        loads = executor.estimate_volume_load(q2_plan, duration_s=10.0)
+        assert set(loads) == {"V1", "V2"}
+
+    def test_iops_scale_inverse_with_duration(self, executor, q2_plan):
+        fast = executor.estimate_volume_load(q2_plan, duration_s=10.0)
+        slow = executor.estimate_volume_load(q2_plan, duration_s=100.0)
+        assert fast["V2"]["read_iops"] == pytest.approx(10 * slow["V2"]["read_iops"])
+
+    def test_v2_dominated_by_sequential(self, executor, q2_plan):
+        loads = executor.estimate_volume_load(q2_plan, duration_s=10.0)
+        assert loads["V2"]["sequential_fraction"] > 0.5
+
+    def test_multipliers_increase_load(self, executor, q2_plan):
+        base = executor.estimate_volume_load(q2_plan, 10.0)
+        grown = executor.estimate_volume_load(
+            q2_plan, 10.0, data_multipliers={"partsupp": 2.0}
+        )
+        assert grown["V2"]["read_iops"] > base["V2"]["read_iops"]
+
+
+class TestNoise:
+    def test_noise_perturbs_times(self, catalog, q2_plan):
+        noisy = Executor(catalog, noise_sigma=0.05)
+        a = noisy.execute(q2_plan, 0.0, FLAT, rng=np.random.default_rng(1))
+        b = noisy.execute(q2_plan, 0.0, FLAT, rng=np.random.default_rng(2))
+        assert a.duration != b.duration
+
+    def test_seeded_noise_reproducible(self, catalog, q2_plan):
+        noisy = Executor(catalog, noise_sigma=0.05)
+        a = noisy.execute(q2_plan, 0.0, FLAT, rng=np.random.default_rng(3))
+        b = noisy.execute(q2_plan, 0.0, FLAT, rng=np.random.default_rng(3))
+        assert a.duration == b.duration
+
+
+class TestBufferModel:
+    def test_small_table_fully_cached(self, catalog):
+        buffer = BufferModel(cache_mb=96.0)
+        assert buffer.hit_ratio(catalog.table("nation")) == buffer.max_hit
+
+    def test_large_table_partial(self, catalog):
+        buffer = BufferModel(cache_mb=96.0)
+        ratio = buffer.hit_ratio(catalog.table("partsupp"))
+        assert buffer.min_hit <= ratio < buffer.max_hit
+
+    def test_hot_access_boosts(self, catalog):
+        buffer = BufferModel(cache_mb=16.0)
+        table = catalog.table("partsupp")
+        assert buffer.hit_ratio(table, hot=True) >= buffer.hit_ratio(table, hot=False)
+
+    def test_physical_reads_validation(self, catalog):
+        buffer = BufferModel()
+        with pytest.raises(ValueError):
+            buffer.physical_reads(catalog.table("nation"), -1.0)

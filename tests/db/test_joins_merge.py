@@ -1,0 +1,50 @@
+"""Tests for join-method enumeration including the sort-merge path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.optimizer import DbConfig, Optimizer
+from repro.db.plans import OpType
+from repro.db.query import simple_report_query, tpch_q2_spec
+
+
+class TestMergeJoin:
+    def test_merge_join_chosen_when_alternatives_disabled(self, catalog):
+        clone = catalog.clone()
+        clone.drop_index("ix_partsupp_suppkey")
+        config = DbConfig(enable_hashjoin=False, enable_nestloop=False)
+        plan = Optimizer(clone, config).plan(simple_report_query())
+        assert any(op.op_type is OpType.MERGE_JOIN for op in plan.walk())
+
+    def test_merge_join_inputs_sorted(self, catalog):
+        config = DbConfig(enable_hashjoin=False, enable_nestloop=False)
+        plan = Optimizer(catalog, config).plan(simple_report_query())
+        merge = next(op for op in plan.walk() if op.op_type is OpType.MERGE_JOIN)
+        assert all(child.op_type is OpType.SORT for child in merge.children)
+
+    def test_hash_preferred_when_enabled(self, catalog):
+        clone = catalog.clone()
+        clone.drop_index("ix_partsupp_suppkey")
+        plan = Optimizer(clone).plan(simple_report_query())
+        # with everything enabled the hash join should win on this shape
+        assert any(op.op_type is OpType.HASH_JOIN for op in plan.walk())
+        assert not any(op.op_type is OpType.MERGE_JOIN for op in plan.walk())
+
+    def test_q2_valid_without_hash_or_nestloop(self, catalog):
+        config = DbConfig(enable_hashjoin=False, enable_nestloop=False)
+        plan = Optimizer(catalog, config).plan(tpch_q2_spec())
+        scans = sorted(op.table for op in plan.walk() if op.op_type.is_scan)
+        assert scans == ["nation", "part", "partsupp", "region", "supplier"]
+
+    def test_disabling_methods_changes_cost_upward(self, catalog):
+        spec = simple_report_query()
+        free = Optimizer(catalog).plan(spec)
+        restricted = Optimizer(
+            catalog, DbConfig(enable_hashjoin=False, enable_nestloop=False)
+        ).plan(spec)
+
+        def total_cost(plan):
+            return max(op.est_cost for op in plan.walk())
+
+        assert total_cost(restricted) >= total_cost(free)

@@ -1,0 +1,201 @@
+"""Tests for the cost-based optimizer: paths, joins, plan flips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.optimizer import CostModel, DbConfig, Optimizer, best_access_path, candidate_paths
+from repro.db.plans import OpType
+from repro.db.query import JoinEdge, Predicate, QuerySpec, simple_report_query, tpch_q2_spec
+from repro.db.tpch import build_tpch_catalog
+
+
+@pytest.fixture
+def model(catalog):
+    return CostModel(catalog=catalog)
+
+
+class TestCostModel:
+    def test_seq_scan_cost_scales_with_pages(self, model, catalog):
+        small = model.seq_scan(catalog.table("nation"))
+        big = model.seq_scan(catalog.table("partsupp"))
+        assert big.cost > 100 * small.cost
+
+    def test_index_scan_cheap_for_selective(self, model, catalog):
+        table = catalog.table("part")
+        index = catalog.index("pk_part")
+        selective = model.index_scan(table, index, 1e-5)
+        full = model.seq_scan(table)
+        assert selective.cost < full.cost
+
+    def test_index_scan_expensive_for_unselective(self, model, catalog):
+        table = catalog.table("part")
+        index = catalog.index("pk_part")
+        unselective = model.index_scan(table, index, 0.9)
+        full = model.seq_scan(table)
+        assert unselective.cost > full.cost
+
+    def test_random_page_cost_raises_index_cost(self, catalog):
+        cheap = CostModel(catalog, DbConfig(random_page_cost=1.0))
+        pricey = CostModel(catalog, DbConfig(random_page_cost=40.0))
+        table = catalog.table("partsupp")
+        index = catalog.index("ix_partsupp_suppkey")
+        assert (
+            pricey.index_scan(table, index, 0.001).cost
+            > cheap.index_scan(table, index, 0.001).cost
+        )
+
+    def test_hash_join_spills_over_work_mem(self, catalog):
+        small_mem = CostModel(catalog, DbConfig(work_mem_kb=64))
+        big_mem = CostModel(catalog, DbConfig(work_mem_kb=1 << 20))
+        from repro.db.optimizer.cost import AccessEstimate
+
+        outer = AccessEstimate(cost=100.0, rows=10_000)
+        inner = AccessEstimate(cost=100.0, rows=50_000)
+        assert (
+            small_mem.hash_join(outer, inner, 1000).cost
+            > big_mem.hash_join(outer, inner, 1000).cost
+        )
+
+    def test_join_cardinality_system_r(self, model):
+        assert model.join_cardinality(1000, 1000, 100, 10) == pytest.approx(10_000)
+
+    def test_config_immutable_update(self):
+        base = DbConfig()
+        changed = base.with_changes(random_page_cost=10.0)
+        assert base.random_page_cost == 4.0
+        assert changed.random_page_cost == 10.0
+
+
+class TestAccessPaths:
+    def test_seq_scan_always_candidate(self, model):
+        query = simple_report_query()
+        paths = candidate_paths(model, query, "supplier")
+        assert any(p.op_type is OpType.SEQ_SCAN for p in paths)
+
+    def test_index_candidate_requires_predicate(self, model):
+        query = simple_report_query()
+        # partsupp has indexes but no filter predicate in this query
+        paths = candidate_paths(model, query, "partsupp")
+        assert all(p.op_type is OpType.SEQ_SCAN for p in paths)
+
+    def test_index_scan_disabled_by_config(self, catalog):
+        query = QuerySpec(
+            name="q",
+            tables=["part"],
+            predicates=[Predicate("part", "p_size", 1.0 / 50.0)],
+        )
+        on = CostModel(catalog, DbConfig(enable_indexscan=True))
+        off = CostModel(catalog, DbConfig(enable_indexscan=False))
+        assert any(
+            p.op_type is OpType.INDEX_SCAN for p in candidate_paths(on, query, "part")
+        )
+        assert all(
+            p.op_type is OpType.SEQ_SCAN for p in candidate_paths(off, query, "part")
+        )
+
+    def test_best_path_selective_picks_index(self, catalog):
+        query = QuerySpec(
+            name="q",
+            tables=["part"],
+            predicates=[Predicate("part", "p_size", 1.0 / 50.0)],
+        )
+        best = best_access_path(CostModel(catalog), query, "part")
+        assert best.op_type is OpType.INDEX_SCAN
+        assert best.index.name == "ix_part_size"
+
+
+class TestOptimizerPlans:
+    def test_q2_plan_covers_all_tables(self, catalog):
+        plan = Optimizer(catalog).plan(tpch_q2_spec())
+        assert plan.tables_used() == {"part", "partsupp", "supplier", "nation", "region"}
+
+    def test_each_table_scanned_exactly_once(self, catalog):
+        plan = Optimizer(catalog).plan(tpch_q2_spec())
+        scans = [op.table for op in plan.walk() if op.op_type.is_scan]
+        assert sorted(scans) == sorted(set(scans))
+
+    def test_shaping_operators(self, catalog):
+        plan = Optimizer(catalog).plan(tpch_q2_spec())
+        assert plan.op_type is OpType.LIMIT
+        assert plan.children[0].op_type is OpType.SORT
+
+    def test_preorder_ids(self, catalog):
+        plan = Optimizer(catalog).plan(tpch_q2_spec())
+        ids = [op.op_id for op in plan.walk()]
+        assert ids == [f"O{i}" for i in range(1, len(ids) + 1)]
+
+    def test_deterministic(self, catalog):
+        a = Optimizer(catalog).plan(tpch_q2_spec())
+        b = Optimizer(catalog).plan(tpch_q2_spec())
+        assert a.signature() == b.signature()
+
+    def test_baseline_uses_index_nestloop(self, catalog):
+        plan = Optimizer(catalog).plan(simple_report_query())
+        assert any(
+            op.op_type is OpType.INDEX_SCAN and op.table == "partsupp"
+            for op in plan.walk()
+        )
+
+    def test_index_drop_flips_plan(self, catalog):
+        before = Optimizer(catalog).plan(simple_report_query())
+        clone = catalog.clone()
+        clone.drop_index("ix_partsupp_suppkey")
+        after = Optimizer(clone).plan(simple_report_query())
+        assert before.signature() != after.signature()
+        assert any(
+            op.op_type is OpType.SEQ_SCAN and op.table == "partsupp"
+            for op in after.walk()
+        )
+
+    def test_random_page_cost_flips_plan(self, catalog):
+        before = Optimizer(catalog).plan(simple_report_query())
+        after = Optimizer(catalog, DbConfig(random_page_cost=40.0)).plan(
+            simple_report_query()
+        )
+        assert before.signature() != after.signature()
+
+    def test_stats_change_can_flip_plan(self, catalog):
+        """Shrinking supplier's filter NDV makes the outer huge → hash join."""
+        before = Optimizer(catalog).plan(simple_report_query())
+        clone = catalog.clone()
+        clone.update_row_count("supplier", 2_000_000)
+        after = Optimizer(clone).plan(simple_report_query())
+        # more suppliers → more probes → nested loop loses
+        assert before.signature() != after.signature()
+
+    def test_replan_helper(self, catalog):
+        opt = Optimizer(catalog)
+        alt = opt.replan(simple_report_query(), config=DbConfig(random_page_cost=40.0))
+        assert alt.signature() != opt.plan(simple_report_query()).signature()
+
+    def test_single_table_query(self, catalog):
+        query = QuerySpec(
+            name="single",
+            tables=["part"],
+            predicates=[Predicate("part", "p_size", 1.0 / 50.0)],
+        )
+        plan = Optimizer(catalog).plan(query)
+        assert plan.op_type.is_scan
+
+    def test_cross_join_fallback(self, catalog):
+        query = QuerySpec(name="cross", tables=["region", "nation"])
+        plan = Optimizer(catalog).plan(query)
+        assert plan.tables_used() == {"region", "nation"}
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=0.5, max_value=64.0),
+        st.integers(min_value=1024, max_value=1 << 20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_plans_always_valid(self, random_page_cost, work_mem_kb):
+        catalog = build_tpch_catalog()
+        config = DbConfig(random_page_cost=random_page_cost, work_mem_kb=work_mem_kb)
+        plan = Optimizer(catalog, config).plan(tpch_q2_spec())
+        scans = [op.table for op in plan.walk() if op.op_type.is_scan]
+        assert sorted(scans) == ["nation", "part", "partsupp", "region", "supplier"]
+        assert all(op.est_rows >= 1.0 or not op.is_leaf for op in plan.walk())

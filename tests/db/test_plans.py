@@ -1,0 +1,141 @@
+"""Tests for plan trees, diffing, and the canonical Figure-1 Q2 plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.plans import (
+    OpType,
+    PlanOperator,
+    canonical_q2_plan,
+    diff_plans,
+    render_plan,
+)
+
+
+def tiny_plan() -> PlanOperator:
+    scan = PlanOperator(op_id="O2", op_type=OpType.SEQ_SCAN, table="t", est_rows=10)
+    return PlanOperator(op_id="O1", op_type=OpType.SORT, children=[scan], est_rows=10)
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        ids = [op.op_id for op in tiny_plan().walk()]
+        assert ids == ["O1", "O2"]
+
+    def test_leaves(self):
+        assert [op.op_id for op in tiny_plan().leaves()] == ["O2"]
+
+    def test_find(self):
+        assert tiny_plan().find("O2").table == "t"
+        with pytest.raises(KeyError):
+            tiny_plan().find("O9")
+
+    def test_parent_map(self):
+        parents = tiny_plan().parent_map()
+        assert parents == {"O1": None, "O2": "O1"}
+
+    def test_ancestors(self):
+        plan = canonical_q2_plan()
+        assert plan.ancestors_of("O8") == ["O7", "O6", "O3", "O2", "O1"]
+        with pytest.raises(KeyError):
+            plan.ancestors_of("O99")
+
+    def test_subtree_ids(self):
+        plan = canonical_q2_plan()
+        sub = plan.subtree_ids("O17")
+        assert "O22" in sub and "O8" not in sub
+
+    def test_clone_deep(self):
+        plan = tiny_plan()
+        other = plan.clone()
+        other.children[0].table = "changed"
+        assert plan.children[0].table == "t"
+
+
+class TestSignatures:
+    def test_signature_ignores_estimates(self):
+        a, b = tiny_plan(), tiny_plan()
+        b.est_rows = 999
+        assert a.signature() == b.signature()
+
+    def test_signature_sees_structure(self):
+        a = tiny_plan()
+        b = tiny_plan()
+        b.children[0].op_type = OpType.INDEX_SCAN
+        assert a.signature() != b.signature()
+
+    def test_diff_same(self):
+        diff = diff_plans(tiny_plan(), tiny_plan())
+        assert diff.same
+        assert diff.describe() == "plans identical"
+
+    def test_diff_scan_change(self):
+        a, b = tiny_plan(), tiny_plan()
+        b.children[0].op_type = OpType.INDEX_SCAN
+        diff = diff_plans(a, b)
+        assert not diff.same
+        assert any("t" in s for s in diff.changed_scans)
+
+
+class TestCanonicalQ2:
+    """Every structural constraint the paper states about Figure 1."""
+
+    def test_25_operators_9_leaves(self, q2_plan):
+        assert q2_plan.size == 25
+        assert len(q2_plan.leaves()) == 9
+
+    def test_supplier_leaves_are_o8_o22(self, q2_plan):
+        supplier_leaves = {
+            op.op_id for op in q2_plan.leaves() if op.table == "supplier"
+        }
+        assert supplier_leaves == {"O8", "O22"}
+
+    def test_seven_leaves_on_v2_tables(self, q2_plan):
+        v2_tables = {"part", "partsupp", "nation", "region"}
+        v2_leaves = [op for op in q2_plan.leaves() if op.table in v2_tables]
+        assert len(v2_leaves) == 7
+
+    def test_o4_is_partsupp_leaf(self, q2_plan):
+        o4 = q2_plan.find("O4")
+        assert o4.is_leaf and o4.table == "partsupp"
+
+    def test_o23_is_part_index_scan(self, q2_plan):
+        o23 = q2_plan.find("O23")
+        assert o23.op_type is OpType.INDEX_SCAN
+        assert o23.table == "part"
+
+    def test_o22_ancestor_chain(self, q2_plan):
+        assert q2_plan.ancestors_of("O22") == ["O21", "O20", "O18", "O17", "O3", "O2", "O1"]
+
+    def test_all_ids_unique_and_complete(self, q2_plan):
+        ids = [op.op_id for op in q2_plan.walk()]
+        assert sorted(ids) == sorted(f"O{i}" for i in range(1, 26))
+
+    def test_tables_used(self, q2_plan):
+        assert q2_plan.tables_used() == {
+            "part", "partsupp", "supplier", "nation", "region"
+        }
+
+    def test_row_scale(self):
+        scaled = canonical_q2_plan(row_scale=2.0)
+        base = canonical_q2_plan()
+        assert scaled.find("O4").est_rows == 2 * base.find("O4").est_rows
+
+    def test_leaf_ids_on_tables(self, q2_plan):
+        assert q2_plan.leaf_ids_on_tables({"supplier"}) == {"O8", "O22"}
+
+
+class TestRender:
+    def test_render_contains_all_ids(self, q2_plan):
+        text = render_plan(q2_plan)
+        for i in range(1, 26):
+            assert f"O{i} " in text
+
+    def test_render_annotations(self, q2_plan):
+        text = render_plan(q2_plan, annotate=lambda op: "LEAF" if op.is_leaf else "")
+        assert text.count("[LEAF]") == 9
+
+    def test_render_tree_structure(self):
+        text = render_plan(tiny_plan())
+        assert "└─" in text

@@ -1,0 +1,89 @@
+"""Tests for query specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.query import (
+    JoinEdge,
+    Predicate,
+    QuerySpec,
+    simple_report_query,
+    tpch_q2_spec,
+)
+
+
+class TestPredicate:
+    def test_selectivity_bounds(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "c", 0.0)
+        with pytest.raises(ValueError):
+            Predicate("t", "c", 1.5)
+        assert Predicate("t", "c", 1.0).selectivity == 1.0
+
+
+class TestJoinEdge:
+    def test_touches_and_other(self):
+        edge = JoinEdge("a", "x", "b", "y")
+        assert edge.touches("a") and edge.touches("b") and not edge.touches("c")
+        assert edge.other("a") == "b"
+        assert edge.column_for("b") == "y"
+
+    def test_unrelated_table_raises(self):
+        edge = JoinEdge("a", "x", "b", "y")
+        with pytest.raises(ValueError):
+            edge.other("c")
+        with pytest.raises(ValueError):
+            edge.column_for("c")
+
+
+class TestQuerySpec:
+    def test_requires_tables(self):
+        with pytest.raises(ValueError):
+            QuerySpec(name="q", tables=[])
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(ValueError):
+            QuerySpec(name="q", tables=["a", "a"])
+
+    def test_rejects_dangling_predicate(self):
+        with pytest.raises(ValueError):
+            QuerySpec(
+                name="q", tables=["a"], predicates=[Predicate("ghost", "c", 0.5)]
+            )
+
+    def test_rejects_dangling_join(self):
+        with pytest.raises(ValueError):
+            QuerySpec(
+                name="q",
+                tables=["a"],
+                joins=[JoinEdge("a", "x", "ghost", "y")],
+            )
+
+    def test_combined_selectivity_multiplies(self):
+        spec = QuerySpec(
+            name="q",
+            tables=["a"],
+            predicates=[Predicate("a", "c1", 0.5), Predicate("a", "c2", 0.1)],
+        )
+        assert spec.selectivity_of("a") == pytest.approx(0.05)
+        assert spec.selectivity_of("other") == 1.0
+
+    def test_join_edges_between(self):
+        spec = tpch_q2_spec()
+        edges = spec.join_edges_between({"supplier"}, {"nation"})
+        assert len(edges) == 1
+        assert edges[0].column_for("nation") == "n_nationkey"
+        assert spec.join_edges_between({"part"}, {"region"}) == []
+
+
+class TestCannedSpecs:
+    def test_q2_spec_shape(self):
+        spec = tpch_q2_spec()
+        assert set(spec.tables) == {"part", "partsupp", "supplier", "nation", "region"}
+        assert spec.limit == 100 and spec.order_by
+
+    def test_report_query_shape(self):
+        spec = simple_report_query()
+        assert set(spec.tables) == {"supplier", "partsupp"}
+        assert spec.selectivity_of("supplier") < 0.05

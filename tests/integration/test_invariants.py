@@ -1,0 +1,157 @@
+"""Cross-cutting invariants, property-tested over randomised configurations.
+
+These guard the contracts the diagnosis pipeline relies on, independent of
+any particular scenario: executor accounting identities, environment
+determinism, impact-score bounds, config-diff round trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modules.impact import self_times
+from repro.core.workflow import Diads
+from repro.db.executor import Executor
+from repro.db.plans import canonical_q2_plan
+from repro.db.tpch import build_tpch_catalog
+from repro.monitor.configstore import ConfigStore, flatten
+
+
+class TestExecutorAccounting:
+    @given(
+        v1=st.floats(min_value=0.5, max_value=80.0),
+        v2=st.floats(min_value=0.5, max_value=80.0),
+        mult=st.floats(min_value=0.5, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_self_times_partition_duration(self, v1, v2, mult, seed):
+        """Σ self times == root inclusive time, for any latencies/data."""
+        catalog = build_tpch_catalog()
+        executor = Executor(catalog, noise_sigma=0.03)
+        plan = canonical_q2_plan()
+        run = executor.execute(
+            plan,
+            0.0,
+            {"V1": v1, "V2": v2},
+            data_multipliers={"partsupp": mult},
+            rng=np.random.default_rng(seed),
+        )
+        selves = self_times(plan, run)
+        assert sum(selves.values()) == pytest.approx(run.duration, rel=1e-9)
+        assert all(v >= 0.0 for v in selves.values())
+
+    @given(
+        v1=st.floats(min_value=0.5, max_value=80.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_higher_latency_never_speeds_up(self, v1, seed):
+        catalog = build_tpch_catalog()
+        executor = Executor(catalog, noise_sigma=0.0)
+        plan = canonical_q2_plan()
+        rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+        base = executor.execute(plan, 0.0, {"V1": v1, "V2": 4.0}, rng=rng_a)
+        slower = executor.execute(plan, 0.0, {"V1": v1 * 2, "V2": 4.0}, rng=rng_b)
+        assert slower.duration >= base.duration - 1e-9
+
+    @given(mult=st.floats(min_value=1.0, max_value=4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_record_counts_monotone_in_data(self, mult):
+        catalog = build_tpch_catalog()
+        executor = Executor(catalog, noise_sigma=0.0)
+        plan = canonical_q2_plan()
+        base = executor.execute(
+            plan, 0.0, {"V1": 4.0, "V2": 4.0}, rng=np.random.default_rng(0)
+        )
+        grown = executor.execute(
+            plan,
+            0.0,
+            {"V1": 4.0, "V2": 4.0},
+            data_multipliers={"partsupp": mult},
+            rng=np.random.default_rng(0),
+        )
+        for op_id, count in grown.record_counts().items():
+            assert count >= base.record_counts()[op_id] - 1e-9
+
+
+class TestImpactBounds:
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["scenario1", "scenario2", "scenario3", "scenario4", "scenario5"],
+    )
+    def test_impacts_within_bounds_all_scenarios(self, fixture_name, request):
+        bundle = request.getfixturevalue(fixture_name)
+        report = Diads.from_bundle(bundle).diagnose(bundle.query_name)
+        ia = report.module_result("IA")
+        assert ia.extra_plan_time > 0
+        for score in ia.impacts:
+            assert 0.0 <= score.impact_pct <= 100.0
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["scenario1", "scenario2", "scenario3", "scenario4", "scenario5"],
+    )
+    def test_exactly_ground_truth_is_top(self, fixture_name, request):
+        bundle = request.getfixturevalue(fixture_name)
+        report = Diads.from_bundle(bundle).diagnose(bundle.query_name)
+        assert report.top_cause.match.cause_id in bundle.info.ground_truth
+
+
+class TestConfigFlattenProperties:
+    nested = st.recursive(
+        st.one_of(st.integers(), st.booleans(), st.text(max_size=6)),
+        lambda children: st.dictionaries(
+            st.text(min_size=1, max_size=5).filter(lambda s: "." not in s),
+            children,
+            max_size=4,
+        ),
+        max_leaves=12,
+    )
+
+    @given(nested)
+    @settings(max_examples=50, deadline=None)
+    def test_flatten_leaves_are_scalars(self, value):
+        flat = flatten(value)
+        for leaf in flat.values():
+            assert not isinstance(leaf, (dict, list, tuple))
+
+    @given(nested, nested)
+    @settings(max_examples=50, deadline=None)
+    def test_diff_empty_iff_equal_flat(self, a, b):
+        store = ConfigStore()
+        store.take_snapshot(0.0, "s", a if isinstance(a, dict) else {"v": a})
+        store.take_snapshot(10.0, "s", b if isinstance(b, dict) else {"v": b})
+        changes = store.diff("s", 0.0, 10.0)
+        flat_a = flatten(a if isinstance(a, dict) else {"v": a})
+        flat_b = flatten(b if isinstance(b, dict) else {"v": b})
+        assert (not changes) == (flat_a == flat_b)
+
+    @given(nested)
+    @settings(max_examples=30, deadline=None)
+    def test_self_diff_empty(self, value):
+        store = ConfigStore()
+        snapshot = value if isinstance(value, dict) else {"v": value}
+        store.take_snapshot(0.0, "s", snapshot)
+        store.take_snapshot(5.0, "s", snapshot)
+        assert store.diff("s", 0.0, 5.0) == []
+
+
+class TestEnvironmentDeterminism:
+    def test_same_seed_same_diagnosis(self):
+        from repro.lab.scenarios import scenario_san_misconfiguration
+
+        reports = []
+        for _ in range(2):
+            bundle = scenario_san_misconfiguration(hours=6.0, seed=55).run()
+            report = Diads.from_bundle(bundle).diagnose(bundle.query_name)
+            reports.append(report)
+        a, b = reports
+        assert a.top_cause.match.display_id == b.top_cause.match.display_id
+        assert a.top_cause.impact_pct == pytest.approx(b.top_cause.impact_pct)
+        co_a = a.module_result("CO").scores
+        co_b = b.module_result("CO").scores
+        assert co_a == co_b

@@ -1,0 +1,157 @@
+"""Tests for the environment orchestration and fault injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.plans import canonical_q2_plan
+from repro.db.tpch import build_tpch_catalog
+from repro.lab.environment import Environment
+from repro.lab.faults import FaultInjector
+from repro.lab.workloads import QueryJob
+from repro.san.builder import build_testbed
+
+
+def small_env(seed=1, **kw) -> Environment:
+    env = Environment(
+        testbed=build_testbed(),
+        catalog=build_tpch_catalog(),
+        seed=seed,
+        **kw,
+    )
+    env.add_job(
+        QueryJob(
+            name="q2-report",
+            period_s=1800.0,
+            first_run_s=600.0,
+            pinned_plan=canonical_q2_plan(),
+        )
+    )
+    return env
+
+
+HOURS_2 = 2 * 3600.0
+
+
+class TestRunLoop:
+    def test_runs_recorded_on_schedule(self):
+        env = small_env()
+        bundle = env.run(HOURS_2)
+        runs = bundle.stores.runs.runs("q2-report")
+        assert len(runs) == 4  # 600, 2400, 4200, 6000
+        assert [r.start_time for r in runs] == [600.0, 2400.0, 4200.0, 6000.0]
+
+    def test_metrics_collected_every_tick(self):
+        env = small_env()
+        bundle = env.run(HOURS_2)
+        series = bundle.stores.metrics.series("V1", "readTime")
+        assert len(series) == pytest.approx(HOURS_2 / 300.0, abs=2)
+
+    def test_config_snapshot_taken_at_start(self):
+        env = small_env()
+        bundle = env.run(HOURS_2)
+        assert bundle.stores.config.snapshot_at("db_catalog", 1.0) is not None
+        assert bundle.stores.config.snapshot_at("san", 1.0) is not None
+
+    def test_deterministic_given_seed(self):
+        a = small_env(seed=5).run(HOURS_2)
+        b = small_env(seed=5).run(HOURS_2)
+        da = [r.duration for r in a.stores.runs.runs("q2-report")]
+        db = [r.duration for r in b.stores.runs.runs("q2-report")]
+        assert da == db
+
+    def test_seed_changes_outcomes(self):
+        a = small_env(seed=5).run(HOURS_2)
+        b = small_env(seed=6).run(HOURS_2)
+        da = [r.duration for r in a.stores.runs.runs("q2-report")]
+        db = [r.duration for r in b.stores.runs.runs("q2-report")]
+        assert da != db
+
+    def test_bundle_exposes_query_specs(self):
+        bundle = small_env().run(HOURS_2)
+        assert bundle.query_names == ["q2-report"]
+        assert bundle.query_specs["q2-report"] is None  # pinned plan job
+
+    def test_server_metrics_present(self):
+        bundle = small_env().run(HOURS_2)
+        assert ("srv-db", "cpuUsagePct") in bundle.stores.metrics.keys()
+
+
+class TestFaults:
+    def test_san_misconfiguration_mutates_topology_and_logs(self):
+        env = small_env()
+        FaultInjector(env).san_misconfiguration(at=1800.0)
+        bundle = env.run(HOURS_2)
+        assert "Vprime" in bundle.topology
+        kinds = {e.kind for e in bundle.stores.events.events}
+        assert {"volume_created", "zone_changed", "lun_mapped"} <= kinds
+        # config snapshot refreshed after the change
+        assert bundle.stores.config.diff("san", 0.0, 1900.0)
+
+    def test_misconfiguration_slows_query(self):
+        env = small_env()
+        FaultInjector(env).san_misconfiguration(at=3600.0)
+        bundle = env.run(HOURS_2)
+        runs = bundle.stores.runs.runs("q2-report")
+        before = [r.duration for r in runs if r.start_time < 3600.0]
+        after = [r.duration for r in runs if r.start_time > 3600.0]
+        assert min(after) > 1.5 * max(before)
+
+    def test_degradation_trigger_event_emitted(self):
+        env = small_env()
+        FaultInjector(env).san_misconfiguration(at=1800.0)
+        bundle = env.run(HOURS_2)
+        assert bundle.stores.events.of_kind("volume_perf_degraded")
+
+    def test_data_property_change(self):
+        env = small_env()
+        FaultInjector(env).data_property_change(at=3600.0, table="partsupp", multiplier=1.5)
+        bundle = env.run(HOURS_2)
+        runs = bundle.stores.runs.runs("q2-report")
+        before = [r for r in runs if r.start_time < 3600.0][-1]
+        after = [r for r in runs if r.start_time > 3600.0][-1]
+        assert after.record_counts()["O4"] == pytest.approx(
+            1.5 * before.record_counts()["O4"], rel=0.01
+        )
+        assert bundle.stores.events.of_kind("dml_batch")
+
+    def test_data_change_with_stats_update_changes_catalog(self):
+        env = small_env()
+        FaultInjector(env).data_property_change(
+            at=1800.0, table="partsupp", multiplier=2.0, update_stats=True
+        )
+        bundle = env.run(HOURS_2)
+        assert bundle.catalog.table("partsupp").row_count == 1_600_000
+        assert bundle.stores.events.of_kind("stats_updated")
+
+    def test_lock_contention_adds_wait(self):
+        env = small_env()
+        FaultInjector(env).lock_contention(
+            at=3600.0, table="supplier", mean_wait_s=2.0, until=HOURS_2
+        )
+        bundle = env.run(HOURS_2)
+        runs = bundle.stores.runs.runs("q2-report")
+        after = [r for r in runs if r.start_time > 3600.0]
+        assert any(r.db_metrics["lockWaitTime"] > 0 for r in after)
+
+    def test_raid_rebuild_start_and_finish(self):
+        env = small_env()
+        FaultInjector(env).raid_rebuild(at=600.0, disk_id="d1", duration_s=1200.0)
+        bundle = env.run(HOURS_2)
+        kinds = [e.kind for e in bundle.stores.events.events]
+        assert "raid_rebuild_started" in kinds and "raid_rebuild_finished" in kinds
+        assert env.iosim.rebuilding_disks == set()
+
+    def test_drop_index_logged_and_applied(self):
+        env = small_env()
+        FaultInjector(env).drop_index(at=600.0, index_name="ix_partsupp_suppkey")
+        bundle = env.run(HOURS_2)
+        assert not bundle.catalog.has_index("ix_partsupp_suppkey")
+        assert bundle.stores.events.of_kind("index_dropped")
+
+    def test_config_change_applied(self):
+        env = small_env()
+        FaultInjector(env).change_db_config(at=600.0, random_page_cost=40.0)
+        bundle = env.run(HOURS_2)
+        assert bundle.db_config.random_page_cost == 40.0
+        assert bundle.initial_config.random_page_cost == 4.0

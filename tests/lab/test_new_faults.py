@@ -1,0 +1,88 @@
+"""Tests for the CPU-saturation and buffer-pool faults and rebuild peer load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.plans import canonical_q2_plan
+from repro.db.tpch import build_tpch_catalog
+from repro.lab.environment import Environment
+from repro.lab.faults import FaultInjector
+from repro.lab.workloads import QueryJob
+from repro.san.builder import build_testbed
+from repro.san.iomodel import IoSimulator, VolumeLoad
+
+
+def small_env(seed=1) -> Environment:
+    env = Environment(testbed=build_testbed(), catalog=build_tpch_catalog(), seed=seed)
+    env.add_job(
+        QueryJob(
+            name="q2-report",
+            period_s=1800.0,
+            first_run_s=600.0,
+            pinned_plan=canonical_q2_plan(),
+        )
+    )
+    return env
+
+
+HOURS_2 = 2 * 3600.0
+
+
+class TestCpuSaturationFault:
+    def test_cpu_multiplier_slows_runs(self):
+        env = small_env()
+        FaultInjector(env).cpu_saturation(
+            at=3600.0, until=HOURS_2, cpu_multiplier=5.0, server_pct=70.0
+        )
+        bundle = env.run(HOURS_2)
+        runs = bundle.stores.runs.runs("q2-report")
+        before = [r for r in runs if r.start_time < 3600.0]
+        after = [r for r in runs if r.start_time > 3600.0]
+        assert min(r.duration for r in after) > max(r.duration for r in before)
+        assert after[-1].db_metrics["cpuTime"] > 3.0 * before[-1].db_metrics["cpuTime"]
+
+    def test_server_metric_reflects_hog(self):
+        env = small_env()
+        FaultInjector(env).cpu_saturation(
+            at=3600.0, until=HOURS_2, cpu_multiplier=2.0, server_pct=70.0
+        )
+        bundle = env.run(HOURS_2)
+        store = bundle.stores.metrics
+        before = store.values_between("srv-db", "cpuUsagePct", 0.0, 3600.0)
+        after = store.values_between("srv-db", "cpuUsagePct", 3600.0, HOURS_2)
+        assert sum(after) / len(after) > sum(before) / len(before) + 30.0
+
+    def test_executor_validates_multiplier(self, catalog):
+        from repro.db.executor import Executor
+
+        with pytest.raises(ValueError):
+            Executor(catalog).execute(
+                canonical_q2_plan(), 0.0, {"V1": 4.0, "V2": 4.0}, cpu_multiplier=0.0
+            )
+
+
+class TestBufferPoolFault:
+    def test_shrink_increases_physical_io(self):
+        env = small_env()
+        FaultInjector(env).shrink_buffer_pool(at=3600.0, new_cache_mb=8.0)
+        bundle = env.run(HOURS_2)
+        runs = bundle.stores.runs.runs("q2-report")
+        before = [r for r in runs if r.start_time < 3600.0][-1]
+        after = [r for r in runs if r.start_time > 3600.0][-1]
+        assert after.db_metrics["blocksRead"] > 1.5 * before.db_metrics["blocksRead"]
+        assert after.db_metrics["bufferHits"] < before.db_metrics["bufferHits"]
+        assert bundle.stores.events.of_kind("db_config_changed")
+
+
+class TestRebuildPeerLoad:
+    def test_rebuild_loads_whole_pool(self, testbed):
+        sim = IoSimulator(testbed.topology)
+        base = sim.simulate({"V1": VolumeLoad(read_iops=50)})
+        sim.start_rebuild("d1", capacity_factor=0.5)
+        degraded = sim.simulate({"V1": VolumeLoad(read_iops=50)})
+        # peers d2..d4 carry rebuild reads even though they are healthy
+        for disk in ("d2", "d3", "d4"):
+            assert degraded.get(disk, "iops") > base.get(disk, "iops") + 30.0
+        # other pool untouched
+        assert degraded.get("d5", "iops") == pytest.approx(base.get("d5", "iops"))

@@ -1,0 +1,94 @@
+"""Tests for scenario metadata, construction and the bundle proxy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.symptoms import default_symptoms_database
+from repro.lab.scenarios import (
+    QUERY_NAME,
+    all_table1_scenarios,
+    scenario_buffer_pool,
+    scenario_concurrent_db_san,
+    scenario_cpu_saturation,
+    scenario_data_property_change,
+    scenario_lock_contention,
+    scenario_plan_regression,
+    scenario_raid_rebuild,
+    scenario_san_misconfiguration,
+    scenario_two_external_workloads,
+)
+
+ALL_FACTORIES = [
+    scenario_san_misconfiguration,
+    scenario_two_external_workloads,
+    scenario_data_property_change,
+    scenario_concurrent_db_san,
+    scenario_lock_contention,
+    scenario_plan_regression,
+    scenario_cpu_saturation,
+    scenario_buffer_pool,
+    scenario_raid_rebuild,
+]
+
+
+class TestMetadata:
+    def test_table1_has_five_scenarios_in_order(self):
+        scenarios = all_table1_scenarios()
+        assert [s.info.scenario_id for s in scenarios] == [1, 2, 3, 4, 5]
+
+    def test_fault_time_is_midpoint(self):
+        scenario = scenario_san_misconfiguration(hours=10)
+        assert scenario.info.fault_time == 5 * 3600.0
+        assert scenario.duration_s == 10 * 3600.0
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_ground_truth_exists_in_default_codebook(self, factory):
+        """Every scenario's injected cause has a codebook entry to find."""
+        entry_ids = {e.cause_id for e in default_symptoms_database().entries}
+        scenario = factory(hours=6)
+        for cause in scenario.info.ground_truth:
+            assert cause in entry_ids, cause
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_names_and_descriptions_nonempty(self, factory):
+        info = factory(hours=6).info
+        assert info.name and info.description
+        assert info.critical_modules
+
+    def test_plan_regression_via_validation(self):
+        with pytest.raises(ValueError):
+            scenario_plan_regression(via="chaos")
+
+
+class TestScenarioRun:
+    def test_labels_split_at_fault_time(self, scenario1):
+        runs = scenario1.stores.runs.runs(QUERY_NAME)
+        for run in runs:
+            expected = run.start_time < scenario1.info.fault_time
+            assert run.satisfactory is expected
+
+    def test_burst_variant_changes_name(self):
+        scenario = scenario_san_misconfiguration(hours=6, with_v2_burst=True)
+        assert "v2-burst" in scenario.info.name
+
+    def test_background_workloads_present(self):
+        env = scenario_san_misconfiguration(hours=6).build()
+        names = {w.name for w in env.external}
+        assert {"background-V3", "background-V4"} <= names
+
+
+class TestBundleProxy:
+    def test_proxy_matches_inner_bundle(self, scenario1):
+        inner = scenario1.bundle
+        assert scenario1.stores is inner.stores
+        assert scenario1.topology is inner.topology
+        assert scenario1.catalog is inner.catalog
+        assert scenario1.db_config is inner.db_config
+        assert scenario1.initial_catalog is inner.initial_catalog
+        assert scenario1.query_names == inner.query_names
+        assert scenario1.query_specs == inner.query_specs
+
+    def test_info_carried(self, scenario1):
+        assert scenario1.info.scenario_id == 1
+        assert scenario1.query_name == QUERY_NAME

@@ -1,0 +1,87 @@
+"""Tests for workload definitions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.db.plans import canonical_q2_plan
+from repro.db.query import simple_report_query
+from repro.lab.workloads import ExternalWorkload, QueryJob
+from repro.san.iomodel import VolumeLoad
+
+
+class TestQueryJob:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            QueryJob(name="q", period_s=10.0)
+        with pytest.raises(ValueError):
+            QueryJob(
+                name="q",
+                period_s=10.0,
+                pinned_plan=canonical_q2_plan(),
+                spec=simple_report_query(),
+            )
+
+    def test_due_at_basic(self):
+        job = QueryJob(name="q", period_s=100.0, first_run_s=50.0,
+                       pinned_plan=canonical_q2_plan())
+        assert job.due_at(0.0, 60.0) == [50.0]
+        assert job.due_at(60.0, 120.0) == []
+        assert job.due_at(140.0, 260.0) == [150.0, 250.0]
+
+    def test_due_before_first_run_empty(self):
+        job = QueryJob(name="q", period_s=100.0, first_run_s=500.0,
+                       pinned_plan=canonical_q2_plan())
+        assert job.due_at(0.0, 400.0) == []
+
+    def test_positive_period_required(self):
+        with pytest.raises(ValueError):
+            QueryJob(name="q", period_s=0.0, pinned_plan=canonical_q2_plan())
+
+
+class TestExternalWorkload:
+    def test_steady_active_in_range(self):
+        w = ExternalWorkload(
+            name="w", volume_id="V1", load=VolumeLoad(read_iops=10), start=100.0, end=200.0
+        )
+        assert w.load_at(50.0) is None
+        assert w.load_at(150.0) is not None
+        assert w.load_at(250.0) is None
+
+    def test_bursty_duty_cycle(self):
+        w = ExternalWorkload(
+            name="w",
+            volume_id="V1",
+            load=VolumeLoad(read_iops=10),
+            start=0.0,
+            pattern="bursty",
+            duty_cycle=0.25,
+            burst_period_s=100.0,
+        )
+        active = sum(1 for t in range(0, 1000) if w.load_at(float(t)) is not None)
+        assert active == 250
+
+    def test_active_when_gate(self):
+        w = ExternalWorkload(
+            name="w",
+            volume_id="V1",
+            load=VolumeLoad(read_iops=10),
+            active_when=lambda t: t % 2 == 0,
+        )
+        assert w.load_at(2.0) is not None
+        assert w.load_at(3.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExternalWorkload(name="w", volume_id="V", load=VolumeLoad(), pattern="weird")
+        with pytest.raises(ValueError):
+            ExternalWorkload(name="w", volume_id="V", load=VolumeLoad(), duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            ExternalWorkload(name="w", volume_id="V", load=VolumeLoad(), burst_period_s=0.0)
+
+    def test_open_ended_by_default(self):
+        w = ExternalWorkload(name="w", volume_id="V1", load=VolumeLoad(read_iops=1))
+        assert w.end == math.inf
+        assert w.load_at(1e9) is not None

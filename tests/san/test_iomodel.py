@@ -1,0 +1,176 @@
+"""Tests for the analytical I/O model — the contention mechanics everything
+else rides on."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.san.builder import build_testbed
+from repro.san.components import Volume
+from repro.san.iomodel import IoSimulator, VolumeLoad, scaled
+
+
+@pytest.fixture
+def sim(testbed):
+    return IoSimulator(testbed.topology)
+
+
+class TestVolumeLoad:
+    def test_add_merges_iops(self):
+        merged = VolumeLoad(read_iops=10) + VolumeLoad(read_iops=5, write_iops=3)
+        assert merged.read_iops == 15
+        assert merged.write_iops == 3
+
+    def test_add_weights_sequential_fraction(self):
+        a = VolumeLoad(read_iops=10, sequential_fraction=1.0)
+        b = VolumeLoad(read_iops=10, sequential_fraction=0.0)
+        assert (a + b).sequential_fraction == pytest.approx(0.5)
+
+    def test_negative_iops_rejected(self):
+        with pytest.raises(ValueError):
+            VolumeLoad(read_iops=-1)
+
+    def test_bad_sequential_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            VolumeLoad(sequential_fraction=1.5)
+
+    def test_scaled(self):
+        load = scaled(VolumeLoad(read_iops=10, write_iops=4), 2.0)
+        assert load.read_iops == 20 and load.write_iops == 8
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            scaled(VolumeLoad(), -1.0)
+
+
+class TestLatencyModel:
+    def test_quiesced_latency_near_service_time(self, sim):
+        sample = sim.quiesced_sample()
+        # unloaded: fabric + cache + disk service time, all small
+        assert 1.0 < sample.volume_read_latency("V1") < 10.0
+
+    def test_latency_grows_with_load(self, sim):
+        low = sim.simulate({"V1": VolumeLoad(read_iops=50)})
+        high = sim.simulate({"V1": VolumeLoad(read_iops=500)})
+        assert high.volume_read_latency("V1") > low.volume_read_latency("V1")
+
+    def test_latency_bounded_at_saturation(self, sim):
+        crazy = sim.simulate({"V1": VolumeLoad(read_iops=1e9)})
+        assert crazy.volume_read_latency("V1") < 1e4
+
+    def test_sequential_reads_hit_cache_more(self, sim):
+        random = sim.simulate({"V2": VolumeLoad(read_iops=200, sequential_fraction=0.0)})
+        seq = sim.simulate({"V2": VolumeLoad(read_iops=200, sequential_fraction=1.0)})
+        assert seq.volume_read_latency("V2") < random.volume_read_latency("V2")
+        assert seq.get("ds6000", "cacheHitRate") > random.get("ds6000", "cacheHitRate")
+
+    def test_unknown_volume_ignored(self, sim):
+        sample = sim.simulate({"ghost": VolumeLoad(read_iops=100)})
+        assert sample.volume_read_latency("V1") > 0
+
+
+class TestContention:
+    """The crux: shared disks couple volumes, separate pools do not."""
+
+    def test_shared_disk_contention(self, testbed):
+        sim = IoSimulator(testbed.topology)
+        testbed.topology.add(Volume(component_id="Vp", name="Vp", pool_id="P1"))
+        testbed.topology.connect("P1", "Vp")
+        base = sim.simulate({"V1": VolumeLoad(read_iops=50)})
+        contended = sim.simulate(
+            {"V1": VolumeLoad(read_iops=50), "Vp": VolumeLoad(write_iops=240)}
+        )
+        assert contended.volume_read_latency("V1") > 3 * base.volume_read_latency("V1")
+
+    def test_cross_pool_isolation(self, sim):
+        base = sim.simulate({"V1": VolumeLoad(read_iops=50)})
+        loaded = sim.simulate(
+            {"V1": VolumeLoad(read_iops=50), "V2": VolumeLoad(write_iops=240)}
+        )
+        assert loaded.volume_read_latency("V1") == pytest.approx(
+            base.volume_read_latency("V1"), rel=0.01
+        )
+
+    def test_backend_write_counters_roll_up_shared_traffic(self, testbed):
+        """V1's back-end writeIO must reflect V'-bound writes (Table 2)."""
+        sim = IoSimulator(testbed.topology)
+        testbed.topology.add(Volume(component_id="Vp", name="Vp", pool_id="P1"))
+        testbed.topology.connect("P1", "Vp")
+        sample = sim.simulate({"Vp": VolumeLoad(write_iops=100)})
+        assert sample.get("V1", "writeIO") > 0
+        assert sample.get("V1", "frontendWriteIO") == 0.0
+
+    def test_raid_write_penalty_amplifies_backend(self, sim, testbed):
+        sample = sim.simulate({"V1": VolumeLoad(write_iops=100)})
+        pool = testbed.topology.pool_of_volume("V1")
+        backend = sample.get("V1", "writeIO")
+        # write-cache absorbs some, RAID5 multiplies the rest by 4
+        assert backend > 100.0
+
+    def test_rebuild_degrades_capacity(self, sim):
+        base = sim.simulate({"V1": VolumeLoad(read_iops=200)})
+        sim.start_rebuild("d1", capacity_factor=0.3)
+        degraded = sim.simulate({"V1": VolumeLoad(read_iops=200)})
+        sim.finish_rebuild("d1")
+        recovered = sim.simulate({"V1": VolumeLoad(read_iops=200)})
+        assert degraded.volume_read_latency("V1") > base.volume_read_latency("V1")
+        assert recovered.volume_read_latency("V1") == pytest.approx(
+            base.volume_read_latency("V1"), rel=0.01
+        )
+
+    def test_rebuild_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.start_rebuild("d1", capacity_factor=0.0)
+
+
+class TestMetricsEmission:
+    def test_every_volume_gets_core_metrics(self, sim, testbed):
+        sample = sim.simulate({"V1": VolumeLoad(read_iops=10)})
+        for volume in testbed.topology.volumes:
+            for metric in ("readIO", "writeIO", "readTime", "writeTime", "totalIOs"):
+                assert (volume.component_id, metric) in sample.values
+
+    def test_disk_metrics(self, sim):
+        sample = sim.simulate({"V1": VolumeLoad(read_iops=100)})
+        assert sample.get("d1", "iops") > 0
+        assert 0.0 <= sample.get("d1", "utilisation") <= 0.95
+
+    def test_pool_rollup(self, sim):
+        sample = sim.simulate({"V1": VolumeLoad(read_iops=100)})
+        assert sample.get("P1", "totalIOs") > 0
+        assert sample.get("P2", "totalIOs") == 0.0
+
+    def test_subsystem_cache_rate(self, sim):
+        sample = sim.simulate({"V2": VolumeLoad(read_iops=100, sequential_fraction=1.0)})
+        assert sample.get("ds6000", "cacheHitRate") > 0.5
+
+    def test_metrics_for(self, sim):
+        sample = sim.simulate({"V1": VolumeLoad(read_iops=10)})
+        metrics = sample.metrics_for("V1")
+        assert "readTime" in metrics and "writeIO" in metrics
+
+
+class TestProperties:
+    @given(st.floats(min_value=0, max_value=400), st.floats(min_value=0, max_value=400))
+    @settings(max_examples=30, deadline=None)
+    def test_latency_monotone_in_load(self, a, b):
+        testbed = build_testbed()
+        sim = IoSimulator(testbed.topology)
+        lo, hi = min(a, b), max(a, b)
+        low = sim.simulate({"V1": VolumeLoad(read_iops=lo)})
+        high = sim.simulate({"V1": VolumeLoad(read_iops=hi)})
+        assert (
+            high.volume_read_latency("V1") >= low.volume_read_latency("V1") - 1e-9
+        )
+
+    @given(st.floats(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_all_metrics_finite_nonnegative(self, iops):
+        testbed = build_testbed()
+        sim = IoSimulator(testbed.topology)
+        sample = sim.simulate({"V2": VolumeLoad(read_iops=iops, write_iops=iops / 2)})
+        for value in sample.values.values():
+            assert value >= 0.0
+            assert value == value  # not NaN

@@ -1,0 +1,186 @@
+"""Tests for the SAN topology graph and the canonical testbed."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.san.builder import TopologyBuilder, build_testbed
+from repro.san.components import ComponentType, Disk, StoragePool, Volume
+from repro.san.topology import SanTopology, TopologyError
+
+
+class TestBasicGraph:
+    def test_add_and_get(self):
+        topo = SanTopology()
+        topo.add(Disk(component_id="d1", name="d1"))
+        assert topo.get("d1").name == "d1"
+        assert "d1" in topo
+        assert len(topo) == 1
+
+    def test_duplicate_rejected(self):
+        topo = SanTopology()
+        topo.add(Disk(component_id="d1", name="d1"))
+        with pytest.raises(TopologyError):
+            topo.add(Disk(component_id="d1", name="other"))
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(TopologyError):
+            SanTopology().get("nope")
+
+    def test_connect_and_children(self):
+        topo = SanTopology()
+        topo.add(StoragePool(component_id="p", name="p", subsystem_id="s"))
+        topo.add(Disk(component_id="d", name="d", pool_id="p"))
+        topo.connect("p", "d")
+        assert [c.component_id for c in topo.children("p")] == ["d"]
+        assert [c.component_id for c in topo.parents("d")] == ["p"]
+
+    def test_connect_idempotent(self):
+        topo = SanTopology()
+        topo.add(StoragePool(component_id="p", name="p"))
+        topo.add(Disk(component_id="d", name="d"))
+        topo.connect("p", "d")
+        topo.connect("p", "d")
+        assert len(topo.children("p")) == 1
+
+    def test_connect_unknown_raises(self):
+        topo = SanTopology()
+        topo.add(Disk(component_id="d", name="d"))
+        with pytest.raises(TopologyError):
+            topo.connect("d", "ghost")
+
+    def test_remove_cleans_edges(self):
+        topo = SanTopology()
+        topo.add(StoragePool(component_id="p", name="p"))
+        topo.add(Disk(component_id="d", name="d"))
+        topo.connect("p", "d")
+        topo.remove("d")
+        assert topo.children("p") == []
+        assert "d" not in topo
+
+    def test_disconnect(self):
+        topo = SanTopology()
+        topo.add(StoragePool(component_id="p", name="p"))
+        topo.add(Disk(component_id="d", name="d"))
+        topo.connect("p", "d")
+        topo.disconnect("p", "d")
+        assert topo.children("p") == []
+
+
+class TestTestbed:
+    def test_structure_matches_figure1(self, testbed):
+        topo = testbed.topology
+        assert {v.component_id for v in topo.volumes} == {"V1", "V2", "V3", "V4"}
+        assert {p.component_id for p in topo.pools} == {"P1", "P2"}
+        assert len(topo.disks) == 10
+        assert len(topo.switches) == 2
+
+    def test_pool_disks(self, testbed):
+        topo = testbed.topology
+        assert {d.component_id for d in topo.disks_of_pool("P1")} == {
+            "d1", "d2", "d3", "d4"
+        }
+        assert {d.component_id for d in topo.disks_of_pool("P2")} == {
+            f"d{i}" for i in range(5, 11)
+        }
+
+    def test_volume_disks_default_to_pool(self, testbed):
+        disks = testbed.topology.disks_of_volume("V1")
+        assert {d.component_id for d in disks} == {"d1", "d2", "d3", "d4"}
+
+    def test_sharing_volumes_on_p2(self, testbed):
+        sharing = testbed.topology.volumes_sharing_disks("V2")
+        assert {v.component_id for v in sharing} == {"V3", "V4"}
+
+    def test_v1_initially_shares_with_nobody(self, testbed):
+        assert testbed.topology.volumes_sharing_disks("V1") == []
+
+    def test_fabric_path(self, testbed):
+        path = testbed.topology.fabric_path("srv-db", "V2")
+        ids = [c.component_id for c in path]
+        assert ids[0] == "srv-db"
+        assert ids[-1] == "ds6000"
+        assert "fcsw-edge" in ids and "fcsw-core" in ids
+
+    def test_io_path_ends_with_disks(self, testbed):
+        path = testbed.topology.io_path("srv-db", "V1")
+        ids = [c.component_id for c in path]
+        assert "P1" in ids and "V1" in ids
+        assert {"d1", "d2", "d3", "d4"} <= set(ids)
+
+    def test_no_path_raises(self, testbed):
+        testbed.topology.add(
+            Volume(component_id="Vx", name="Vx", pool_id="P1")
+        )
+        testbed.topology.connect("P1", "Vx")
+        with pytest.raises(TopologyError):
+            testbed.topology.fabric_path("ghost-server", "Vx")
+
+    def test_subsystem_of_volume(self, testbed):
+        assert testbed.topology.subsystem_of_volume("V1").component_id == "ds6000"
+
+    def test_validate_clean(self, testbed):
+        assert testbed.topology.validate() == []
+
+    def test_snapshot_shape(self, testbed):
+        snap = testbed.topology.snapshot()
+        assert "V1" in snap["volume_pools"]
+        assert snap["volume_pools"]["V1"] == "P1"
+        assert any(e == ("P1", "V1") for e in snap["edges"])
+
+    def test_new_volume_changes_sharing(self, testbed):
+        topo = testbed.topology
+        topo.add(Volume(component_id="Vprime", name="Vprime", pool_id="P1"))
+        topo.connect("P1", "Vprime")
+        sharing = {v.component_id for v in topo.volumes_sharing_disks("V1")}
+        assert "Vprime" in sharing
+
+
+class TestBuilder:
+    def test_builder_roundtrip(self):
+        b = TopologyBuilder()
+        b.server("s1").hba("h1", "s1", ports=1).switch("sw1")
+        b.subsystem("ss1", ports=1).pool("p1", "ss1")
+        b.disks("p1", ["dA", "dB"]).volume("v1", "p1")
+        b.cable("h1-p0", "sw1").cable("sw1", "ss1")
+        b.zone("z", ["h1-p0", "ss1-p0"]).lun("v1", "s1")
+        assert b.topology.validate() == []
+        assert b.access.can_access(b.topology, "s1", "v1")
+
+    def test_validate_catches_missing_disks(self):
+        b = TopologyBuilder()
+        b.subsystem("ss", ports=0).pool("p", "ss").volume("v", "p")
+        assert any("no disks" in p for p in b.topology.validate())
+
+
+class TestProperties:
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_sharing_is_symmetric(self, n_disks, n_volumes):
+        b = TopologyBuilder()
+        b.subsystem("ss", ports=0).pool("p", "ss")
+        b.disks("p", [f"d{i}" for i in range(n_disks)])
+        for i in range(n_volumes):
+            b.volume(f"v{i}", "p")
+        topo = b.topology
+        for a in topo.volumes:
+            for other in topo.volumes_sharing_disks(a.component_id):
+                back = {
+                    v.component_id
+                    for v in topo.volumes_sharing_disks(other.component_id)
+                }
+                assert a.component_id in back
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_io_path_visits_each_component_once(self, n_disks):
+        b = TopologyBuilder()
+        b.server("s").hba("h", "s", ports=1).switch("sw")
+        b.subsystem("ss", ports=0).pool("p", "ss")
+        b.disks("p", [f"d{i}" for i in range(n_disks)]).volume("v", "p")
+        b.cable("h-p0", "sw").cable("sw", "ss")
+        path = b.topology.io_path("s", "v")
+        ids = [c.component_id for c in path]
+        assert len(ids) == len(set(ids))

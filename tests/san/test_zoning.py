@@ -1,0 +1,111 @@
+"""Tests for zoning and LUN mapping/masking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.san.events import SanEvent, SanEventKind
+from repro.san.zoning import AccessControl, LunMapping, ZoningConfig
+
+
+class TestZoning:
+    def test_create_and_query(self):
+        zoning = ZoningConfig()
+        zoning.create_zone("z1", {"a", "b"})
+        assert zoning.ports_zoned_together("a", "b")
+        assert not zoning.ports_zoned_together("a", "c")
+
+    def test_duplicate_zone_rejected(self):
+        zoning = ZoningConfig()
+        zoning.create_zone("z1")
+        with pytest.raises(ValueError):
+            zoning.create_zone("z1")
+
+    def test_zone_membership_mutation(self):
+        zoning = ZoningConfig()
+        zone = zoning.create_zone("z1", {"a"})
+        zone.add("b")
+        assert zoning.ports_zoned_together("a", "b")
+        zone.remove("b")
+        assert not zoning.ports_zoned_together("a", "b")
+
+    def test_delete_zone(self):
+        zoning = ZoningConfig()
+        zoning.create_zone("z1", {"a", "b"})
+        zoning.delete_zone("z1")
+        assert not zoning.ports_zoned_together("a", "b")
+
+    def test_unknown_zone_raises(self):
+        with pytest.raises(KeyError):
+            ZoningConfig().zone("nope")
+
+    def test_snapshot_sorted(self):
+        zoning = ZoningConfig()
+        zoning.create_zone("z", {"b", "a"})
+        assert zoning.snapshot() == {"z": ["a", "b"]}
+
+
+class TestLunMapping:
+    def test_map_and_query(self):
+        lun = LunMapping()
+        lun.map_volume("V1", "srv")
+        assert lun.is_mapped("V1", "srv")
+        assert lun.servers_for("V1") == {"srv"}
+        assert lun.volumes_for("srv") == {"V1"}
+
+    def test_unmap(self):
+        lun = LunMapping()
+        lun.map_volume("V1", "srv")
+        lun.unmap_volume("V1", "srv")
+        assert not lun.is_mapped("V1", "srv")
+
+    def test_unmapped_empty(self):
+        assert LunMapping().servers_for("nope") == set()
+
+
+class TestAccessControl:
+    def test_testbed_db_server_access(self, testbed):
+        assert testbed.access.can_access(testbed.topology, "srv-db", "V1")
+        assert testbed.access.can_access(testbed.topology, "srv-db", "V2")
+
+    def test_unmapped_volume_denied(self, testbed):
+        assert not testbed.access.can_access(testbed.topology, "srv-db", "V3")
+
+    def test_unknown_server_denied(self, testbed):
+        assert not testbed.access.can_access(testbed.topology, "ghost", "V1")
+
+    def test_masking_without_zoning_fails(self, testbed):
+        # map the volume but remove every zone: ports no longer zoned together
+        testbed.access.lun_mapping.map_volume("V3", "srv-db")
+        testbed.access.zoning.delete_zone("zone-db")
+        assert not testbed.access.can_access(testbed.topology, "srv-db", "V3")
+
+    def test_server_ports_found(self, testbed):
+        ports = testbed.access.server_ports(testbed.topology, "srv-db")
+        assert {p.component_id for p in ports} == {"hba0-p0", "hba0-p1"}
+
+    def test_snapshot_includes_both_parts(self, testbed):
+        snap = testbed.access.snapshot()
+        assert "zones" in snap and "lun_mapping" in snap
+
+
+class TestSanEvents:
+    def test_describe_includes_details(self):
+        event = SanEvent(
+            time=120.0,
+            kind=SanEventKind.VOLUME_CREATED,
+            component_id="Vx",
+            details={"pool": "P1"},
+        )
+        text = event.describe()
+        assert "volume_created" in text and "pool=P1" in text and "Vx" in text
+
+    def test_kinds_cover_scenarios(self):
+        kinds = {k.value for k in SanEventKind}
+        assert {
+            "volume_created",
+            "zone_changed",
+            "lun_mapped",
+            "raid_rebuild_started",
+            "volume_perf_degraded",
+        } <= kinds

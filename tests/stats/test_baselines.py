@@ -1,0 +1,104 @@
+"""Tests for the baseline anomaly detectors (experiment E8's competitors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.baselines import (
+    DETECTOR_FACTORIES,
+    GaussianNaiveBayesDetector,
+    KDEDetector,
+    PercentileDetector,
+    ThresholdDetector,
+    ZScoreDetector,
+)
+
+HEALTHY = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.3]
+
+
+@pytest.mark.parametrize("name", sorted(DETECTOR_FACTORIES))
+class TestCommonBehaviour:
+    def test_scores_bounded(self, name):
+        detector = DETECTOR_FACTORIES[name]()
+        detector.fit(HEALTHY)
+        for u in (0.0, 5.0, 10.0, 15.0, 100.0):
+            assert 0.0 <= detector.score(u) <= 1.0
+
+    def test_obvious_anomaly_scores_high(self, name):
+        detector = DETECTOR_FACTORIES[name]()
+        detector.fit(HEALTHY)
+        assert detector.score(50.0) >= 0.8
+
+    def test_fit_returns_self(self, name):
+        detector = DETECTOR_FACTORIES[name]()
+        assert detector.fit(HEALTHY) is detector
+
+
+class TestKDEDetector:
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            KDEDetector().score(1.0)
+
+    def test_matches_module_function(self):
+        from repro.stats.kde import anomaly_score
+
+        detector = KDEDetector().fit(HEALTHY)
+        assert detector.score(12.0) == pytest.approx(anomaly_score(HEALTHY, 12.0))
+
+
+class TestThresholdDetector:
+    def test_step_behaviour(self):
+        detector = ThresholdDetector(factor=1.5).fit([10.0] * 5)
+        assert detector.score(14.9) == 0.0
+        assert detector.score(15.1) == 1.0
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            ThresholdDetector().score(1.0)
+
+    def test_misses_moderate_shift(self):
+        # the brittleness KDE avoids: a 30% shift under a 1.5x threshold
+        detector = ThresholdDetector(factor=1.5).fit(HEALTHY)
+        assert detector.score(13.0) == 0.0
+
+
+class TestZScore:
+    def test_central_value_half(self):
+        detector = ZScoreDetector().fit(HEALTHY)
+        assert detector.score(float(np.mean(HEALTHY))) == pytest.approx(0.5, abs=0.05)
+
+    def test_degenerate_distribution(self):
+        detector = ZScoreDetector().fit([5.0] * 4)
+        assert detector.score(5.0) == 0.0
+        assert detector.score(5.1) == 1.0
+
+
+class TestPercentile:
+    def test_small_n_granularity(self):
+        # with 4 samples the empirical CDF can only express quarters —
+        # exactly why smoothing matters at small n
+        detector = PercentileDetector().fit([1.0, 2.0, 3.0, 4.0])
+        scores = {detector.score(u) for u in (0.5, 1.5, 2.5, 3.5, 4.5)}
+        assert scores <= {0.0, 0.25, 0.5, 0.75, 1.0}
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            PercentileDetector().score(0.0)
+
+
+class TestNaiveBayes:
+    def test_supervised_separation(self):
+        detector = GaussianNaiveBayesDetector().fit(
+            HEALTHY, unhealthy=[20.0, 21.0, 19.5, 20.5]
+        )
+        assert detector.score(10.0) < 0.2
+        assert detector.score(20.0) > 0.8
+
+    def test_unsupervised_fallback(self):
+        detector = GaussianNaiveBayesDetector().fit(HEALTHY)
+        assert detector.score(20.0) > detector.score(10.0)
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayesDetector().score(1.0)

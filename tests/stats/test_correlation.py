@@ -1,0 +1,121 @@
+"""Tests for correlation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.correlation import (
+    fisher_significance,
+    lagged_pearson,
+    pearson,
+    spearman,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_independent_noise_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson(rng.normal(size=500), rng.normal(size=500))) < 0.15
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=30), rng.normal(size=30)
+        assert pearson(x, y) == pytest.approx(float(np.corrcoef(x, y)[0, 1]))
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        y = [v**3 for v in x]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        # ties share average ranks; result must stay within [-1, 1]
+        assert -1.0 <= spearman([1, 1, 2, 2], [1, 2, 1, 2]) <= 1.0
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=25), rng.normal(size=25)
+        expected = scipy_stats.spearmanr(x, y).statistic
+        assert spearman(x, y) == pytest.approx(float(expected), abs=1e-9)
+
+
+class TestLagged:
+    def test_detects_shift(self):
+        x = [0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1.0]
+        y = x[2:] + [0, 0]  # y leads x by 2 -> best lag is negative side
+        coeff, lag = lagged_pearson(x, y, max_lag=3)
+        assert abs(coeff) > 0.9
+        assert lag != 0
+
+    def test_zero_lag_for_identical(self):
+        x = list(np.random.default_rng(3).normal(size=20))
+        coeff, lag = lagged_pearson(x, x, max_lag=2)
+        assert coeff == pytest.approx(1.0)
+        assert lag == 0
+
+    def test_negative_max_lag_rejected(self):
+        with pytest.raises(ValueError):
+            lagged_pearson([1, 2], [1, 2], max_lag=-1)
+
+
+class TestSignificance:
+    def test_strong_correlation_significant(self):
+        assert fisher_significance(0.9, 30) < 0.01
+
+    def test_weak_correlation_insignificant(self):
+        assert fisher_significance(0.1, 10) > 0.5
+
+    def test_tiny_sample_never_significant(self):
+        assert fisher_significance(0.99, 3) == 1.0
+
+    def test_p_decreases_with_n(self):
+        assert fisher_significance(0.5, 100) < fisher_significance(0.5, 10)
+
+
+series = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=2, max_size=40
+)
+
+
+class TestProperties:
+    @given(series)
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_bounded(self, xs):
+        ys = [v * 2 + 1 for v in xs]
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+    @given(series)
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_symmetric(self, xs):
+        rng = np.random.default_rng(99)
+        ys = list(rng.normal(size=len(xs)))
+        assert pearson(xs, ys) == pytest.approx(pearson(ys, xs), abs=1e-9)
+
+    @given(series)
+    @settings(max_examples=60, deadline=None)
+    def test_spearman_bounded(self, xs):
+        rng = np.random.default_rng(7)
+        ys = list(rng.normal(size=len(xs)))
+        assert -1.0 - 1e-9 <= spearman(xs, ys) <= 1.0 + 1e-9

@@ -1,0 +1,181 @@
+"""Unit + property tests for the Gaussian KDE (the workflow's statistical core)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.kde import (
+    GaussianKDE,
+    anomaly_score,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(finite_floats, min_size=1, max_size=60)
+
+
+class TestFit:
+    def test_fit_basic(self):
+        kde = GaussianKDE.fit([1.0, 2.0, 3.0])
+        assert kde.n == 3
+        assert kde.bandwidth > 0
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GaussianKDE.fit([])
+
+    def test_fit_rejects_nan(self):
+        with pytest.raises(ValueError):
+            GaussianKDE.fit([1.0, float("nan")])
+
+    def test_fit_rejects_inf(self):
+        with pytest.raises(ValueError):
+            GaussianKDE.fit([1.0, float("inf")])
+
+    def test_fit_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            GaussianKDE.fit([1.0, 2.0], bandwidth=0.0)
+
+    def test_fit_rejects_unknown_rule(self):
+        with pytest.raises(ValueError, match="unknown bandwidth rule"):
+            GaussianKDE.fit([1.0, 2.0], bandwidth="magic")
+
+    def test_explicit_bandwidth_used(self):
+        kde = GaussianKDE.fit([1.0, 2.0], bandwidth=0.5)
+        assert kde.bandwidth == 0.5
+
+    def test_constant_samples_get_floor_bandwidth(self):
+        kde = GaussianKDE.fit([5.0] * 10)
+        assert kde.bandwidth > 0
+
+
+class TestBandwidthRules:
+    def test_silverman_positive(self):
+        assert silverman_bandwidth([1.0, 2.0, 3.0, 4.0]) > 0
+
+    def test_scott_larger_than_silverman(self):
+        data = list(np.random.default_rng(0).normal(size=50))
+        assert scott_bandwidth(data) > silverman_bandwidth(data)
+
+    def test_shrinks_with_n(self):
+        # identical spread, different n: bandwidth must shrink as n^(-1/5)
+        small = silverman_bandwidth([0.0, 1.0] * 5)
+        large = silverman_bandwidth([0.0, 1.0] * 500)
+        assert large < small
+
+    def test_robust_to_outlier(self):
+        # IQR-based spread should not explode with one huge outlier
+        data = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 100.0]
+        assert silverman_bandwidth(data) < 5.0
+
+
+class TestPdfCdf:
+    def test_pdf_integrates_to_one(self):
+        kde = GaussianKDE.fit([0.0, 1.0, 2.0])
+        xs = np.linspace(-10, 12, 4000)
+        integral = np.trapezoid(kde.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_limits(self):
+        kde = GaussianKDE.fit([0.0, 1.0])
+        assert kde.cdf(-100.0) == pytest.approx(0.0, abs=1e-6)
+        assert kde.cdf(100.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_median_of_symmetric(self):
+        kde = GaussianKDE.fit([-1.0, 1.0])
+        assert kde.cdf(0.0) == pytest.approx(0.5, abs=1e-9)
+
+    def test_scalar_and_array_agree(self):
+        kde = GaussianKDE.fit([1.0, 2.0, 3.0])
+        arr = kde.cdf(np.array([1.5, 2.5]))
+        assert arr[0] == pytest.approx(kde.cdf(1.5))
+        assert arr[1] == pytest.approx(kde.cdf(2.5))
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=40)
+        ours = GaussianKDE.fit(data, bandwidth=0.4)
+        theirs = scipy_stats.gaussian_kde(data, bw_method=0.4 / data.std(ddof=1))
+        xs = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(ours.pdf(xs), theirs(xs), rtol=5e-3, atol=5e-4)
+
+    def test_cdf_matches_numerical_integration(self):
+        kde = GaussianKDE.fit([0.0, 0.5, 2.0], bandwidth=0.3)
+        xs = np.linspace(-5, 1.3, 20000)
+        numeric = np.trapezoid(kde.pdf(xs), xs)
+        assert kde.cdf(1.3) == pytest.approx(numeric, abs=2e-4)
+
+
+class TestAnomalyScore:
+    def test_far_right_tail_scores_one(self):
+        assert anomaly_score([1.0, 1.1, 0.9], 10.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_central_value_scores_half(self):
+        score = anomaly_score([1.0, 1.0, 1.0, 1.0], 1.0)
+        assert score == pytest.approx(0.5, abs=0.01)
+
+    def test_left_tail_scores_zero(self):
+        assert anomaly_score([10.0, 10.5, 9.5], 0.1) == pytest.approx(0.0, abs=1e-6)
+
+    def test_detects_forty_percent_increase_under_low_noise(self):
+        rng = np.random.default_rng(5)
+        healthy = 10.0 * rng.lognormal(0.0, 0.02, size=20)
+        assert anomaly_score(healthy, 14.0) > 0.99
+
+    def test_tolerates_noise_at_same_level(self):
+        rng = np.random.default_rng(6)
+        healthy = 10.0 * rng.lognormal(0.0, 0.05, size=20)
+        u = 10.0 * float(rng.lognormal(0.0, 0.05))
+        assert anomaly_score(healthy, u) < 0.99
+
+
+class TestSampling:
+    def test_sample_size_and_distribution(self):
+        kde = GaussianKDE.fit([0.0, 10.0], bandwidth=0.1)
+        draws = kde.sample(2000, rng=np.random.default_rng(7))
+        assert draws.shape == (2000,)
+        # bimodal: roughly half near 0, half near 10
+        near_zero = np.abs(draws) < 1.0
+        assert 0.35 < near_zero.mean() < 0.65
+
+    def test_sample_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE.fit([1.0]).sample(-1)
+
+
+class TestProperties:
+    @given(sample_lists, finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_bounded(self, samples, x):
+        kde = GaussianKDE.fit(samples)
+        assert 0.0 <= kde.cdf(x) <= 1.0
+
+    @given(sample_lists, finite_floats, finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone(self, samples, a, b):
+        kde = GaussianKDE.fit(samples)
+        lo, hi = min(a, b), max(a, b)
+        assert kde.cdf(lo) <= kde.cdf(hi) + 1e-9
+
+    @given(sample_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_pdf_nonnegative(self, samples):
+        kde = GaussianKDE.fit(samples)
+        xs = np.linspace(min(samples) - 1, max(samples) + 1, 16)
+        assert np.all(kde.pdf(xs) >= 0.0)
+
+    @given(sample_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_anomaly_of_max_plus_margin_high(self, samples):
+        spread = max(samples) - min(samples) + 1.0
+        u = max(samples) + 10.0 * spread
+        assert anomaly_score(samples, u) > 0.95
