@@ -8,8 +8,7 @@ volume and names the misconfiguration, with the impact score attached.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import Diads
-from repro.lab import scenario_san_misconfiguration
+from repro import Diads, scenario_san_misconfiguration
 
 
 def main() -> None:

@@ -7,18 +7,85 @@ An integrated database + SAN diagnosis library.  The package is organised as:
 * :mod:`repro.db` — database simulator (catalog, optimizer, executor),
 * :mod:`repro.monitor` — noisy sampled monitoring stores,
 * :mod:`repro.lab` — environment, workloads, fault injection, scenarios,
-* :mod:`repro.core` — the paper's contribution: APGs and the DIADS workflow.
+* :mod:`repro.core` — the paper's contribution: APGs and the DIADS workflow,
+  built on a pluggable pipeline engine (registry + DAG scheduling).
 
 Quickstart::
 
-    from repro.lab import scenario_san_misconfiguration
-    from repro.core import Diads
+    from repro import Diads, scenario_san_misconfiguration
 
     bundle = scenario_san_misconfiguration().run()
     report = Diads.from_bundle(bundle).diagnose("q2-report")
     print(report.render())
+
+Fleet-scale batch and plug-in modules::
+
+    from repro import DiagnosisPipeline, DiagnosisRequest, register_module
+
+    reports = DiagnosisPipeline().diagnose_many(
+        [DiagnosisRequest(bundle.bundle, "q2-report")], max_workers=8
+    )
 """
 
-__version__ = "0.1.0"
+from .core import (
+    Diads,
+    DiagnosisModule,
+    DiagnosisPipeline,
+    DiagnosisReport,
+    DiagnosisRequest,
+    InteractiveSession,
+    ModuleRegistry,
+    RankedCause,
+    default_pipeline,
+    default_registry,
+    evaluate_bundle,
+    evaluate_bundles,
+    evaluate_scenario,
+    register_module,
+)
+from .lab import (
+    Scenario,
+    ScenarioBundle,
+    all_table1_scenarios,
+    scenario_buffer_pool,
+    scenario_concurrent_db_san,
+    scenario_cpu_saturation,
+    scenario_data_property_change,
+    scenario_lock_contention,
+    scenario_plan_regression,
+    scenario_raid_rebuild,
+    scenario_san_misconfiguration,
+    scenario_two_external_workloads,
+)
 
-__all__ = ["__version__"]
+__version__ = "0.2.0"
+
+__all__ = [
+    "__version__",
+    "Diads",
+    "DiagnosisModule",
+    "DiagnosisPipeline",
+    "DiagnosisReport",
+    "DiagnosisRequest",
+    "InteractiveSession",
+    "ModuleRegistry",
+    "RankedCause",
+    "default_pipeline",
+    "default_registry",
+    "register_module",
+    "evaluate_bundle",
+    "evaluate_bundles",
+    "evaluate_scenario",
+    "Scenario",
+    "ScenarioBundle",
+    "all_table1_scenarios",
+    "scenario_buffer_pool",
+    "scenario_concurrent_db_san",
+    "scenario_cpu_saturation",
+    "scenario_data_property_change",
+    "scenario_lock_contention",
+    "scenario_plan_regression",
+    "scenario_raid_rebuild",
+    "scenario_san_misconfiguration",
+    "scenario_two_external_workloads",
+]

@@ -1,25 +1,32 @@
 """Command-line interface: run scenarios and diagnose them from a shell.
 
-Usage (module form, no console-script needed)::
+Usage (``repro`` console script, or module form)::
 
     python -m repro.cli list
     python -m repro.cli run san-misconfiguration --hours 12
     python -m repro.cli run lock-contention --screens
-    python -m repro.cli sweep --hours 8
+    python -m repro.cli sweep --hours 8 --max-workers 4
+    python -m repro.cli batch san-misconfiguration lock-contention --json
 
 ``run`` simulates one scenario, diagnoses it, and prints the report (plus the
 Figure-3/6/7 screens with ``--screens``).  ``sweep`` evaluates every Table-1
-scenario and prints the reproduction table.
+scenario and prints the reproduction table.  ``batch`` is the fleet-scale
+entry point: it simulates one or more scenarios (``all`` for the whole
+catalogue), diagnoses every diagnosable query in every bundle through
+``DiagnosisPipeline.diagnose_many``, and prints a table or JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core import Diads, build_apg
 from .core.evaluation import evaluate_bundle
+from .core.pipeline import DiagnosisRequest, default_pipeline, diagnosable_queries
 from .core.report import render_apg_browser, render_apg_overview, render_query_table
+from .core.serialize import report_to_dict
 from .lab import (
     all_table1_scenarios,
     scenario_buffer_pool,
@@ -67,6 +74,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="evaluate all Table-1 scenarios")
     sweep.add_argument("--hours", type=float, default=12.0)
+    sweep.add_argument(
+        "--max-workers", type=int, default=None,
+        help="diagnose scenarios concurrently with this many threads",
+    )
+
+    batch = sub.add_parser(
+        "batch", help="fleet-scale batch diagnosis over one or more scenarios"
+    )
+    batch.add_argument(
+        "scenarios",
+        nargs="+",
+        metavar="scenario",
+        help=f"scenario names or 'all' (choices: {', '.join(sorted(SCENARIOS))})",
+    )
+    batch.add_argument("--hours", type=float, default=12.0, help="simulated hours")
+    batch.add_argument("--seed", type=int, default=None, help="override the seed")
+    batch.add_argument(
+        "--max-workers", type=int, default=None,
+        help="thread-pool width for the batch (default: min(8, #queries))",
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="emit reports as a JSON array"
+    )
     return parser
 
 
@@ -105,12 +135,77 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    scenarios = all_table1_scenarios(hours=args.hours)
+    if args.max_workers and args.max_workers > 1:
+        # Parallelise simulation + diagnosis per scenario; rows stream out
+        # in order as each finishes.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=args.max_workers) as pool:
+            futures = [
+                pool.submit(lambda s=s: evaluate_bundle(s.run())) for s in scenarios
+            ]
+            evaluations = (f.result() for f in futures)
+            return _print_sweep(evaluations)
+    return _print_sweep(evaluate_bundle(s.run()) for s in scenarios)
+
+
+def _print_sweep(evaluations) -> int:
     failures = 0
-    for scenario in all_table1_scenarios(hours=args.hours):
-        evaluation = evaluate_bundle(scenario.run())
-        print(evaluation.row())
+    for evaluation in evaluations:
+        print(evaluation.row(), flush=True)
         failures += 0 if evaluation.identified else 1
     return 1 if failures else 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    unknown = [n for n in args.scenarios if n != "all" and n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenarios: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    names = sorted(SCENARIOS) if "all" in args.scenarios else args.scenarios
+
+    requests: list[DiagnosisRequest] = []
+    origins: list[str] = []
+    for name in names:
+        kwargs = {"hours": args.hours}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        scenario_bundle = SCENARIOS[name](**kwargs).run()
+        bundle = scenario_bundle.bundle
+        for query in diagnosable_queries(bundle):
+            requests.append(DiagnosisRequest(bundle=bundle, query_name=query))
+            origins.append(name)
+    if not requests:
+        print("no diagnosable queries found", file=sys.stderr)
+        return 1
+
+    pipeline = default_pipeline()
+    reports = pipeline.diagnose_many(requests, max_workers=args.max_workers)
+
+    if args.json:
+        payload = [
+            {"scenario": origin, **report_to_dict(report)}
+            for origin, report in zip(origins, reports)
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    header = f"{'scenario':<32} {'query':<14} {'top cause':<38} {'conf':<7} impact"
+    print(header)
+    print("-" * len(header))
+    for origin, report in zip(origins, reports):
+        top = report.top_cause
+        cause = top.display_id if top else "(none)"
+        conf = top.match.confidence.value if top else "-"
+        impact = (
+            f"{top.impact_pct:5.1f}%"
+            if top is not None and top.impact_pct is not None
+            else "   n/a"
+        )
+        print(f"{origin:<32} {report.query_name:<14} {cause:<38} {conf:<7} {impact}")
+    print(f"\n{len(reports)} queries diagnosed across {len(set(origins))} bundle(s)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -121,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "batch":
+        return cmd_batch(args)
     return 2  # pragma: no cover
 
 

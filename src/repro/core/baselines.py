@@ -9,6 +9,13 @@ setting or a suboptimal choice of execution plan."*  These diagnosers
 implement exactly those strategies so the claim becomes measurable
 (experiment E10), plus a pure-correlation "ML-only" tool that demonstrates
 event flooding.
+
+Each baseline is expressed as an alternate *pipeline configuration*: a
+single registered :class:`DiagnosisModule` wrapped by
+:func:`baseline_pipeline`.  The classic ``SanOnlyDiagnoser``-style classes
+remain as thin facades over those one-module pipelines, so the baselines
+run on the same engine as the integrated workflow (and can be mixed into
+custom pipelines for side-by-side comparisons).
 """
 
 from __future__ import annotations
@@ -20,10 +27,18 @@ import numpy as np
 from ..lab.environment import DiagnosisBundle
 from ..stats.correlation import pearson
 from .apg import COMPONENT_METRICS
+from .modules.base import DiagnosisContext, ModuleResult
 from .modules.correlated_operators import kde_anomaly
+from .pipeline import DiagnosisPipeline
+from .registry import register_module
 
 __all__ = [
     "BaselineFinding",
+    "BaselineResult",
+    "SanOnlyModule",
+    "DbOnlyModule",
+    "CorrelationOnlyModule",
+    "baseline_pipeline",
     "SanOnlyDiagnoser",
     "DbOnlyDiagnoser",
     "CorrelationOnlyDiagnoser",
@@ -43,6 +58,16 @@ class BaselineFinding:
         return f"{self.cause} @ {self.target} (score {self.score:.2f}) {self.detail}".rstrip()
 
 
+@dataclass
+class BaselineResult(ModuleResult):
+    """Pipeline-module form of a baseline's findings list."""
+
+    findings: list[BaselineFinding] = field(default_factory=list)
+
+    def targets(self) -> list[str]:
+        return [f.target for f in self.findings]
+
+
 def _labelled_runs(bundle: DiagnosisBundle, query_name: str):
     runs = bundle.stores.runs.runs(query_name)
     sat = [r for r in runs if r.satisfactory is True]
@@ -59,8 +84,9 @@ def _window_values(store, component_id, metric, runs):
     return values
 
 
+@register_module
 @dataclass
-class SanOnlyDiagnoser:
+class SanOnlyModule:
     """A storage administrator's tool: volumes + their metrics, nothing else.
 
     It flags every volume with anomalous I/O metrics and — lacking any notion
@@ -70,10 +96,12 @@ class SanOnlyDiagnoser:
 
     threshold: float = 0.8
 
-    def diagnose(self, bundle: DiagnosisBundle, query_name: str) -> list[BaselineFinding]:
-        sat, unsat = _labelled_runs(bundle, query_name)
-        if not sat or not unsat:
-            return []
+    name = "SAN_ONLY"
+    requires: tuple[str, ...] = ()
+
+    def run(self, ctx: DiagnosisContext) -> BaselineResult:
+        bundle = ctx.bundle
+        sat, unsat = ctx.sat_runs, ctx.unsat_runs
         store = bundle.stores.metrics
         # A SAN tool has no notion of query runs — it compares the healthy
         # period against the complaint period wholesale.
@@ -114,11 +142,18 @@ class SanOnlyDiagnoser:
             )
 
         findings.sort(key=io_of, reverse=True)
-        return findings
+        result = BaselineResult(
+            module=self.name,
+            summary=f"{len(findings)} anomalous volumes (ranked by served I/O)",
+            findings=findings,
+        )
+        ctx.set_result(result)
+        return result
 
 
+@register_module
 @dataclass
-class DbOnlyDiagnoser:
+class DbOnlyModule:
     """A database administrator's tool: operators + DB metrics, no SAN view.
 
     It correctly pinpoints the slow operators but, with no visibility into
@@ -129,10 +164,12 @@ class DbOnlyDiagnoser:
 
     threshold: float = 0.8
 
-    def diagnose(self, bundle: DiagnosisBundle, query_name: str) -> list[BaselineFinding]:
-        sat, unsat = _labelled_runs(bundle, query_name)
-        if not sat or not unsat:
-            return []
+    name = "DB_ONLY"
+    requires: tuple[str, ...] = ()
+
+    def run(self, ctx: DiagnosisContext) -> BaselineResult:
+        bundle, query_name = ctx.bundle, ctx.query_name
+        sat, unsat = ctx.sat_runs, ctx.unsat_runs
         store = bundle.stores.metrics
         findings: list[BaselineFinding] = []
 
@@ -193,11 +230,51 @@ class DbOnlyDiagnoser:
                 detail="plan may be mis-costed for current data",
             )
         )
-        return findings
+        result = BaselineResult(
+            module=self.name,
+            summary=f"{len(findings)} database-side hypotheses",
+            findings=findings,
+        )
+        ctx.set_result(result)
+        return result
 
 
+def _correlation_findings(
+    bundle: DiagnosisBundle, query_name: str, top_k: int, min_correlation: float
+) -> list[BaselineFinding]:
+    """Correlate every metric's per-run means with the query durations.
+
+    Needs only >= 3 labelled runs overall — unlike the integrated workflow
+    it does not care whether *both* labels are present.
+    """
+    sat, unsat = _labelled_runs(bundle, query_name)
+    runs = sat + unsat
+    if len(runs) < 3:
+        return []
+    store = bundle.stores.metrics
+    durations = [r.duration for r in runs]
+    findings: list[BaselineFinding] = []
+    for component_id, metric in store.keys():
+        values = _window_values(store, component_id, metric, runs)
+        if len(values) != len(runs):
+            continue
+        coeff = pearson(values, durations)
+        if abs(coeff) >= min_correlation:
+            findings.append(
+                BaselineFinding(
+                    cause="correlated-metric",
+                    target=f"{component_id}.{metric}",
+                    score=abs(coeff),
+                    detail=f"r={coeff:+.2f}",
+                )
+            )
+    findings.sort(key=lambda f: f.score, reverse=True)
+    return findings[:top_k]
+
+
+@register_module
 @dataclass
-class CorrelationOnlyDiagnoser:
+class CorrelationOnlyModule:
     """Pure machine learning: correlate every metric with the slowdown.
 
     No dependency pruning, no domain knowledge — every series whose per-run
@@ -208,27 +285,96 @@ class CorrelationOnlyDiagnoser:
     top_k: int = 10
     min_correlation: float = 0.6
 
+    name = "CORR_ONLY"
+    requires: tuple[str, ...] = ()
+
+    def run(self, ctx: DiagnosisContext) -> BaselineResult:
+        findings = _correlation_findings(
+            ctx.bundle, ctx.query_name, self.top_k, self.min_correlation
+        )
+        result = BaselineResult(
+            module=self.name,
+            summary=f"{len(findings)} correlated metrics (top {self.top_k})",
+            findings=findings,
+        )
+        ctx.set_result(result)
+        return result
+
+
+_BASELINE_MODULES = {
+    "san-only": SanOnlyModule,
+    "db-only": DbOnlyModule,
+    "correlation-only": CorrelationOnlyModule,
+}
+
+
+def baseline_pipeline(kind: str, **kwargs) -> DiagnosisPipeline:
+    """A one-module pipeline for a silo baseline.
+
+    ``kind`` is one of ``san-only``, ``db-only``, ``correlation-only``;
+    ``kwargs`` configure the module (``threshold``, ``top_k``, ...).
+    """
+    try:
+        factory = _BASELINE_MODULES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {kind!r} (choose from {sorted(_BASELINE_MODULES)})"
+        ) from None
+    return DiagnosisPipeline([factory(**kwargs)])
+
+
+class _BaselineFacade:
+    """Shared ``diagnose()`` entry point of the classic baseline classes."""
+
+    kind: str
+
+    def _module_kwargs(self) -> dict:
+        raise NotImplementedError
+
     def diagnose(self, bundle: DiagnosisBundle, query_name: str) -> list[BaselineFinding]:
         sat, unsat = _labelled_runs(bundle, query_name)
-        runs = sat + unsat
-        if len(runs) < 3:
+        if not sat or not unsat:
             return []
-        store = bundle.stores.metrics
-        durations = [r.duration for r in runs]
-        findings = []
-        for component_id, metric in store.keys():
-            values = _window_values(store, component_id, metric, runs)
-            if len(values) != len(runs):
-                continue
-            coeff = pearson(values, durations)
-            if abs(coeff) >= self.min_correlation:
-                findings.append(
-                    BaselineFinding(
-                        cause="correlated-metric",
-                        target=f"{component_id}.{metric}",
-                        score=abs(coeff),
-                        detail=f"r={coeff:+.2f}",
-                    )
-                )
-        findings.sort(key=lambda f: f.score, reverse=True)
-        return findings[: self.top_k]
+        pipeline = baseline_pipeline(self.kind, **self._module_kwargs())
+        report = pipeline.diagnose(bundle, query_name)
+        result: BaselineResult = report.context.result(pipeline.order[0])
+        return result.findings
+
+
+@dataclass
+class SanOnlyDiagnoser(_BaselineFacade):
+    threshold: float = 0.8
+    kind = "san-only"
+
+    def _module_kwargs(self) -> dict:
+        return {"threshold": self.threshold}
+
+
+@dataclass
+class DbOnlyDiagnoser(_BaselineFacade):
+    threshold: float = 0.8
+    kind = "db-only"
+
+    def _module_kwargs(self) -> dict:
+        return {"threshold": self.threshold}
+
+
+@dataclass
+class CorrelationOnlyDiagnoser(_BaselineFacade):
+    top_k: int = 10
+    min_correlation: float = 0.6
+    kind = "correlation-only"
+
+    def _module_kwargs(self) -> dict:
+        return {"top_k": self.top_k, "min_correlation": self.min_correlation}
+
+    def diagnose(self, bundle: DiagnosisBundle, query_name: str) -> list[BaselineFinding]:
+        sat, unsat = _labelled_runs(bundle, query_name)
+        if sat and unsat:
+            return super().diagnose(bundle, query_name)
+        # Pure correlation needs only >= 3 labelled runs, not both labels —
+        # a diagnosis context (and hence the pipeline) is unusable here, so
+        # fall through to the module's computation directly.
+        return _correlation_findings(
+            bundle, query_name, self.top_k, self.min_correlation
+        )

@@ -8,12 +8,19 @@ fault injector knows but DIADS never sees).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..lab.scenarios import Scenario, ScenarioBundle
+from .pipeline import DiagnosisRequest, default_pipeline
 from .symptoms import SymptomsDatabase
-from .workflow import Diads, DiagnosisReport
+from .workflow import DiagnosisReport
 
-__all__ = ["ScenarioEvaluation", "evaluate_scenario", "evaluate_bundle"]
+__all__ = [
+    "ScenarioEvaluation",
+    "evaluate_bundle",
+    "evaluate_bundles",
+    "evaluate_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -43,19 +50,10 @@ class ScenarioEvaluation:
         )
 
 
-def evaluate_bundle(
-    scenario_bundle: ScenarioBundle,
-    symptoms_db: SymptomsDatabase | None = None,
-    threshold: float = 0.8,
+def _evaluate_report(
+    scenario_bundle: ScenarioBundle, report: DiagnosisReport
 ) -> ScenarioEvaluation:
-    """Diagnose a scenario bundle and compare against its ground truth.
-
-    ``identified`` requires the top-ranked cause to be one of the injected
-    ones AND every injected cause to reach high confidence.
-    """
-    report = Diads.from_bundle(
-        scenario_bundle, symptoms_db=symptoms_db, threshold=threshold
-    ).diagnose(scenario_bundle.query_name)
+    """Compare a finished diagnosis against the scenario's ground truth."""
     top = report.top_cause
     high = tuple(
         rc.match.cause_id
@@ -80,6 +78,48 @@ def evaluate_bundle(
         high_confidence_causes=high,
         report=report,
     )
+
+
+def evaluate_bundle(
+    scenario_bundle: ScenarioBundle,
+    symptoms_db: SymptomsDatabase | None = None,
+    threshold: float = 0.8,
+) -> ScenarioEvaluation:
+    """Diagnose a scenario bundle and compare against its ground truth.
+
+    ``identified`` requires the top-ranked cause to be one of the injected
+    ones AND every injected cause to reach high confidence.
+    """
+    return evaluate_bundles(
+        [scenario_bundle], symptoms_db=symptoms_db, threshold=threshold,
+        max_workers=1,
+    )[0]
+
+
+def evaluate_bundles(
+    scenario_bundles: Sequence[ScenarioBundle],
+    symptoms_db: SymptomsDatabase | None = None,
+    threshold: float = 0.8,
+    max_workers: int | None = None,
+) -> list[ScenarioEvaluation]:
+    """Evaluate a sweep of scenario bundles through one batch diagnosis.
+
+    All scenarios share one pipeline; the per-scenario diagnoses fan out
+    over :meth:`DiagnosisPipeline.diagnose_many` (each scenario is its own
+    bundle, so this is the many-bundle batch path).
+    """
+    pipeline = default_pipeline(symptoms_db)
+    requests = [
+        DiagnosisRequest(
+            bundle=sb.bundle, query_name=sb.query_name, threshold=threshold
+        )
+        for sb in scenario_bundles
+    ]
+    reports = pipeline.diagnose_many(requests, max_workers=max_workers)
+    return [
+        _evaluate_report(sb, report)
+        for sb, report in zip(scenario_bundles, reports)
+    ]
 
 
 def evaluate_scenario(

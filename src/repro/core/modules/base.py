@@ -9,7 +9,19 @@ from ...db.executor import QueryRun
 from ...lab.environment import DiagnosisBundle
 from ..apg import AnnotatedPlanGraph
 
-__all__ = ["DiagnosisContext", "ModuleResult"]
+__all__ = ["DiagnosisContext", "ModuleResult", "plans_match"]
+
+
+def plans_match(ctx: "DiagnosisContext") -> bool:
+    """Gate for the statistical drill-down modules (CO/CR/DA).
+
+    The Figure-2 workflow only drills into operator statistics when the
+    satisfactory and unsatisfactory runs share a plan; once Module PD finds
+    the plans differ, the plan-change branch takes over.  Passes
+    optimistically while PD has not produced a result yet.
+    """
+    pd = ctx.results.get("PD")
+    return pd is None or not getattr(pd, "plans_differ", False)
 
 
 @dataclass

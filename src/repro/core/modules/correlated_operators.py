@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...stats.kde import GaussianKDE
-from .base import DiagnosisContext, ModuleResult
+from ..registry import register_module
+from .base import DiagnosisContext, ModuleResult, plans_match
 
 __all__ = ["COResult", "CorrelatedOperatorsModule", "kde_anomaly"]
 
@@ -45,10 +46,14 @@ class COResult(ModuleResult):
         return sorted(self.scores.items(), key=lambda kv: kv[1], reverse=True)[:n]
 
 
+@register_module
 class CorrelatedOperatorsModule:
     """Module CO."""
 
     name = "CO"
+    requires = ("PD",)
+    provides = "CO"
+    gate = staticmethod(plans_match)
 
     def run(self, ctx: DiagnosisContext) -> COResult:
         if ctx.apg is None:

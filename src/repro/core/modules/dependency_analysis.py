@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 
 from ...stats.correlation import pearson
 from ..apg import COMPONENT_METRICS, DB_METRICS
-from .base import DiagnosisContext, ModuleResult
+from ..registry import register_module
+from .base import DiagnosisContext, ModuleResult, plans_match
 from .correlated_operators import COResult, kde_anomaly
 
 __all__ = ["MetricFinding", "DAResult", "DependencyAnalysisModule"]
@@ -72,10 +73,15 @@ class DAResult(ModuleResult):
         }
 
 
+@register_module
 class DependencyAnalysisModule:
     """Module DA."""
 
     name = "DA"
+    requires = ("PD", "CO")
+    after = ("CR",)
+    provides = "DA"
+    gate = staticmethod(plans_match)
 
     def run(self, ctx: DiagnosisContext) -> DAResult:
         if ctx.apg is None:

@@ -31,6 +31,7 @@ import numpy as np
 
 from ...db.executor import QueryRun
 from ...db.plans import PlanOperator
+from ..registry import register_module
 from ..symptoms import RootCauseMatch
 from .base import DiagnosisContext, ModuleResult
 from .correlated_operators import COResult
@@ -93,10 +94,14 @@ class IAResult(ModuleResult):
         )
 
 
+@register_module
 class ImpactAnalysisModule:
     """Module IA."""
 
     name = "IA"
+    requires = ("PD", "SD")
+    after = ("CO", "CR", "DA")
+    provides = "IA"
 
     def run(self, ctx: DiagnosisContext) -> IAResult:
         if ctx.apg is None:

@@ -19,6 +19,7 @@ from ...db.optimizer import Optimizer
 from ...db.plans import PlanOperator, diff_plans
 from ...db.query import QuerySpec
 from ..apg import build_apg
+from ..registry import register_module
 from .base import DiagnosisContext, ModuleResult
 
 __all__ = ["PlanChangeCause", "PDResult", "PlanDiffModule"]
@@ -63,10 +64,13 @@ def _dominant_plan(runs: list[QueryRun]) -> tuple[str, PlanOperator]:
     return signature, plan
 
 
+@register_module
 class PlanDiffModule:
     """Module PD."""
 
     name = "PD"
+    requires: tuple[str, ...] = ()
+    provides = "PD"
 
     def run(self, ctx: DiagnosisContext) -> PDResult:
         sat_sig, sat_plan = _dominant_plan(ctx.sat_runs)

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...stats.kde import GaussianKDE
-from .base import DiagnosisContext, ModuleResult
+from ..registry import register_module
+from .base import DiagnosisContext, ModuleResult, plans_match
 from .correlated_operators import COResult
 
 __all__ = ["CRResult", "RecordCountsModule", "two_sided_anomaly"]
@@ -47,10 +48,15 @@ class CRResult(ModuleResult):
         return bool(self.crs)
 
 
+@register_module
 class RecordCountsModule:
     """Module CR."""
 
     name = "CR"
+    requires = ("PD",)
+    after = ("CO",)
+    provides = "CR"
+    gate = staticmethod(plans_match)
 
     def run(self, ctx: DiagnosisContext) -> CRResult:
         if ctx.apg is None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ...san.events import SanEventKind
+from ..registry import register_module
 from ..symptoms import RootCauseMatch, Symptom, SymptomsDatabase, default_symptoms_database
 from .base import DiagnosisContext, ModuleResult
 from .correlated_operators import COResult
@@ -209,10 +210,16 @@ def _event_symptoms(ctx: DiagnosisContext) -> list[Symptom]:
     return symptoms
 
 
+@register_module
 class SymptomsDatabaseModule:
     """Module SD."""
 
     name = "SD"
+    # No hard requires: extract_symptoms reads PD/CO/CR/DA optionally, so a
+    # bypassed drill-down (even PD itself) still yields a symptoms match.
+    requires: tuple[str, ...] = ()
+    after = ("PD", "CO", "CR", "DA")
+    provides = "SD"
 
     def __init__(self, database: SymptomsDatabase | None = None) -> None:
         self.database = database or default_symptoms_database()

@@ -1,0 +1,457 @@
+"""The declarative diagnosis-pipeline engine.
+
+The seed implementation hard-coded the Figure-2 workflow: a module dict, a
+``MODULE_ORDER`` tuple, and an ``if not pd.plans_differ`` branch inside
+``Diads.diagnose``.  This engine replaces that imperative core with data:
+
+* modules declare ``requires`` (hard upstream results), ``after`` (soft
+  ordering), and an optional ``gate(ctx)`` predicate — the plans-differ
+  branch is now a gate on CO/CR/DA, not an ``if`` in the driver;
+* :class:`DiagnosisPipeline` topologically sorts the modules, evaluates
+  gates, cascades skips to hard dependents, and assembles the
+  :class:`DiagnosisReport`;
+* :meth:`DiagnosisPipeline.diagnose_many` fans a batch of
+  :class:`DiagnosisRequest`\\ s (spanning one or many bundles) over a thread
+  pool for fleet-scale diagnosis.
+
+:class:`~repro.core.workflow.Diads` and
+:class:`~repro.core.workflow.InteractiveSession` are thin facades over this
+engine; new modules plug in through :mod:`repro.core.registry` without
+touching anything here.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..lab.environment import DiagnosisBundle
+from ..lab.scenarios import ScenarioBundle
+from .modules.base import DiagnosisContext, ModuleResult
+from .registry import DiagnosisModule, ModuleRegistry, default_registry
+from .symptoms import RootCauseMatch
+
+__all__ = [
+    "DEFAULT_MODULES",
+    "DiagnosisPipeline",
+    "DiagnosisReport",
+    "DiagnosisRequest",
+    "PipelineError",
+    "RankedCause",
+    "default_pipeline",
+    "diagnosable_queries",
+    "rank_causes",
+]
+
+
+def diagnosable_queries(bundle: "DiagnosisBundle") -> list[str]:
+    """Query names in a bundle with both labels, i.e. diagnosable."""
+    runs = bundle.stores.runs
+    names = sorted({r.query_name for r in runs.runs()})
+    return [
+        name
+        for name in names
+        if runs.satisfactory_runs(name) and runs.unsatisfactory_runs(name)
+    ]
+
+#: The paper's Figure-2 workflow, by registered module name.
+DEFAULT_MODULES = ("PD", "CO", "CR", "DA", "SD", "IA")
+
+_CONFIDENCE_ORDER = {"high": 0, "medium": 1, "low": 2}
+
+
+class PipelineError(ValueError):
+    """Invalid pipeline definition (unknown/duplicate module, cycle, ...)."""
+
+
+@dataclass(frozen=True)
+class RankedCause:
+    """A root cause with its confidence and (when computed) impact."""
+
+    match: RootCauseMatch
+    impact_pct: float | None = None
+
+    @property
+    def display_id(self) -> str:
+        return self.match.display_id
+
+    def describe(self) -> str:
+        impact = (
+            f", impact {self.impact_pct:.1f}%" if self.impact_pct is not None else ""
+        )
+        return (
+            f"{self.match.display_id}: {self.match.confidence.value} confidence "
+            f"({self.match.score:.0f}%{impact}) — {self.match.description}"
+        )
+
+
+@dataclass
+class DiagnosisReport:
+    """Final output of a diagnosis: module results + ranked root causes."""
+
+    query_name: str
+    context: DiagnosisContext
+    ranked_causes: list[RankedCause] = field(default_factory=list)
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def top_cause(self) -> RankedCause | None:
+        return self.ranked_causes[0] if self.ranked_causes else None
+
+    def cause(self, cause_id: str) -> RankedCause:
+        for ranked in self.ranked_causes:
+            if ranked.match.cause_id == cause_id:
+                return ranked
+        raise KeyError(f"cause {cause_id!r} not in report")
+
+    def module_result(self, module: str) -> ModuleResult:
+        return self.context.result(module)
+
+    def render(self) -> str:
+        from .report import render_diagnosis
+
+        return render_diagnosis(self)
+
+
+def rank_causes(sd: Any, ia: Any) -> list[RankedCause]:
+    """Order SD matches by confidence, then impact, then match score."""
+    impacts = {}
+    if ia is not None:
+        impacts = {(s.cause_id, s.binding): s.impact_pct for s in ia.impacts}
+    ranked = [
+        RankedCause(match=m, impact_pct=impacts.get((m.cause_id, m.binding)))
+        for m in sd.matches
+    ]
+    ranked.sort(
+        key=lambda rc: (
+            _CONFIDENCE_ORDER.get(rc.match.confidence.value, 3),
+            -(rc.impact_pct if rc.impact_pct is not None else -1.0),
+            -rc.match.score,
+        )
+    )
+    return ranked
+
+
+@dataclass(frozen=True)
+class DiagnosisRequest:
+    """One unit of batch work: a query in a bundle, plus its thresholds."""
+
+    bundle: DiagnosisBundle
+    query_name: str
+    threshold: float = 0.8
+    correlation_threshold: float = 0.5
+
+    @classmethod
+    def of(cls, item: "DiagnosisRequest | tuple | ScenarioBundle") -> "DiagnosisRequest":
+        if isinstance(item, cls):
+            return item
+        if isinstance(item, ScenarioBundle):
+            return cls(bundle=item.bundle, query_name=item.query_name)
+        bundle, query_name, *rest = item
+        if isinstance(bundle, ScenarioBundle):
+            bundle = bundle.bundle
+        return cls(bundle, query_name, *rest)
+
+
+class DiagnosisPipeline:
+    """Declarative, gate-aware executor for diagnosis modules.
+
+    ``modules`` mixes registered names and ready module instances; names are
+    resolved through ``registry`` (the process default unless given).  The
+    execution order is the stable topological order induced by each module's
+    ``requires``/``after`` declarations, so callers list modules in any
+    order and plug-ins land where their dependencies put them.
+
+    Module instances are shared across queries and threads — the protocol
+    requires them to be stateless (all per-query state lives on the
+    :class:`DiagnosisContext`).
+    """
+
+    def __init__(
+        self,
+        modules: Sequence[str | DiagnosisModule] = DEFAULT_MODULES,
+        *,
+        registry: ModuleRegistry | None = None,
+    ) -> None:
+        registry = registry or default_registry()
+        instances: dict[str, DiagnosisModule] = {}
+        for item in modules:
+            module = registry.create(item) if isinstance(item, str) else item
+            name = getattr(module, "name", None)
+            if not name:
+                raise PipelineError(f"module {module!r} has no name")
+            if name in instances:
+                raise PipelineError(f"module {name!r} listed twice")
+            instances[name] = module
+        self._modules = instances
+        self.order: tuple[str, ...] = self._toposort(instances)
+
+    # -- declaration helpers --------------------------------------------
+    @staticmethod
+    def requires_of(module: DiagnosisModule) -> tuple[str, ...]:
+        return tuple(getattr(module, "requires", ()))
+
+    @staticmethod
+    def after_of(module: DiagnosisModule) -> tuple[str, ...]:
+        return tuple(getattr(module, "after", ()))
+
+    @staticmethod
+    def provides_of(module: DiagnosisModule) -> str:
+        return getattr(module, "provides", None) or module.name
+
+    @staticmethod
+    def gate_of(module: DiagnosisModule) -> Callable[[DiagnosisContext], bool] | None:
+        return getattr(module, "gate", None)
+
+    def module(self, name: str) -> DiagnosisModule:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise PipelineError(f"module {name!r} not in pipeline") from None
+
+    def modules(self) -> dict[str, DiagnosisModule]:
+        """Name → instance, in execution order."""
+        return {name: self._modules[name] for name in self.order}
+
+    def _toposort(self, instances: dict[str, DiagnosisModule]) -> tuple[str, ...]:
+        # requires/after reference *result keys*: a module's ``provides``
+        # (defaulting to its name), so drop-in replacements slot into the
+        # same dependency edges as the module they replace.
+        provider_of: dict[str, str] = {}
+        for name, module in instances.items():
+            key = self.provides_of(module)
+            if key in provider_of:
+                raise PipelineError(
+                    f"modules {provider_of[key]!r} and {name!r} both provide {key!r}"
+                )
+            provider_of[key] = name
+        self._provider_of = provider_of
+
+        edges: dict[str, set[str]] = {name: set() for name in instances}
+        for name, module in instances.items():
+            for dep in self.requires_of(module):
+                if dep not in provider_of:
+                    raise PipelineError(
+                        f"module {name!r} requires {dep!r}, which no module in "
+                        f"the pipeline provides ({sorted(provider_of)})"
+                    )
+                edges[name].add(provider_of[dep])
+            for dep in self.after_of(module):
+                if dep in provider_of:
+                    edges[name].add(provider_of[dep])
+        # Kahn's algorithm, stable w.r.t. the caller's listing order.
+        listed = list(instances)
+        order: list[str] = []
+        placed: set[str] = set()
+        while len(order) < len(listed):
+            ready = [
+                n for n in listed if n not in placed and edges[n] <= placed
+            ]
+            if not ready:
+                cycle = sorted(set(listed) - placed)
+                raise PipelineError(f"dependency cycle among modules {cycle}")
+            order.append(ready[0])
+            placed.add(ready[0])
+        return tuple(order)
+
+    # -- scheduling ------------------------------------------------------
+    def pending(
+        self,
+        ctx: DiagnosisContext,
+        executed: Iterable[str] = (),
+        bypassed: Iterable[str] = (),
+    ) -> list[str]:
+        """Modules still due to run, given the context's current state.
+
+        Evaluates gates against ``ctx`` as it stands (a gate whose upstream
+        has not produced a result yet passes optimistically) and drops
+        modules whose hard requirements were bypassed or gated away.
+        """
+        executed = set(executed)
+        unavailable = set(bypassed)  # module names
+        results = set(ctx.results)  # provides keys
+        out: list[str] = []
+        for name in self.order:
+            if name in executed:
+                continue
+            if name in unavailable:
+                continue
+            module = self._modules[name]
+            if any(
+                self._provider_of[dep] in unavailable
+                or (dep not in results and self._provider_of[dep] not in out)
+                for dep in self.requires_of(module)
+            ):
+                unavailable.add(name)
+                continue
+            gate = self.gate_of(module)
+            if gate is not None and not gate(ctx):
+                unavailable.add(name)
+                continue
+            out.append(name)
+        return out
+
+    def skip_reasons(
+        self,
+        ctx: DiagnosisContext,
+        executed: Iterable[str] = (),
+        bypassed: Iterable[str] = (),
+    ) -> dict[str, str]:
+        """Classify every module that will not run: bypassed/gated/cascaded.
+
+        Mirrors what :meth:`execute` records in batch mode, so interactive
+        sessions report the same ``skipped`` bookkeeping.  Modules still
+        pending are not skipped and are excluded.
+        """
+        executed = set(executed)
+        bypassed = set(bypassed)
+        still_pending = set(self.pending(ctx, executed, bypassed))
+        reasons: dict[str, str] = {}
+        for name in self.order:
+            if name in executed or name in still_pending:
+                continue
+            if name in bypassed:
+                reasons[name] = "bypassed"
+                continue
+            module = self._modules[name]
+            gate = self.gate_of(module)
+            if gate is not None and not gate(ctx):
+                reasons[name] = "gated"
+                continue
+            blocker = next(
+                (
+                    dep
+                    for dep in self.requires_of(module)
+                    if self._provider_of[dep] in reasons
+                ),
+                None,
+            )
+            if blocker is not None:
+                provider = self._provider_of[blocker]
+                reasons[name] = f"upstream {blocker} unavailable ({reasons[provider]})"
+            else:
+                reasons[name] = "not executed"
+        return reasons
+
+    # -- execution -------------------------------------------------------
+    def execute(
+        self,
+        ctx: DiagnosisContext,
+        bypassed: Iterable[str] = (),
+    ) -> dict[str, str]:
+        """Run the pipeline over ``ctx``; returns {module: reason} skips."""
+        skipped: dict[str, str] = {name: "bypassed" for name in bypassed}
+        for name in self.order:
+            if name in skipped:
+                continue
+            module = self._modules[name]
+            gate = self.gate_of(module)
+            if gate is not None and not gate(ctx):
+                skipped[name] = "gated"
+                continue
+            blocker = next(
+                (
+                    dep
+                    for dep in self.requires_of(module)
+                    if self._provider_of[dep] in skipped
+                ),
+                None,
+            )
+            if blocker is not None:
+                provider = self._provider_of[blocker]
+                skipped[name] = f"upstream {blocker} unavailable ({skipped[provider]})"
+                continue
+            module.run(ctx)
+        return skipped
+
+    def report(
+        self, ctx: DiagnosisContext, skipped: dict[str, str] | None = None
+    ) -> DiagnosisReport:
+        """Assemble the report from whatever the context accumulated."""
+        sd = ctx.results.get("SD")
+        ia = ctx.results.get("IA")
+        ranked = rank_causes(sd, ia) if sd is not None else []
+        return DiagnosisReport(
+            query_name=ctx.query_name,
+            context=ctx,
+            ranked_causes=ranked,
+            skipped=dict(skipped or {}),
+        )
+
+    def diagnose(
+        self,
+        bundle: DiagnosisBundle | ScenarioBundle,
+        query_name: str | None = None,
+        *,
+        threshold: float = 0.8,
+        correlation_threshold: float = 0.5,
+    ) -> DiagnosisReport:
+        """Diagnose one query end-to-end (context → modules → report)."""
+        if isinstance(bundle, ScenarioBundle):
+            query_name = query_name or bundle.query_name
+            bundle = bundle.bundle
+        if query_name is None:
+            raise ValueError("query_name is required for a raw DiagnosisBundle")
+        ctx = DiagnosisContext(
+            bundle=bundle,
+            query_name=query_name,
+            threshold=threshold,
+            correlation_threshold=correlation_threshold,
+        )
+        skipped = self.execute(ctx)
+        return self.report(ctx, skipped)
+
+    def diagnose_many(
+        self,
+        requests: Iterable["DiagnosisRequest | tuple | ScenarioBundle"],
+        max_workers: int | None = None,
+    ) -> list[DiagnosisReport]:
+        """Fleet-scale batch diagnosis over one or many bundles.
+
+        ``requests`` items may be :class:`DiagnosisRequest`\\ s,
+        ``(bundle, query_name)`` tuples, or scenario bundles.  Reports come
+        back in request order.  Work fans out over ``max_workers`` threads
+        (contexts are per-request, module instances are stateless, and the
+        monitoring stores synchronise their lazy caches, so requests are
+        independent); ``max_workers=1`` forces sequential execution.
+        """
+        reqs = [DiagnosisRequest.of(item) for item in requests]
+        if max_workers is None:
+            max_workers = min(8, len(reqs)) or 1
+        if max_workers <= 1 or len(reqs) <= 1:
+            return [self._diagnose_request(r) for r in reqs]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(self._diagnose_request, r) for r in reqs]
+            return [f.result() for f in futures]
+
+    def _diagnose_request(self, req: DiagnosisRequest) -> DiagnosisReport:
+        return self.diagnose(
+            req.bundle,
+            req.query_name,
+            threshold=req.threshold,
+            correlation_threshold=req.correlation_threshold,
+        )
+
+
+def default_pipeline(
+    symptoms_db: Any = None,
+    *,
+    registry: ModuleRegistry | None = None,
+    extra_modules: Sequence[str | DiagnosisModule] = (),
+) -> DiagnosisPipeline:
+    """The paper's six-module workflow, plus any ``extra_modules``.
+
+    Importing :mod:`repro.core.modules` registers the six Figure-2 modules;
+    ``symptoms_db`` configures Module SD.  ``extra_modules`` is the plug-in
+    hook: registered names or instances are topologically slotted in.
+    """
+    from .modules import SymptomsDatabaseModule  # ensure registrations ran
+
+    registry = registry or default_registry()
+    modules: list[str | DiagnosisModule] = [
+        SymptomsDatabaseModule(symptoms_db) if name == "SD" else name
+        for name in DEFAULT_MODULES
+    ]
+    modules.extend(extra_modules)
+    return DiagnosisPipeline(modules, registry=registry)

@@ -124,11 +124,9 @@ def render_apg_browser(
 
 def render_workflow_screen(session: "InteractiveSession") -> str:
     """Figure 7: module buttons with status + the last result panel."""
-    from .workflow import MODULE_ORDER
-
     lines = ["DIADS workflow execution", _rule("=")]
     buttons = []
-    for name in MODULE_ORDER:
+    for name in session.pipeline.order:
         if name in session.executed:
             status = "done"
         elif name in session.bypassed:

@@ -102,6 +102,7 @@ def report_to_dict(report: DiagnosisReport) -> dict[str, Any]:
         "modules": {
             name: result.summary for name, result in sorted(ctx.results.items())
         },
+        "skipped": dict(sorted(report.skipped.items())),
         "symptoms": [
             {"sid": s.sid, "time": s.time, "description": s.description}
             for s in (sd.symptoms if sd is not None else [])

@@ -1,7 +1,13 @@
-"""The DIADS diagnosis workflow: batch and interactive execution (Figure 2).
+"""The DIADS diagnosis workflow: batch and interactive facades (Figure 2).
 
-Batch mode runs every module in order and returns a
-:class:`DiagnosisReport`.  Interactive mode exposes the same pipeline one
+Both facades sit on top of the declarative engine in
+:mod:`repro.core.pipeline`: the module set, its ordering, and the
+plans-differ branch all come from the modules' own ``requires``/``after``/
+``gate`` declarations rather than imperative code here.
+
+Batch mode (:meth:`Diads.diagnose`) runs the pipeline and returns a
+:class:`DiagnosisReport`; :meth:`Diads.diagnose_many` fans a batch of
+queries over a thread pool.  Interactive mode exposes the same pipeline one
 step at a time: after each module the administrator can inspect the result,
 *edit* it (e.g. remove an operator they know is harmless from COS), *re-run*
 a module, or *bypass* one — mirroring the tool's workflow-execution screen
@@ -10,95 +16,45 @@ a module, or *bypass* one — mirroring the tool's workflow-execution screen
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+import threading
+from typing import Callable, Sequence
 
 from ..lab.environment import DiagnosisBundle
 from ..lab.scenarios import ScenarioBundle
 from .modules.base import DiagnosisContext, ModuleResult
-from .modules.correlated_operators import CorrelatedOperatorsModule
-from .modules.dependency_analysis import DependencyAnalysisModule
-from .modules.impact import IAResult, ImpactAnalysisModule
-from .modules.plan_diff import PDResult, PlanDiffModule
-from .modules.record_counts import RecordCountsModule
-from .modules.symptoms_db import SDResult, SymptomsDatabaseModule
-from .symptoms import RootCauseMatch, SymptomsDatabase
+from .pipeline import (
+    DEFAULT_MODULES,
+    DiagnosisPipeline,
+    DiagnosisReport,
+    DiagnosisRequest,
+    RankedCause,
+    default_pipeline,
+    diagnosable_queries,
+    rank_causes,
+)
+from .registry import DiagnosisModule, ModuleRegistry
+from .symptoms import SymptomsDatabase
 
 __all__ = ["RankedCause", "DiagnosisReport", "Diads", "InteractiveSession", "MODULE_ORDER"]
 
-MODULE_ORDER = ("PD", "CO", "CR", "DA", "SD", "IA")
+#: Execution order of the paper's workflow.  The engine derives it from the
+#: module declarations at pipeline construction; tests assert this constant
+#: matches ``default_pipeline().order``, so importing :mod:`repro` stays
+#: free of module instantiation side effects.
+MODULE_ORDER = DEFAULT_MODULES
 
-_CONFIDENCE_ORDER = {"high": 0, "medium": 1, "low": 2}
-
-
-@dataclass(frozen=True)
-class RankedCause:
-    """A root cause with its confidence and (when computed) impact."""
-
-    match: RootCauseMatch
-    impact_pct: float | None = None
-
-    @property
-    def display_id(self) -> str:
-        return self.match.display_id
-
-    def describe(self) -> str:
-        impact = (
-            f", impact {self.impact_pct:.1f}%" if self.impact_pct is not None else ""
-        )
-        return (
-            f"{self.match.display_id}: {self.match.confidence.value} confidence "
-            f"({self.match.score:.0f}%{impact}) — {self.match.description}"
-        )
-
-
-@dataclass
-class DiagnosisReport:
-    """Final output of a diagnosis: module results + ranked root causes."""
-
-    query_name: str
-    context: DiagnosisContext
-    ranked_causes: list[RankedCause] = field(default_factory=list)
-
-    @property
-    def top_cause(self) -> RankedCause | None:
-        return self.ranked_causes[0] if self.ranked_causes else None
-
-    def cause(self, cause_id: str) -> RankedCause:
-        for ranked in self.ranked_causes:
-            if ranked.match.cause_id == cause_id:
-                return ranked
-        raise KeyError(f"cause {cause_id!r} not in report")
-
-    def module_result(self, module: str) -> ModuleResult:
-        return self.context.result(module)
-
-    def render(self) -> str:
-        from .report import render_diagnosis
-
-        return render_diagnosis(self)
-
-
-def _rank(sd: SDResult, ia: IAResult | None) -> list[RankedCause]:
-    impacts = {}
-    if ia is not None:
-        impacts = {(s.cause_id, s.binding): s.impact_pct for s in ia.impacts}
-    ranked = [
-        RankedCause(match=m, impact_pct=impacts.get((m.cause_id, m.binding)))
-        for m in sd.matches
-    ]
-    ranked.sort(
-        key=lambda rc: (
-            _CONFIDENCE_ORDER.get(rc.match.confidence.value, 3),
-            -(rc.impact_pct if rc.impact_pct is not None else -1.0),
-            -rc.match.score,
-        )
-    )
-    return ranked
+_rank = rank_causes  # back-compat alias (pre-engine name)
 
 
 class Diads:
-    """The integrated diagnosis tool over one monitoring bundle."""
+    """The integrated diagnosis tool over one monitoring bundle.
+
+    A thin facade over :class:`DiagnosisPipeline`: it holds the bundle and
+    thresholds, builds per-query contexts, and caches finished reports.
+    Custom module sets plug in via ``modules`` (registered names or
+    instances — see :func:`repro.core.registry.register_module`) or a
+    ready-made ``pipeline``.
+    """
 
     def __init__(
         self,
@@ -106,11 +62,50 @@ class Diads:
         threshold: float = 0.8,
         correlation_threshold: float = 0.5,
         symptoms_db: SymptomsDatabase | None = None,
+        *,
+        modules: Sequence[str | DiagnosisModule] | None = None,
+        registry: ModuleRegistry | None = None,
+        pipeline: DiagnosisPipeline | None = None,
     ) -> None:
         self.bundle = bundle
         self.threshold = threshold
         self.correlation_threshold = correlation_threshold
-        self.symptoms_db = symptoms_db
+        self._registry = registry
+        self._default_built = pipeline is None and modules is None
+        self._symptoms_db = symptoms_db
+        if pipeline is None:
+            if modules is None:
+                pipeline = default_pipeline(symptoms_db, registry=registry)
+            else:
+                # Honour the symptoms_db argument when SD is named literally.
+                from .modules import SymptomsDatabaseModule
+
+                resolved = [
+                    SymptomsDatabaseModule(symptoms_db) if m == "SD" else m
+                    for m in modules
+                ]
+                pipeline = DiagnosisPipeline(resolved, registry=registry)
+        self.pipeline = pipeline
+        self._reports: dict[tuple, DiagnosisReport] = {}
+        self._cache_lock = threading.Lock()
+
+    @property
+    def symptoms_db(self) -> SymptomsDatabase | None:
+        return self._symptoms_db
+
+    @symptoms_db.setter
+    def symptoms_db(self, value: SymptomsDatabase | None) -> None:
+        """Swap the symptoms database; rebuilds the (default) pipeline."""
+        if not self._default_built:
+            raise ValueError(
+                "cannot swap symptoms_db on a Diads built with a custom "
+                "modules=/pipeline= — construct a new Diads (or a new "
+                "SymptomsDatabaseModule) instead"
+            )
+        self._symptoms_db = value
+        self.pipeline = default_pipeline(value, registry=self._registry)
+        with self._cache_lock:
+            self._reports.clear()
 
     @classmethod
     def from_bundle(cls, bundle: DiagnosisBundle | ScenarioBundle, **kwargs) -> "Diads":
@@ -127,32 +122,75 @@ class Diads:
             correlation_threshold=self.correlation_threshold,
         )
 
-    def modules(self) -> dict[str, object]:
-        return {
-            "PD": PlanDiffModule(),
-            "CO": CorrelatedOperatorsModule(),
-            "CR": RecordCountsModule(),
-            "DA": DependencyAnalysisModule(),
-            "SD": SymptomsDatabaseModule(self.symptoms_db),
-            "IA": ImpactAnalysisModule(),
-        }
+    def modules(self) -> dict[str, DiagnosisModule]:
+        """The pipeline's module instances, in execution order."""
+        return self.pipeline.modules()
 
-    def diagnose(self, query_name: str) -> DiagnosisReport:
-        """Batch mode: run the full workflow and rank root causes."""
-        ctx = self.context(query_name)
-        modules = self.modules()
-        pd: PDResult = modules["PD"].run(ctx)  # type: ignore[union-attr]
-        if not pd.plans_differ:
-            modules["CO"].run(ctx)  # type: ignore[union-attr]
-            modules["CR"].run(ctx)  # type: ignore[union-attr]
-            modules["DA"].run(ctx)  # type: ignore[union-attr]
-        sd: SDResult = modules["SD"].run(ctx)  # type: ignore[union-attr]
-        ia: IAResult = modules["IA"].run(ctx)  # type: ignore[union-attr]
-        return DiagnosisReport(
-            query_name=query_name,
-            context=ctx,
-            ranked_causes=_rank(sd, ia),
+    def queries(self) -> list[str]:
+        """Query names in the bundle with both labels, i.e. diagnosable."""
+        return diagnosable_queries(self.bundle)
+
+    def _cache_key(self, query_name: str) -> tuple:
+        return (query_name, self.threshold, self.correlation_threshold)
+
+    # ------------------------------------------------------------------
+    def diagnose(self, query_name: str, *, refresh: bool = False) -> DiagnosisReport:
+        """Batch mode: run the full workflow and rank root causes.
+
+        Reports are cached per query (the monitoring bundle is immutable
+        during diagnosis); pass ``refresh=True`` to re-run the pipeline.
+        """
+        key = self._cache_key(query_name)
+        if not refresh:
+            with self._cache_lock:
+                cached = self._reports.get(key)
+            if cached is not None:
+                return cached
+        report = self.pipeline.diagnose(
+            self.bundle,
+            query_name,
+            threshold=self.threshold,
+            correlation_threshold=self.correlation_threshold,
         )
+        with self._cache_lock:
+            self._reports[key] = report
+        return report
+
+    def diagnose_many(
+        self,
+        query_names: Sequence[str] | None = None,
+        max_workers: int | None = None,
+    ) -> list[DiagnosisReport]:
+        """Diagnose many queries of this bundle concurrently.
+
+        ``query_names`` defaults to every diagnosable query in the bundle
+        (see :meth:`queries`).  Results come back in input order and share
+        the per-query cache :meth:`diagnose` uses — cached queries are not
+        re-diagnosed.
+        """
+        names = list(query_names) if query_names is not None else self.queries()
+        with self._cache_lock:
+            cached = {
+                name: self._reports.get(self._cache_key(name)) for name in names
+            }
+        missing = [name for name in names if cached[name] is None]
+        fresh = self.pipeline.diagnose_many(
+            [
+                DiagnosisRequest(
+                    bundle=self.bundle,
+                    query_name=name,
+                    threshold=self.threshold,
+                    correlation_threshold=self.correlation_threshold,
+                )
+                for name in missing
+            ],
+            max_workers=max_workers,
+        )
+        with self._cache_lock:
+            for name, report in zip(missing, fresh):
+                cached[name] = report
+                self._reports[self._cache_key(name)] = report
+        return [cached[name] for name in names]
 
     def interactive(self, query_name: str) -> "InteractiveSession":
         """Interactive mode: step through modules, editing results."""
@@ -162,29 +200,27 @@ class Diads:
 class InteractiveSession:
     """Step-wise workflow execution with result editing (Figure 7).
 
-    The first pass must follow the module order; afterwards any module can be
-    re-executed in any order (matching the tool's behaviour: "Only the first
-    execution of the modules should be in order").
+    The first pass must follow the pipeline order; afterwards any module can
+    be re-executed in any order (matching the tool's behaviour: "Only the
+    first execution of the modules should be in order").  What is *pending*
+    is recomputed from the pipeline's declarations after every step, so
+    gates (e.g. the plans-differ branch) and bypasses reshape the remaining
+    schedule exactly as they do in batch mode.
     """
 
     def __init__(self, diads: Diads, query_name: str) -> None:
         self.diads = diads
         self.query_name = query_name
         self.ctx = diads.context(query_name)
-        self._modules = diads.modules()
+        self.pipeline = diads.pipeline
+        self._modules = self.pipeline.modules()
         self.executed: list[str] = []
         self.bypassed: set[str] = set()
 
     # -- progression ----------------------------------------------------
     @property
     def pending(self) -> list[str]:
-        skip = set(self.executed) | self.bypassed
-        order = list(MODULE_ORDER)
-        pd: PDResult | None = self.ctx.results.get("PD")  # type: ignore[assignment]
-        if pd is not None and pd.plans_differ:
-            # plan-change branch: statistical drill-down is not applicable
-            order = ["PD", "SD", "IA"]
-        return [m for m in order if m not in skip]
+        return self.pipeline.pending(self.ctx, self.executed, self.bypassed)
 
     @property
     def finished(self) -> bool:
@@ -192,10 +228,11 @@ class InteractiveSession:
 
     def run_next(self) -> ModuleResult | None:
         """Execute the next pending module; None when finished."""
-        if self.finished:
+        pending = self.pending
+        if not pending:
             return None
-        name = self.pending[0]
-        result = self._modules[name].run(self.ctx)  # type: ignore[union-attr]
+        name = pending[0]
+        result = self._modules[name].run(self.ctx)
         self.executed.append(name)
         return result
 
@@ -208,7 +245,7 @@ class InteractiveSession:
         """Re-execute an already-run module (any order allowed after 1st run)."""
         if module not in self.executed:
             raise ValueError(f"module {module!r} has not been run yet")
-        return self._modules[module].run(self.ctx)  # type: ignore[union-attr]
+        return self._modules[module].run(self.ctx)
 
     def edit(self, module: str, editor: Callable[[ModuleResult], None]) -> ModuleResult:
         """Let the administrator amend a module result before the next step."""
@@ -224,9 +261,5 @@ class InteractiveSession:
 
     # -- output --------------------------------------------------------------
     def report(self) -> DiagnosisReport:
-        sd: SDResult | None = self.ctx.results.get("SD")  # type: ignore[assignment]
-        ia: IAResult | None = self.ctx.results.get("IA")  # type: ignore[assignment]
-        ranked = _rank(sd, ia) if sd is not None else []
-        return DiagnosisReport(
-            query_name=self.query_name, context=self.ctx, ranked_causes=ranked
-        )
+        skipped = self.pipeline.skip_reasons(self.ctx, self.executed, self.bypassed)
+        return self.pipeline.report(self.ctx, skipped)

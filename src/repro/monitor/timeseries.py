@@ -18,6 +18,7 @@ like the real tool only sees what IBM TPC recorded.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,6 +54,11 @@ class MetricStore:
     seed: int = 0
     _raw: dict[tuple[str, str], list[Sample]] = field(default_factory=dict, repr=False)
     _cache: dict[tuple[str, str], list[Sample]] = field(default_factory=dict, repr=False)
+    #: Guards lazy _cache fills: concurrent diagnoses (diagnose_many) read
+    #: the store from worker threads while series() populates the cache.
+    _cache_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -78,20 +84,26 @@ class MetricStore:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        raw = self._raw.get(key, [])
-        if not raw:
-            return []
-        buckets: dict[int, list[float]] = {}
-        for sample in raw:
-            buckets.setdefault(int(sample.time // self.interval_s), []).append(sample.value)
-        out = []
-        for bucket in sorted(buckets):
-            mean = float(np.mean(buckets[bucket]))
-            noise = _bucket_noise(self.seed, key, bucket, self.noise_sigma)
-            midpoint = (bucket + 0.5) * self.interval_s
-            out.append(Sample(time=midpoint, value=mean * noise))
-        self._cache[key] = out
-        return out
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            raw = self._raw.get(key, [])
+            if not raw:
+                return []
+            buckets: dict[int, list[float]] = {}
+            for sample in raw:
+                buckets.setdefault(
+                    int(sample.time // self.interval_s), []
+                ).append(sample.value)
+            out = []
+            for bucket in sorted(buckets):
+                mean = float(np.mean(buckets[bucket]))
+                noise = _bucket_noise(self.seed, key, bucket, self.noise_sigma)
+                midpoint = (bucket + 0.5) * self.interval_s
+                out.append(Sample(time=midpoint, value=mean * noise))
+            self._cache[key] = out
+            return out
 
     def values_between(
         self, component_id: str, metric: str, start: float, end: float
