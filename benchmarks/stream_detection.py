@@ -1,0 +1,87 @@
+"""Streaming subsystem numbers: detection latency + supervisor throughput.
+
+Two tables land in ``benchmarks/results/``
+(``stream_detection_latency.txt`` and ``stream_supervisor_throughput.txt``):
+
+* **detection latency** — simulated seconds from fault injection to (a) the
+  first detector firing and (b) the first incident carrying a diagnosis, per
+  scenario watched by a :class:`FleetSupervisor`;
+* **supervisor throughput** — wall-clock cost of supervision: simulated
+  hours advanced per wall second and incidents diagnosed, for 1..N
+  concurrently watched environments.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cli import DEFAULT_WATCH_FLEET, SCENARIOS
+from repro.stream import FleetSupervisor
+
+BENCH_HOURS = 8.0
+
+#: The exact fleet `repro watch` ships with, so these numbers describe it.
+FLEET = tuple(SCENARIOS[name] for name in DEFAULT_WATCH_FLEET)
+
+
+def _run_fleet(factories, hours=BENCH_HOURS, max_workers=None):
+    supervisor = FleetSupervisor(max_workers=max_workers)
+    for factory in factories:
+        supervisor.watch_scenario(factory(hours=hours))
+    start = time.perf_counter()
+    supervisor.run(hours * 3600.0)
+    wall = time.perf_counter() - start
+    return supervisor, wall
+
+
+def test_bench_detection_latency(record_result):
+    supervisor, _ = _run_fleet(FLEET)
+    lines = [
+        "Streaming detection latency (simulated seconds after fault injection)",
+        "-" * 86,
+        f"{'scenario':<34}{'fault@':>8}{'first det':>11}{'latency':>9}"
+        f"{'diagnosed@':>12}{'incidents':>10}",
+        "-" * 86,
+    ]
+    for watched in supervisor.watched.values():
+        fault_t = watched.info.fault_time
+        incidents = watched.manager.incidents
+        first_det = min(
+            (d.time for i in incidents for d in i.detections), default=None
+        )
+        first_diag = min(
+            (i.diagnosed_at for i in incidents if i.diagnosed_at is not None),
+            default=None,
+        )
+        lines.append(
+            f"{watched.name:<34}{fault_t:>8.0f}"
+            f"{first_det if first_det is not None else float('nan'):>11.0f}"
+            f"{(first_det - fault_t) if first_det is not None else float('nan'):>9.0f}"
+            f"{first_diag if first_diag is not None else float('nan'):>12.0f}"
+            f"{len(incidents):>10}"
+        )
+        assert first_det is not None and first_det >= fault_t
+        # Detection within two monitoring chunks of the fault.
+        assert first_det - fault_t <= 2.0 * supervisor.chunk_s
+    record_result("stream_detection_latency", "\n".join(lines))
+
+
+def test_bench_supervisor_throughput(record_result):
+    lines = [
+        "Fleet supervisor throughput (8 simulated hours per environment)",
+        "-" * 78,
+        f"{'envs':>5}{'workers':>9}{'wall s':>9}{'sim h/wall s':>14}"
+        f"{'incidents':>11}{'diagnosed':>11}",
+        "-" * 78,
+    ]
+    for n_envs, workers in ((1, 1), (2, 2), (4, 4)):
+        supervisor, wall = _run_fleet(FLEET[:n_envs], max_workers=workers)
+        incidents = supervisor.incidents()
+        diagnosed = [i for i in incidents if i.report is not None]
+        sim_hours = n_envs * BENCH_HOURS
+        lines.append(
+            f"{n_envs:>5}{workers:>9}{wall:>9.2f}{sim_hours / wall:>14.1f}"
+            f"{len(incidents):>11}{len(diagnosed):>11}"
+        )
+        assert diagnosed, f"{n_envs}-env fleet diagnosed nothing"
+    record_result("stream_supervisor_throughput", "\n".join(lines))

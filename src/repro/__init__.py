@@ -8,7 +8,9 @@ An integrated database + SAN diagnosis library.  The package is organised as:
 * :mod:`repro.monitor` — noisy sampled monitoring stores,
 * :mod:`repro.lab` — environment, workloads, fault injection, scenarios,
 * :mod:`repro.core` — the paper's contribution: APGs and the DIADS workflow,
-  built on a pluggable pipeline engine (registry + DAG scheduling).
+  built on a pluggable pipeline engine (registry + DAG scheduling),
+* :mod:`repro.stream` — online detectors, incidents, and the fleet
+  supervisor that closes the detect→diagnose loop with no human marking.
 
 Quickstart::
 
@@ -25,6 +27,14 @@ Fleet-scale batch and plug-in modules::
     reports = DiagnosisPipeline().diagnose_many(
         [DiagnosisRequest(bundle.bundle, "q2-report")], max_workers=8
     )
+
+Online monitoring with auto-triggered diagnosis::
+
+    from repro import FleetSupervisor, scenario_flapping_san_misconfiguration
+
+    supervisor = FleetSupervisor()
+    supervisor.watch_scenario(scenario_flapping_san_misconfiguration(hours=8.0))
+    supervisor.run(8 * 3600.0)  # incidents open + diagnose themselves
 """
 
 from .core import (
@@ -40,6 +50,7 @@ from .core import (
     default_registry,
     evaluate_bundle,
     evaluate_bundles,
+    evaluate_report,
     evaluate_scenario,
     register_module,
 )
@@ -51,11 +62,27 @@ from .lab import (
     scenario_concurrent_db_san,
     scenario_cpu_saturation,
     scenario_data_property_change,
+    scenario_flapping_san_misconfiguration,
     scenario_lock_contention,
     scenario_plan_regression,
     scenario_raid_rebuild,
     scenario_san_misconfiguration,
+    scenario_staggered_dual_faults,
     scenario_two_external_workloads,
+)
+from .stream import (
+    CusumDetector,
+    Detection,
+    DetectorBank,
+    EwmaDriftDetector,
+    FleetSupervisor,
+    Incident,
+    IncidentManager,
+    IncidentState,
+    ResponseTimeSloDetector,
+    Severity,
+    ThresholdSloDetector,
+    WatchedEnvironment,
 )
 
 __version__ = "0.2.0"
@@ -75,6 +102,7 @@ __all__ = [
     "register_module",
     "evaluate_bundle",
     "evaluate_bundles",
+    "evaluate_report",
     "evaluate_scenario",
     "Scenario",
     "ScenarioBundle",
@@ -83,9 +111,23 @@ __all__ = [
     "scenario_concurrent_db_san",
     "scenario_cpu_saturation",
     "scenario_data_property_change",
+    "scenario_flapping_san_misconfiguration",
     "scenario_lock_contention",
     "scenario_plan_regression",
     "scenario_raid_rebuild",
     "scenario_san_misconfiguration",
+    "scenario_staggered_dual_faults",
     "scenario_two_external_workloads",
+    "Detection",
+    "ThresholdSloDetector",
+    "EwmaDriftDetector",
+    "CusumDetector",
+    "ResponseTimeSloDetector",
+    "DetectorBank",
+    "Incident",
+    "IncidentManager",
+    "IncidentState",
+    "Severity",
+    "FleetSupervisor",
+    "WatchedEnvironment",
 ]

@@ -7,13 +7,19 @@ Usage (``repro`` console script, or module form)::
     python -m repro.cli run lock-contention --screens
     python -m repro.cli sweep --hours 8 --max-workers 4
     python -m repro.cli batch san-misconfiguration lock-contention --json
+    python -m repro.cli watch --hours 8
+    python -m repro.cli watch flapping-san-misconfiguration --json
 
 ``run`` simulates one scenario, diagnoses it, and prints the report (plus the
 Figure-3/6/7 screens with ``--screens``).  ``sweep`` evaluates every Table-1
 scenario and prints the reproduction table.  ``batch`` is the fleet-scale
 entry point: it simulates one or more scenarios (``all`` for the whole
 catalogue), diagnoses every diagnosable query in every bundle through
-``DiagnosisPipeline.diagnose_many``, and prints a table or JSON.
+``DiagnosisPipeline.diagnose_many``, and prints a table or JSON.  ``watch``
+is the closed loop: a :class:`~repro.stream.FleetSupervisor` advances a
+fleet of scenario environments live, detectors open incidents without any
+manual run-marking, and every incident is auto-diagnosed; the fleet table
+refreshes per chunk (or stream the final state with ``--json``).
 """
 
 from __future__ import annotations
@@ -33,12 +39,15 @@ from .lab import (
     scenario_concurrent_db_san,
     scenario_cpu_saturation,
     scenario_data_property_change,
+    scenario_flapping_san_misconfiguration,
     scenario_lock_contention,
     scenario_plan_regression,
     scenario_raid_rebuild,
     scenario_san_misconfiguration,
+    scenario_staggered_dual_faults,
     scenario_two_external_workloads,
 )
+from .stream import FleetSupervisor
 
 SCENARIOS = {
     "san-misconfiguration": scenario_san_misconfiguration,
@@ -53,6 +62,8 @@ SCENARIOS = {
     "cpu-saturation": scenario_cpu_saturation,
     "buffer-pool-thrashing": scenario_buffer_pool,
     "raid-rebuild": scenario_raid_rebuild,
+    "flapping-san-misconfiguration": scenario_flapping_san_misconfiguration,
+    "staggered-dual-faults": scenario_staggered_dual_faults,
 }
 
 
@@ -96,6 +107,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--json", action="store_true", help="emit reports as a JSON array"
+    )
+
+    watch = sub.add_parser(
+        "watch", help="watch a fleet live; auto-detect and auto-diagnose"
+    )
+    watch.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="scenario",
+        help=(
+            "scenario names to watch (default: a four-environment fleet "
+            "including a flapping fault)"
+        ),
+    )
+    watch.add_argument("--hours", type=float, default=8.0, help="simulated hours")
+    watch.add_argument("--seed", type=int, default=None, help="override the seed")
+    watch.add_argument(
+        "--chunk-minutes", type=float, default=30.0,
+        help="supervision chunk: detectors/diagnosis run after each chunk",
+    )
+    watch.add_argument(
+        "--max-workers", type=int, default=None,
+        help="thread-pool width for advancing environments and diagnosing",
+    )
+    watch.add_argument(
+        "--cooldown-minutes", type=float, default=120.0,
+        help="incident cooldown after resolution (per detection target)",
+    )
+    watch.add_argument(
+        "--json", action="store_true",
+        help="emit the final fleet state + incidents as JSON (no live table)",
     )
     return parser
 
@@ -208,6 +250,73 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The stock ``repro watch`` fleet: three persistent faults + one flapping.
+DEFAULT_WATCH_FLEET = (
+    "san-misconfiguration",
+    "flapping-san-misconfiguration",
+    "lock-contention",
+    "data-property-change",
+)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    names = args.scenarios or list(DEFAULT_WATCH_FLEET)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenarios: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        print(f"duplicate scenarios: {', '.join(duplicates)}", file=sys.stderr)
+        return 2
+
+    supervisor = FleetSupervisor(
+        chunk_s=args.chunk_minutes * 60.0,
+        max_workers=args.max_workers,
+        cooldown_s=args.cooldown_minutes * 60.0,
+    )
+    for name in names:
+        kwargs = {"hours": args.hours}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        supervisor.watch_scenario(SCENARIOS[name](**kwargs), name=name)
+
+    live = not args.json and sys.stdout.isatty()
+
+    def render_tick(resolved, elapsed: float) -> None:
+        if live:
+            # Redraw in place: move up over the previous table and reprint.
+            table = supervisor.render_table()
+            height = table.count("\n") + 2
+            if supervisor.ticks > 1:
+                print(f"\x1b[{height}A", end="")
+            print(table)
+            print(f"t={elapsed / 3600.0:.1f}h  incidents resolved this tick: "
+                  f"{len(resolved)}   ", flush=True)
+        elif not args.json:
+            for incident in resolved:
+                print(
+                    f"t={elapsed / 3600.0:5.1f}h  {incident.incident_id:<40} "
+                    f"{incident.severity.value:<8} -> {incident.top_cause_id}",
+                    flush=True,
+                )
+
+    supervisor.run(args.hours * 3600.0, on_tick=render_tick)
+
+    diagnosed = [i for i in supervisor.incidents() if i.report is not None]
+    if args.json:
+        print(json.dumps(supervisor.to_dict(), indent=2))
+    else:
+        if not sys.stdout.isatty():
+            print()
+            print(supervisor.render_table())
+        print(
+            f"\n{len(supervisor.incidents())} incident(s), {len(diagnosed)} "
+            f"diagnosed across {len(supervisor.watched)} environment(s)"
+        )
+    return 0 if diagnosed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -218,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sweep(args)
     if args.command == "batch":
         return cmd_batch(args)
+    if args.command == "watch":
+        return cmd_watch(args)
     return 2  # pragma: no cover
 
 

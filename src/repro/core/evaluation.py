@@ -19,6 +19,7 @@ __all__ = [
     "ScenarioEvaluation",
     "evaluate_bundle",
     "evaluate_bundles",
+    "evaluate_report",
     "evaluate_scenario",
 ]
 
@@ -50,10 +51,14 @@ class ScenarioEvaluation:
         )
 
 
-def _evaluate_report(
+def evaluate_report(
     scenario_bundle: ScenarioBundle, report: DiagnosisReport
 ) -> ScenarioEvaluation:
-    """Compare a finished diagnosis against the scenario's ground truth."""
+    """Compare a finished diagnosis against the scenario's ground truth.
+
+    Public so streaming supervision (``repro watch``) can grade the reports
+    it attached to incidents with the same rules the offline sweep uses.
+    """
     top = report.top_cause
     high = tuple(
         rc.match.cause_id
@@ -117,7 +122,7 @@ def evaluate_bundles(
     ]
     reports = pipeline.diagnose_many(requests, max_workers=max_workers)
     return [
-        _evaluate_report(sb, report)
+        evaluate_report(sb, report)
         for sb, report in zip(scenario_bundles, reports)
     ]
 

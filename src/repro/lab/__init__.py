@@ -13,10 +13,12 @@ from .scenarios import (
     scenario_concurrent_db_san,
     scenario_cpu_saturation,
     scenario_data_property_change,
+    scenario_flapping_san_misconfiguration,
     scenario_lock_contention,
     scenario_plan_regression,
     scenario_raid_rebuild,
     scenario_san_misconfiguration,
+    scenario_staggered_dual_faults,
     scenario_two_external_workloads,
 )
 
@@ -40,4 +42,6 @@ __all__ = [
     "scenario_cpu_saturation",
     "scenario_buffer_pool",
     "scenario_raid_rebuild",
+    "scenario_flapping_san_misconfiguration",
+    "scenario_staggered_dual_faults",
 ]

@@ -117,6 +117,11 @@ class Environment:
         self._degraded_alert_until: dict[str, float] = {}
         self.initial_catalog = catalog.clone()
         self.initial_config = self.db_config
+        #: Simulation clock; None until the first advance()/run() call.
+        self._clock: float | None = None
+        #: Sum of requested advance durations.  The tick loop aims at this,
+        #: so fractional-tick chunk sizes cannot compound into clock drift.
+        self._target: float = 0.0
 
     # ------------------------------------------------------------------
     # setup
@@ -147,19 +152,51 @@ class Environment:
     # main loop
     # ------------------------------------------------------------------
     def run(self, duration_s: float, start_s: float = 0.0) -> DiagnosisBundle:
-        """Advance the simulated world for ``duration_s`` seconds."""
-        self.snapshot_all_config(start_s)
-        self._capture_baseline_latencies()
-        t = start_s
-        end = start_s + duration_s
-        while t < end:
+        """Advance the simulated world for ``duration_s`` seconds.
+
+        Delegates to :meth:`advance`: the clock is continuous across calls,
+        so a repeated ``run`` extends the same timeline (``start_s`` must
+        then be 0 or the current clock — anything else raises).
+        """
+        self.advance(duration_s, start_s)
+        return self.bundle()
+
+    def advance(self, duration_s: float, start_s: float = 0.0) -> float:
+        """Advance the world by ``duration_s`` and return the new clock.
+
+        Unlike :meth:`run`, this is incremental: a streaming supervisor calls
+        it chunk by chunk, and config snapshots / baseline calibration happen
+        only on the very first call.  ``start_s`` is honoured only then.
+
+        Chunks need not be tick multiples: the loop aims at the *cumulative*
+        requested duration, so the clock never drifts more than one tick
+        ahead of the total asked for, no matter how the chunks divide.
+        """
+        if self._clock is None:
+            self._clock = start_s
+            self._target = start_s
+            self.snapshot_all_config(start_s)
+            self._capture_baseline_latencies()
+        elif start_s not in (0.0, self._clock):
+            raise ValueError(
+                f"environment clock already at t={self._clock:g}; it cannot "
+                f"jump to start_s={start_s:g} (the timeline is continuous)"
+            )
+        self._target += duration_s
+        while self._clock < self._target:
+            t = self._clock
             self._fire_scheduled(t)
             for job in self.jobs:
                 for run_at in job.due_at(t, t + self.tick_s):
                     self._execute_job(job, run_at)
             self._monitor_tick(t)
-            t += self.tick_s
-        return self.bundle()
+            self._clock = t + self.tick_s
+        return self._clock
+
+    @property
+    def clock(self) -> float:
+        """Current simulation time (0.0 before the first advance)."""
+        return self._clock if self._clock is not None else 0.0
 
     def bundle(self) -> DiagnosisBundle:
         return DiagnosisBundle(

@@ -15,6 +15,7 @@ paper's (footnote 1); DIADS never sees it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..san.components import Server, Volume
 from ..san.events import SanEvent, SanEventKind
@@ -22,7 +23,30 @@ from ..san.iomodel import VolumeLoad
 from .environment import Environment
 from .workloads import ExternalWorkload
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "intermittent_windows"]
+
+
+def intermittent_windows(
+    at: float, until: float, period_s: float, duty_cycle: float
+) -> list[tuple[float, float]]:
+    """The on-windows of a duty-cycled fault: on for ``duty_cycle *
+    period_s`` out of every ``period_s``, from ``at`` until ``until``.
+
+    Shared by :meth:`FaultInjector.intermittent` (to schedule the fault) and
+    scenario factories (to label exactly the degraded runs), so injection
+    and ground-truth labelling can never drift apart.
+    """
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    if not 0.0 < duty_cycle <= 1.0:
+        raise ValueError("duty_cycle must be in (0, 1]")
+    on_s = duty_cycle * period_s
+    windows: list[tuple[float, float]] = []
+    start = at
+    while start < until:
+        windows.append((start, min(start + on_s, until)))
+        start += period_s
+    return windows
 
 
 @dataclass
@@ -53,23 +77,29 @@ class FaultInjector:
             topo = env.testbed.topology
             if app_server_id not in topo:
                 topo.add(Server(component_id=app_server_id, name="App Server"))
-            topo.add(Volume(component_id=new_volume_id, name=new_volume_id, pool_id=pool_id))
-            topo.connect(pool_id, new_volume_id)
-            env.testbed.access.lun_mapping.map_volume(new_volume_id, app_server_id)
-            zone_name = f"zone-{app_server_id}"
-            if not any(z.name == zone_name for z in env.testbed.access.zoning.zones):
-                env.testbed.access.zoning.create_zone(zone_name, set())
-            env.log_san_event(
-                SanEvent(t, SanEventKind.VOLUME_CREATED, new_volume_id, {"pool": pool_id})
-            )
-            env.log_san_event(
-                SanEvent(t, SanEventKind.ZONE_CHANGED, zone_name, {"server": app_server_id})
-            )
-            env.log_san_event(
-                SanEvent(
-                    t, SanEventKind.LUN_MAPPED, new_volume_id, {"server": app_server_id}
+            # Re-applications (e.g. a flapping misconfiguration driven by
+            # intermittent()) only restart the offending workload: the
+            # volume, zone and LUN mapping were created the first time.
+            if new_volume_id not in topo:
+                topo.add(
+                    Volume(component_id=new_volume_id, name=new_volume_id, pool_id=pool_id)
                 )
-            )
+                topo.connect(pool_id, new_volume_id)
+                env.testbed.access.lun_mapping.map_volume(new_volume_id, app_server_id)
+                zone_name = f"zone-{app_server_id}"
+                if not any(z.name == zone_name for z in env.testbed.access.zoning.zones):
+                    env.testbed.access.zoning.create_zone(zone_name, set())
+                env.log_san_event(
+                    SanEvent(t, SanEventKind.VOLUME_CREATED, new_volume_id, {"pool": pool_id})
+                )
+                env.log_san_event(
+                    SanEvent(t, SanEventKind.ZONE_CHANGED, zone_name, {"server": app_server_id})
+                )
+                env.log_san_event(
+                    SanEvent(
+                        t, SanEventKind.LUN_MAPPED, new_volume_id, {"server": app_server_id}
+                    )
+                )
             env.add_external(
                 ExternalWorkload(
                     name=f"app-workload-{new_volume_id}",
@@ -83,6 +113,34 @@ class FaultInjector:
             env.collector.snapshot_config(t, "access", env.testbed.access.snapshot())
 
         self.env.schedule(at, apply)
+
+    # ------------------------------------------------------------------
+    def intermittent(
+        self,
+        at: float,
+        until: float,
+        period_s: float,
+        duty_cycle: float,
+        fault: "Callable[..., None]",
+        **fault_kwargs,
+    ) -> list[tuple[float, float]]:
+        """Wrap any windowed fault in an on/off duty cycle.
+
+        ``fault`` is an injector method (or any callable) accepting ``at=``
+        and ``until=`` keyword arguments — e.g. :meth:`san_misconfiguration`
+        or :meth:`external_contention`.  It is scheduled once per on-window:
+        on for ``duty_cycle * period_s`` seconds out of every ``period_s``,
+        from ``at`` until ``until``.  Returns the scheduled (start, stop)
+        windows, which scenario ground truth uses for labelling checks.
+
+        This produces *flapping* faults: the problem appears, degrades a few
+        query runs, vanishes, and returns — the pattern that exercises
+        incident deduplication and cooldown in :mod:`repro.stream`.
+        """
+        windows = intermittent_windows(at, until, period_s, duty_cycle)
+        for start, stop in windows:
+            fault(at=start, until=stop, **fault_kwargs)
+        return windows
 
     # ------------------------------------------------------------------
     def external_contention(

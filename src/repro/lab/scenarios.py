@@ -24,7 +24,7 @@ from ..db.tpch import build_tpch_catalog
 from ..san.builder import build_testbed
 from ..san.components import Server, Volume
 from .environment import DiagnosisBundle, Environment
-from .faults import FaultInjector
+from .faults import FaultInjector, intermittent_windows
 from .workloads import QueryJob
 
 __all__ = [
@@ -41,6 +41,8 @@ __all__ = [
     "scenario_cpu_saturation",
     "scenario_buffer_pool",
     "scenario_raid_rebuild",
+    "scenario_flapping_san_misconfiguration",
+    "scenario_staggered_dual_faults",
     "all_table1_scenarios",
 ]
 
@@ -125,12 +127,23 @@ class Scenario:
     duration_s: float
     query_name: str = QUERY_NAME
     label_window: tuple[float, float] | None = None
+    #: Multi-window labelling for intermittent faults: runs starting inside
+    #: *any* window are unsatisfactory, everything else satisfactory.  Takes
+    #: precedence over ``label_window``.
+    label_windows: list[tuple[float, float]] | None = None
 
     def run(self) -> ScenarioBundle:
         env = self.build()
         bundle = env.run(self.duration_s)
-        window = self.label_window or (self.info.fault_time, self.duration_s + 1.0)
-        bundle.stores.runs.label_by_window(self.query_name, *window)
+        if self.label_windows is not None:
+            windows = self.label_windows
+            bundle.stores.runs.label_by_rule(
+                self.query_name,
+                lambda r: any(start <= r.start_time < end for start, end in windows),
+            )
+        else:
+            window = self.label_window or (self.info.fault_time, self.duration_s + 1.0)
+            bundle.stores.runs.label_by_window(self.query_name, *window)
         return ScenarioBundle(info=self.info, bundle=bundle, query_name=self.query_name)
 
 
@@ -512,6 +525,101 @@ def scenario_raid_rebuild(hours: float = 24.0, seed: int = 37) -> Scenario:
         ),
         build=build,
         duration_s=hours * 3600.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Streaming scenarios (repro.stream): intermittent and staggered faults that
+# exercise online detection latency, incident dedup and cooldown
+# ---------------------------------------------------------------------------
+def scenario_flapping_san_misconfiguration(
+    hours: float = 12.0,
+    seed: int = 41,
+    period_s: float = 3600.0,
+    duty_cycle: float = 0.5,
+) -> Scenario:
+    """A SAN misconfiguration whose offending workload comes and goes.
+
+    The misconfigured volume V' is created once (volume/zone/LUN events fire
+    at the first on-window), but the application load on it runs on a
+    ``duty_cycle`` on/off cycle via :meth:`FaultInjector.intermittent`.  Query
+    runs inside on-windows degrade; runs inside off-windows stay healthy —
+    so an online detector fires once per on-window and incident dedup /
+    cooldown must collapse the repeats into few incidents.
+    """
+    fault_t = _fault_time(hours)
+    end_t = hours * 3600.0
+    # The exact on-windows the injector will schedule — offline labelling
+    # marks precisely the degraded runs; off-window runs stay satisfactory.
+    windows = intermittent_windows(fault_t, end_t, period_s, duty_cycle)
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        injector = FaultInjector(env)
+        injector.intermittent(
+            at=fault_t,
+            until=end_t,
+            period_s=period_s,
+            duty_cycle=duty_cycle,
+            fault=injector.san_misconfiguration,
+            write_iops=300.0,
+            read_iops=60.0,
+        )
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=10,
+            name="flapping-san-misconfiguration",
+            description=(
+                "Intermittent SAN misconfiguration: the offending workload "
+                f"flaps with a {duty_cycle:.0%} duty cycle every {period_s:.0f}s"
+            ),
+            ground_truth=("volume-contention-san-misconfig",),
+            critical_modules=("SD",),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=end_t,
+        label_windows=windows,
+    )
+
+
+def scenario_staggered_dual_faults(
+    hours: float = 12.0, seed: int = 43, multiplier: float = 1.35
+) -> Scenario:
+    """Two independent faults opening at different times.
+
+    A SAN misconfiguration lands at one third of the timeline and a data
+    property change at two thirds — a fleet supervisor should open the first
+    incident long before the second fault even exists, and the final report
+    must rank both causes (the concurrent-db-san setting, staggered).
+    """
+    end_t = hours * 3600.0
+    fault1_t = end_t / 3.0
+    fault2_t = 2.0 * end_t / 3.0
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        injector = FaultInjector(env)
+        injector.san_misconfiguration(at=fault1_t, write_iops=300.0, read_iops=60.0)
+        injector.data_property_change(at=fault2_t, table="partsupp", multiplier=multiplier)
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=11,
+            name="staggered-dual-faults",
+            description=(
+                "SAN misconfiguration at t/3 followed by a data property "
+                "change at 2t/3"
+            ),
+            ground_truth=("volume-contention-san-misconfig", "data-property-change"),
+            critical_modules=("IA",),
+            fault_time=fault1_t,
+        ),
+        build=build,
+        duration_s=end_t,
     )
 
 

@@ -4,7 +4,7 @@ from .timeseries import MetricStore, Sample
 from .events import DB_EVENT_KINDS, EventLog, EventRecord
 from .configstore import ConfigChange, ConfigStore, flatten
 from .runstore import RunStore
-from .collector import Collector, MonitoringStores, DB_COMPONENT
+from .collector import Collector, MetricTap, MonitoringStores, RunTap, DB_COMPONENT
 
 __all__ = [
     "MetricStore",
@@ -17,6 +17,8 @@ __all__ = [
     "flatten",
     "RunStore",
     "Collector",
+    "MetricTap",
+    "RunTap",
     "MonitoringStores",
     "DB_COMPONENT",
 ]

@@ -4,11 +4,17 @@ Plays the role of IBM TotalStorage Productivity Center in Figure 5: it
 records SAN component metrics, server metrics and database metrics into the
 (noisy, bucketed) metric store, events into the event log, and configuration
 snapshots into the config store.  DIADS reads *only* these stores.
+
+The collector also carries an optional **streaming tap**: observer callbacks
+invoked once per appended metric observation (and once per recorded query
+run).  Online detectors (:mod:`repro.stream`) subscribe to the tap so they
+see every sample the moment it lands, without polling the stores.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..db.executor import QueryRun
 from ..san.iomodel import SanPerfSample
@@ -17,10 +23,16 @@ from .events import EventLog
 from .runstore import RunStore
 from .timeseries import MetricStore
 
-__all__ = ["MonitoringStores", "Collector"]
+__all__ = ["MonitoringStores", "Collector", "MetricTap", "RunTap"]
 
 #: Pseudo-component id under which database-level metrics are recorded.
 DB_COMPONENT = "db"
+
+#: Observer over raw metric appends: fn(time, component_id, metric, value).
+MetricTap = Callable[[float, str, str, float], None]
+
+#: Observer over recorded query runs: fn(run).
+RunTap = Callable[[QueryRun], None]
 
 
 @dataclass
@@ -38,11 +50,47 @@ class Collector:
     """Writes simulator outputs into the monitoring stores."""
 
     stores: MonitoringStores
+    _metric_taps: list[MetricTap] = field(default_factory=list, repr=False)
+    _run_taps: list[RunTap] = field(default_factory=list, repr=False)
+
+    # -- streaming tap -----------------------------------------------------
+    def add_metric_tap(self, tap: MetricTap) -> MetricTap:
+        """Subscribe to every raw metric append; returns the tap for removal."""
+        self._metric_taps.append(tap)
+        return tap
+
+    def add_run_tap(self, tap: RunTap) -> RunTap:
+        """Subscribe to every recorded query run; returns the tap for removal."""
+        self._run_taps.append(tap)
+        return tap
+
+    def remove_tap(self, tap: MetricTap | RunTap) -> None:
+        if tap in self._metric_taps:
+            self._metric_taps.remove(tap)
+        if tap in self._run_taps:
+            self._run_taps.remove(tap)
+
+    def _emit(self, time: float, component_id: str, metric: str, value: float) -> None:
+        """One locked store append, then the observer fan-out."""
+        self.stores.metrics.record(time, component_id, metric, value)
+        for tap in self._metric_taps:
+            tap(time, component_id, metric, value)
+
+    def _emit_many(self, observations: list[tuple[float, str, str, float]]) -> None:
+        """Batch append (one lock acquisition), then the observer fan-out."""
+        self.stores.metrics.append_many(observations)
+        for tap in self._metric_taps:
+            for time, component_id, metric, value in observations:
+                tap(time, component_id, metric, value)
 
     # -- SAN -------------------------------------------------------------
     def collect_san(self, time: float, sample: SanPerfSample) -> None:
-        for (component_id, metric), value in sample.values.items():
-            self.stores.metrics.record(time, component_id, metric, value)
+        self._emit_many(
+            [
+                (time, component_id, metric, value)
+                for (component_id, metric), value in sample.values.items()
+            ]
+        )
 
     # -- server ------------------------------------------------------------
     def collect_server(
@@ -53,40 +101,53 @@ class Collector:
         memory_pct: float = 35.0,
         processes: float = 180.0,
     ) -> None:
-        m = self.stores.metrics
-        m.record(time, server_id, "cpuUsagePct", cpu_pct)
-        m.record(time, server_id, "cpuUsageMhz", cpu_pct * 24.0)
-        m.record(time, server_id, "physicalMemoryUsagePct", memory_pct)
-        m.record(time, server_id, "heapMemoryUsageKb", memory_pct * 1024.0)
-        m.record(time, server_id, "kernelMemoryKb", 65536.0)
-        m.record(time, server_id, "memorySwappedKb", 0.0)
-        m.record(time, server_id, "reservedMemoryCapacityKb", 8.0 * 1024.0 * 1024.0)
-        m.record(time, server_id, "processes", processes)
-        m.record(time, server_id, "threads", processes * 4.0)
-        m.record(time, server_id, "handles", processes * 30.0)
+        self._emit_many(
+            [
+                (time, server_id, "cpuUsagePct", cpu_pct),
+                (time, server_id, "cpuUsageMhz", cpu_pct * 24.0),
+                (time, server_id, "physicalMemoryUsagePct", memory_pct),
+                (time, server_id, "heapMemoryUsageKb", memory_pct * 1024.0),
+                (time, server_id, "kernelMemoryKb", 65536.0),
+                (time, server_id, "memorySwappedKb", 0.0),
+                (time, server_id, "reservedMemoryCapacityKb", 8.0 * 1024.0 * 1024.0),
+                (time, server_id, "processes", processes),
+                (time, server_id, "threads", processes * 4.0),
+                (time, server_id, "handles", processes * 30.0),
+            ]
+        )
 
     # -- network ----------------------------------------------------------
     def collect_network(self, time: float, switch_id: str, bytes_moved: float) -> None:
-        m = self.stores.metrics
-        m.record(time, switch_id, "bytesTransmitted", bytes_moved)
-        m.record(time, switch_id, "bytesReceived", bytes_moved)
-        m.record(time, switch_id, "packetsTransmitted", bytes_moved / 2048.0)
-        m.record(time, switch_id, "packetsReceived", bytes_moved / 2048.0)
-        for metric in ("lipCount", "nosCount", "errorFrames", "dumpedFrames",
-                       "linkFailures", "crcErrors", "addressErrors"):
-            m.record(time, switch_id, metric, 0.0)
+        observations = [
+            (time, switch_id, "bytesTransmitted", bytes_moved),
+            (time, switch_id, "bytesReceived", bytes_moved),
+            (time, switch_id, "packetsTransmitted", bytes_moved / 2048.0),
+            (time, switch_id, "packetsReceived", bytes_moved / 2048.0),
+        ]
+        observations.extend(
+            (time, switch_id, metric, 0.0)
+            for metric in ("lipCount", "nosCount", "errorFrames", "dumpedFrames",
+                           "linkFailures", "crcErrors", "addressErrors")
+        )
+        self._emit_many(observations)
 
     # -- database -----------------------------------------------------------
     def collect_query_run(self, run: QueryRun) -> None:
         """Record a finished run: the run itself + its DB metrics as series."""
         self.stores.runs.add(run)
         time = run.end_time
-        for metric, value in run.db_metrics.items():
-            self.stores.metrics.record(time, DB_COMPONENT, metric, value)
+        self._emit_many(
+            [
+                (time, DB_COMPONENT, metric, value)
+                for metric, value in run.db_metrics.items()
+            ]
+        )
+        for tap in self._run_taps:
+            tap(run)
 
     def collect_db_tick(self, time: float, locks_held: float) -> None:
         """Between-runs database heartbeat metrics."""
-        self.stores.metrics.record(time, DB_COMPONENT, "locksHeld", locks_held)
+        self._emit(time, DB_COMPONENT, "locksHeld", locks_held)
 
     # -- config + events -------------------------------------------------------
     def snapshot_config(self, time: float, scope: str, snapshot: dict) -> None:

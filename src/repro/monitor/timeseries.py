@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -54,8 +55,11 @@ class MetricStore:
     seed: int = 0
     _raw: dict[tuple[str, str], list[Sample]] = field(default_factory=dict, repr=False)
     _cache: dict[tuple[str, str], list[Sample]] = field(default_factory=dict, repr=False)
-    #: Guards lazy _cache fills: concurrent diagnoses (diagnose_many) read
-    #: the store from worker threads while series() populates the cache.
+    #: Guards lazy _cache fills *and* the append path: concurrent diagnoses
+    #: (diagnose_many) read the store from worker threads while series()
+    #: populates the cache, and streaming supervisors append from other
+    #: worker threads.  Without a locked append, record() could invalidate a
+    #: key concurrently with a series() fill and leave a stale cache behind.
     _cache_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -69,9 +73,30 @@ class MetricStore:
     # -- ingestion -------------------------------------------------------
     def record(self, time: float, component_id: str, metric: str, value: float) -> None:
         """Push one raw observation (called by the collector each tick)."""
-        key = (component_id, metric)
-        self._raw.setdefault(key, []).append(Sample(time=time, value=float(value)))
-        self._cache.pop(key, None)
+        with self._cache_lock:
+            key = (component_id, metric)
+            self._raw.setdefault(key, []).append(Sample(time=time, value=float(value)))
+            self._cache.pop(key, None)
+
+    def append_many(
+        self, observations: Iterable[tuple[float, str, str, float]]
+    ) -> int:
+        """Batch-push ``(time, component_id, metric, value)`` observations.
+
+        Takes the store lock once for the whole batch, so per-tick collector
+        writes (tens of series) stay cheap while remaining safe against
+        concurrent :meth:`series` reads; returns how many were appended.
+        """
+        appended = 0
+        with self._cache_lock:
+            for time, component_id, metric, value in observations:
+                key = (component_id, metric)
+                self._raw.setdefault(key, []).append(
+                    Sample(time=time, value=float(value))
+                )
+                self._cache.pop(key, None)
+                appended += 1
+        return appended
 
     # -- monitored view ----------------------------------------------------
     def series(self, component_id: str, metric: str) -> list[Sample]:

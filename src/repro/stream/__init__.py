@@ -1,0 +1,50 @@
+"""repro.stream — online anomaly detection and auto-triggered diagnosis.
+
+The offline workflow waits for an administrator to mark runs unsatisfactory;
+this subsystem closes the loop instead: O(1)-per-sample detectors watch the
+monitoring stream through the collector tap, incidents open with dedup and
+cooldown, and a :class:`FleetSupervisor` watches many environments at once,
+snapshotting a ``DiagnosisBundle`` and running the diagnosis pipeline the
+moment an incident opens.
+
+Quickstart::
+
+    from repro.lab.scenarios import scenario_flapping_san_misconfiguration
+    from repro.stream import FleetSupervisor
+
+    supervisor = FleetSupervisor()
+    supervisor.watch_scenario(scenario_flapping_san_misconfiguration(hours=8.0))
+    supervisor.run(8 * 3600.0)
+    for incident in supervisor.incidents():
+        print(incident.incident_id, incident.severity.value, incident.top_cause_id)
+"""
+
+from .detectors import (
+    CusumDetector,
+    Detection,
+    Detector,
+    DetectorBank,
+    EwmaDriftDetector,
+    ResponseTimeSloDetector,
+    ThresholdSloDetector,
+    default_detector_factory,
+)
+from .incidents import Incident, IncidentManager, IncidentState, Severity
+from .supervisor import FleetSupervisor, WatchedEnvironment
+
+__all__ = [
+    "Detection",
+    "Detector",
+    "ThresholdSloDetector",
+    "EwmaDriftDetector",
+    "CusumDetector",
+    "ResponseTimeSloDetector",
+    "DetectorBank",
+    "default_detector_factory",
+    "Incident",
+    "IncidentManager",
+    "IncidentState",
+    "Severity",
+    "FleetSupervisor",
+    "WatchedEnvironment",
+]

@@ -1,0 +1,179 @@
+"""Incident lifecycle: open → diagnosing → resolved, with dedup + cooldown.
+
+Detections are cheap and repetitive — a flapping fault re-fires its detector
+every on-window.  Incidents are the durable unit the supervisor diagnoses
+and the operator sees.  The :class:`IncidentManager` maps the detection
+stream onto few incidents:
+
+* **dedup** — a detection whose key (environment, target) already has a
+  live (non-resolved) incident merges into it instead of opening a new one;
+* **cooldown** — after an incident resolves, further detections for its key
+  are suppressed for ``cooldown_s`` of simulated time, so one flapping
+  fault does not reopen an incident per flap;
+* **severity** — derived from the largest normalised detection magnitude
+  (1.0 = exactly at the trigger): minor < 2x <= major < 4x <= critical.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .detectors import Detection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.pipeline import DiagnosisReport
+
+__all__ = ["IncidentState", "Severity", "Incident", "IncidentManager"]
+
+
+class IncidentState(enum.Enum):
+    OPEN = "open"
+    DIAGNOSING = "diagnosing"
+    RESOLVED = "resolved"
+
+
+class Severity(enum.Enum):
+    MINOR = "minor"
+    MAJOR = "major"
+    CRITICAL = "critical"
+
+    @classmethod
+    def from_magnitude(cls, magnitude: float) -> "Severity":
+        if magnitude >= 4.0:
+            return cls.CRITICAL
+        if magnitude >= 2.0:
+            return cls.MAJOR
+        return cls.MINOR
+
+
+@dataclass
+class Incident:
+    """One degradation episode in one watched environment."""
+
+    incident_id: str
+    env_name: str
+    key: tuple[str, str]
+    opened_at: float
+    state: IncidentState = IncidentState.OPEN
+    detections: list[Detection] = field(default_factory=list)
+    #: Detections merged away by dedup while the incident was live.
+    deduped: int = 0
+    diagnosed_at: float | None = None
+    resolved_at: float | None = None
+    report: "DiagnosisReport | None" = None
+
+    @property
+    def severity(self) -> Severity:
+        magnitude = max((d.magnitude for d in self.detections), default=1.0)
+        return Severity.from_magnitude(magnitude)
+
+    @property
+    def top_cause_id(self) -> str | None:
+        if self.report is None or self.report.top_cause is None:
+            return None
+        return self.report.top_cause.match.cause_id
+
+    def absorb(self, detection: Detection) -> None:
+        self.detections.append(detection)
+        self.deduped += 1
+
+    def begin_diagnosis(self, time: float) -> None:
+        if self.state is not IncidentState.OPEN:
+            raise ValueError(f"{self.incident_id} is {self.state.value}, not open")
+        self.state = IncidentState.DIAGNOSING
+        self.diagnosed_at = time
+
+    def resolve(self, time: float, report: "DiagnosisReport | None" = None) -> None:
+        if self.state is IncidentState.RESOLVED:
+            raise ValueError(f"{self.incident_id} already resolved")
+        if report is not None:
+            self.report = report
+        self.state = IncidentState.RESOLVED
+        self.resolved_at = time
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the ticket the supervisor would file)."""
+        from ..core.serialize import report_to_dict
+
+        return {
+            "incident_id": self.incident_id,
+            "env": self.env_name,
+            "target": self.key[1],
+            "state": self.state.value,
+            "severity": self.severity.value,
+            "opened_at": self.opened_at,
+            "diagnosed_at": self.diagnosed_at,
+            "resolved_at": self.resolved_at,
+            "detections": [
+                {
+                    "time": d.time,
+                    "detector": d.detector,
+                    "target": d.target,
+                    "value": d.value,
+                    "expected": d.expected,
+                    "magnitude": d.magnitude,
+                    "kind": d.kind,
+                }
+                for d in self.detections
+            ],
+            "deduped": self.deduped,
+            "report": report_to_dict(self.report) if self.report is not None else None,
+        }
+
+
+class IncidentManager:
+    """Turns one environment's detection stream into deduplicated incidents."""
+
+    def __init__(self, env_name: str, cooldown_s: float = 3600.0) -> None:
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        self.env_name = env_name
+        self.cooldown_s = cooldown_s
+        self.incidents: list[Incident] = []
+        self._live: dict[tuple[str, str], Incident] = {}
+        self._cooldown_until: dict[tuple[str, str], float] = {}
+        self.suppressed = 0
+        self._counter = 0
+
+    def observe(self, detection: Detection) -> Incident | None:
+        """Feed one detection; the new incident if one opened, else None."""
+        key = (self.env_name, detection.target)
+        live = self._live.get(key)
+        if live is not None and live.state is not IncidentState.RESOLVED:
+            live.absorb(detection)
+            return None
+        if detection.time < self._cooldown_until.get(key, -1.0):
+            self.suppressed += 1
+            return None
+        self._counter += 1
+        incident = Incident(
+            incident_id=f"INC-{self.env_name}-{self._counter}",
+            env_name=self.env_name,
+            key=key,
+            opened_at=detection.time,
+            detections=[detection],
+        )
+        self.incidents.append(incident)
+        self._live[key] = incident
+        return incident
+
+    def resolve(
+        self, incident: Incident, time: float, report: "DiagnosisReport | None" = None
+    ) -> None:
+        """Resolve and start the key's cooldown clock."""
+        incident.resolve(time, report)
+        self._cooldown_until[incident.key] = time + self.cooldown_s
+
+    def open_incidents(self) -> list[Incident]:
+        return [i for i in self.incidents if i.state is IncidentState.OPEN]
+
+    def diagnosing_incidents(self) -> list[Incident]:
+        return [i for i in self.incidents if i.state is IncidentState.DIAGNOSING]
+
+    def resolved_incidents(self) -> list[Incident]:
+        return [i for i in self.incidents if i.state is IncidentState.RESOLVED]
+
+    def __len__(self) -> int:
+        return len(self.incidents)

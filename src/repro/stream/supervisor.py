@@ -1,0 +1,318 @@
+"""Fleet supervisor: watch many environments, auto-diagnose incidents.
+
+This is the closed loop the offline workflow lacks.  A
+:class:`FleetSupervisor` owns a set of watched environments and advances the
+whole fleet in *chunks* of simulated time (a thread pool advances
+environments concurrently, the same fan-out semantics as
+``DiagnosisPipeline.diagnose_many``).  Each chunk:
+
+1. **advance** — every environment simulates ``chunk_s`` seconds; the
+   collector's streaming tap feeds every raw metric append and finished
+   query run to the environment's detectors as it happens (no polling);
+2. **detect** — detections are folded into incidents with dedup + cooldown
+   (:mod:`repro.stream.incidents`); the response-time SLO detector has
+   already auto-marked runs, replacing the administrator's marking step;
+3. **diagnose** — every open incident whose environment has a diagnosable
+   query gets a ``DiagnosisBundle`` snapshot and a full pipeline run
+   (batched across the fleet via ``diagnose_many``); the ranked report is
+   attached to the incident, which resolves.
+
+No human is in the loop: faults open incidents, incidents carry ranked root
+causes, and ``repro watch`` renders the fleet table live.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.evaluation import evaluate_report
+from ..core.pipeline import DiagnosisPipeline, DiagnosisRequest, default_pipeline
+from ..lab.environment import Environment
+from ..lab.scenarios import Scenario, ScenarioBundle, ScenarioInfo
+from .detectors import (
+    Detection,
+    DetectorBank,
+    ResponseTimeSloDetector,
+    default_detector_factory,
+)
+from .incidents import Incident, IncidentManager, IncidentState
+
+__all__ = ["WatchedEnvironment", "FleetSupervisor"]
+
+
+@dataclass
+class WatchedEnvironment:
+    """One environment under supervision: detectors + incident bookkeeping."""
+
+    name: str
+    env: Environment
+    query_name: str
+    bank: DetectorBank
+    run_detector: ResponseTimeSloDetector
+    manager: IncidentManager
+    info: ScenarioInfo | None = None
+    #: Detections accumulated by the taps during the current chunk; drained
+    #: by the supervisor after the advance phase (taps run on the single
+    #: thread advancing this environment, so no further locking is needed).
+    _pending: list[Detection] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.env.collector.add_metric_tap(self._on_metric)
+        self.env.collector.add_run_tap(self._on_run)
+
+    # -- tap callbacks ---------------------------------------------------
+    def _on_metric(self, time: float, component_id: str, metric: str, value: float) -> None:
+        detection = self.bank.observe(time, component_id, metric, value)
+        if detection is not None:
+            self._pending.append(detection)
+
+    def _on_run(self, run) -> None:
+        detection = self.run_detector.observe_run(run)
+        if detection is not None:
+            self._pending.append(detection)
+
+    # -- chunk lifecycle -------------------------------------------------
+    def advance(self, chunk_s: float) -> list[Detection]:
+        """Advance the simulation one chunk; drain the tap detections."""
+        self.env.advance(chunk_s)
+        drained, self._pending = self._pending, []
+        return drained
+
+    def diagnosable(self) -> bool:
+        """True once the watched query has runs labelled on both sides."""
+        runs = self.env.stores.runs
+        return bool(
+            runs.satisfactory_runs(self.query_name)
+            and runs.unsatisfactory_runs(self.query_name)
+        )
+
+    # -- reporting -------------------------------------------------------
+    def status(self) -> dict:
+        """One fleet-table row.
+
+        When scenario ground truth is known, the latest attached report is
+        graded through :func:`repro.core.evaluation.evaluate_report` — the
+        same rules as the offline sweep.  ``verified`` means the top-ranked
+        cause is an injected one; ``identified`` is the sweep's stricter
+        verdict (every injected cause also at high confidence).
+        """
+        incidents = self.manager.incidents
+        last = incidents[-1] if incidents else None
+        top = last.top_cause_id if last is not None else None
+        ground_truth = self.info.ground_truth if self.info is not None else ()
+        verified = identified = None
+        if last is not None and last.report is not None and self.info is not None:
+            evaluation = evaluate_report(
+                ScenarioBundle(
+                    info=self.info,
+                    bundle=self.env.bundle(),
+                    query_name=self.query_name,
+                ),
+                last.report,
+            )
+            verified = evaluation.top_cause in evaluation.ground_truth
+            identified = evaluation.identified
+        return {
+            "env": self.name,
+            "query": self.query_name,
+            "clock": self.env.clock,
+            "runs": len(self.env.stores.runs.runs(self.query_name)),
+            "detections": sum(len(i.detections) for i in incidents)
+            + self.manager.suppressed,
+            "incidents": len(incidents),
+            "open": len(self.manager.open_incidents())
+            + len(self.manager.diagnosing_incidents()),
+            "suppressed": self.manager.suppressed,
+            "state": last.state.value if last is not None else "healthy",
+            "severity": last.severity.value if last is not None else "-",
+            "top_cause": top,
+            "ground_truth": ground_truth,
+            "verified": verified,
+            "identified": identified,
+        }
+
+
+class FleetSupervisor:
+    """Advance a fleet of environments and close the detect→diagnose loop."""
+
+    def __init__(
+        self,
+        pipeline: DiagnosisPipeline | None = None,
+        *,
+        chunk_s: float = 1800.0,
+        max_workers: int | None = None,
+        cooldown_s: float = 7200.0,
+        slo_factor: float = 1.3,
+        baseline_runs: int = 4,
+    ) -> None:
+        if chunk_s <= 0:
+            raise ValueError("chunk_s must be positive")
+        self.pipeline = pipeline or default_pipeline()
+        self.chunk_s = chunk_s
+        self.max_workers = max_workers
+        self.cooldown_s = cooldown_s
+        self.slo_factor = slo_factor
+        self.baseline_runs = baseline_runs
+        self.watched: dict[str, WatchedEnvironment] = {}
+        self.ticks = 0
+
+    # -- registration ----------------------------------------------------
+    def watch(
+        self,
+        name: str,
+        env: Environment,
+        query_name: str,
+        *,
+        detector_factory: Callable | None = None,
+        info: ScenarioInfo | None = None,
+    ) -> WatchedEnvironment:
+        """Put one environment under supervision."""
+        if name in self.watched:
+            raise ValueError(f"environment {name!r} already watched")
+        watched = WatchedEnvironment(
+            name=name,
+            env=env,
+            query_name=query_name,
+            bank=DetectorBank(factory=detector_factory or default_detector_factory()),
+            run_detector=ResponseTimeSloDetector(
+                factor=self.slo_factor,
+                baseline_runs=self.baseline_runs,
+                query_name=query_name,
+            ),
+            manager=IncidentManager(name, cooldown_s=self.cooldown_s),
+            info=info,
+        )
+        self.watched[name] = watched
+        return watched
+
+    def watch_scenario(self, scenario: Scenario, name: str | None = None) -> WatchedEnvironment:
+        """Build a scenario's environment and watch it (ground truth kept
+        aside for verification only — detectors never see it)."""
+        return self.watch(
+            name or scenario.info.name,
+            scenario.build(),
+            scenario.query_name,
+            info=scenario.info,
+        )
+
+    # -- the loop --------------------------------------------------------
+    def tick(self, chunk_s: float | None = None) -> list[Incident]:
+        """Advance the fleet one chunk; returns incidents resolved this tick.
+
+        ``chunk_s`` overrides the configured chunk for this tick only (used
+        to clamp the final chunk of a bounded run).
+        """
+        if not self.watched:
+            raise ValueError("no environments watched")
+        chunk = chunk_s if chunk_s is not None else self.chunk_s
+        fleet = list(self.watched.values())
+        workers = self.max_workers or min(8, len(fleet))
+
+        # Phase 1 — advance all environments concurrently.  Each environment
+        # is touched by exactly one thread; detections buffer per-env.
+        if workers > 1 and len(fleet) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                batches = list(pool.map(lambda w: w.advance(chunk), fleet))
+        else:
+            batches = [w.advance(chunk) for w in fleet]
+
+        # Phase 2 — fold detections into incidents (dedup + cooldown).
+        for watched, detections in zip(fleet, batches):
+            for detection in detections:
+                watched.manager.observe(detection)
+
+        # Phase 3 — auto-diagnose: an environment whose watched query now
+        # has both labels gets ONE bundle snapshot and ONE pipeline run per
+        # tick; every incident it opened shares that report (several
+        # detection targets firing together would otherwise pay for the
+        # six-module pipeline once each).  The wave is batched fleet-wide.
+        wave: list[tuple[WatchedEnvironment, list[Incident], DiagnosisRequest]] = []
+        for watched in fleet:
+            open_incidents = watched.manager.open_incidents()
+            if not open_incidents:
+                continue
+            if not watched.diagnosable():
+                continue  # stays OPEN until labelled runs exist on both sides
+            for incident in open_incidents:
+                incident.begin_diagnosis(watched.env.clock)
+            wave.append(
+                (
+                    watched,
+                    open_incidents,
+                    DiagnosisRequest(watched.env.bundle(), watched.query_name),
+                )
+            )
+        resolved: list[Incident] = []
+        if wave:
+            reports = self.pipeline.diagnose_many(
+                [req for _, _, req in wave], max_workers=workers
+            )
+            for (watched, incidents, _), report in zip(wave, reports):
+                for incident in incidents:
+                    watched.manager.resolve(incident, watched.env.clock, report)
+                    resolved.append(incident)
+        self.ticks += 1
+        return resolved
+
+    def run(
+        self,
+        duration_s: float,
+        on_tick: Callable[[list[Incident], float], None] | None = None,
+    ) -> list[Incident]:
+        """Advance the whole fleet for exactly ``duration_s``; all incidents.
+
+        The final chunk is clamped, so a duration that is not a multiple of
+        ``chunk_s`` does not overshoot the scenario's designed end (the
+        environment clock can exceed the target by at most one tick).
+        ``on_tick(resolved, elapsed)`` is invoked after every chunk — the
+        hook ``repro watch`` renders its live table from.
+        """
+        elapsed = 0.0
+        while elapsed < duration_s:
+            step = min(self.chunk_s, duration_s - elapsed)
+            resolved = self.tick(step)
+            elapsed += step
+            if on_tick is not None:
+                on_tick(resolved, elapsed)
+        return self.incidents()
+
+    # -- reporting -------------------------------------------------------
+    def incidents(self) -> list[Incident]:
+        out: list[Incident] = []
+        for watched in self.watched.values():
+            out.extend(watched.manager.incidents)
+        return sorted(out, key=lambda i: (i.opened_at, i.incident_id))
+
+    def status_rows(self) -> list[dict]:
+        return [w.status() for w in self.watched.values()]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly fleet state (``repro watch --json``)."""
+        return {
+            "ticks": self.ticks,
+            "chunk_s": self.chunk_s,
+            "fleet": self.status_rows(),
+            "incidents": [i.to_dict() for i in self.incidents()],
+        }
+
+    def render_table(self) -> str:
+        """The live fleet table ``repro watch`` prints each refresh."""
+        header = (
+            f"{'env':<32} {'t(h)':>5} {'runs':>4} {'inc':>3} {'open':>4} "
+            f"{'state':<11} {'sev':<8} top cause"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.status_rows():
+            verified = (
+                ""
+                if row["verified"] is None
+                else ("  [=truth]" if row["verified"] else "  [MISMATCH]")
+            )
+            lines.append(
+                f"{row['env']:<32} {row['clock'] / 3600.0:>5.1f} {row['runs']:>4} "
+                f"{row['incidents']:>3} {row['open']:>4} {row['state']:<11} "
+                f"{row['severity']:<8} {row['top_cause'] or '-'}{verified}"
+            )
+        return "\n".join(lines)

@@ -94,4 +94,4 @@ class TestCli:
         assert "Query executions" in out
 
     def test_scenario_registry_complete(self):
-        assert len(SCENARIOS) == 10
+        assert len(SCENARIOS) == 12

@@ -155,3 +155,42 @@ class TestFaults:
         bundle = env.run(HOURS_2)
         assert bundle.db_config.random_page_cost == 40.0
         assert bundle.initial_config.random_page_cost == 4.0
+
+
+class TestAdvanceClock:
+    """Incremental advance(): continuous clock, bounded tick overshoot."""
+
+    def _env(self):
+        from repro.db.plans import canonical_q2_plan
+        from repro.db.tpch import build_tpch_catalog
+        from repro.lab.environment import Environment
+        from repro.lab.workloads import QueryJob
+        from repro.san.builder import build_testbed
+
+        env = Environment(testbed=build_testbed(), catalog=build_tpch_catalog())
+        env.add_job(
+            QueryJob(
+                name="q", period_s=1800.0, first_run_s=600.0,
+                pinned_plan=canonical_q2_plan(),
+            )
+        )
+        return env
+
+    def test_fractional_chunks_do_not_compound_drift(self):
+        env = self._env()
+        for _ in range(86):
+            env.advance(42.0)
+        # 86 * 42 = 3612 requested; overshoot bounded by one tick.
+        assert 3612.0 <= env.clock <= 3612.0 + env.tick_s
+
+    def test_restarting_the_clock_is_rejected(self):
+        env = self._env()
+        env.run(3600.0)
+        with pytest.raises(ValueError):
+            env.run(3600.0, start_s=10800.0)
+
+    def test_continuing_at_current_clock_is_allowed(self):
+        env = self._env()
+        env.run(3600.0)
+        env.run(3600.0, start_s=3600.0)  # seed-style two-phase run
+        assert env.clock == 7200.0

@@ -86,3 +86,61 @@ class TestRebuildPeerLoad:
             assert degraded.get(disk, "iops") > base.get(disk, "iops") + 30.0
         # other pool untouched
         assert degraded.get("d5", "iops") == pytest.approx(base.get("d5", "iops"))
+
+
+class TestIntermittentCombinator:
+    def test_windows_cover_duty_cycle(self):
+        env = small_env()
+        injector = FaultInjector(env)
+        windows = injector.intermittent(
+            at=3600.0, until=3600.0 + 4 * 1200.0, period_s=1200.0, duty_cycle=0.5,
+            fault=injector.external_contention, volume_id="V3", read_iops=100.0,
+        )
+        assert windows == [
+            (3600.0, 4200.0), (4800.0, 5400.0), (6000.0, 6600.0), (7200.0, 7800.0)
+        ]
+
+    def test_wrapped_workload_flaps(self):
+        """The offered load must be on inside on-windows, off outside."""
+        env = small_env()
+        injector = FaultInjector(env)
+        injector.intermittent(
+            at=0.0, until=4800.0, period_s=2400.0, duty_cycle=0.5,
+            fault=injector.external_contention, volume_id="V3", read_iops=100.0,
+        )
+        env.run(4800.0)
+        active = [w for w in env.external if w.name == "contention-V3"]
+        assert len(active) == 2
+        assert active[0].load_at(600.0) is not None
+        assert active[0].load_at(1800.0) is None  # off-window
+        assert active[1].load_at(3000.0) is not None
+
+    def test_wraps_san_misconfiguration_idempotently(self):
+        """Re-applied misconfiguration must not duplicate the volume or its
+        creation events — only the offending workload windows."""
+        env = small_env()
+        injector = FaultInjector(env)
+        injector.intermittent(
+            at=1800.0, until=1800.0 + 3 * 1200.0, period_s=1200.0, duty_cycle=0.5,
+            fault=injector.san_misconfiguration, write_iops=200.0,
+        )
+        env.run(3 * 3600.0)
+        volumes = [v for v in env.testbed.topology.volumes if v.component_id == "Vprime"]
+        assert len(volumes) == 1
+        creations = env.stores.events.of_kind("volume_created")
+        assert len(creations) == 1
+        workloads = [w for w in env.external if w.name == "app-workload-Vprime"]
+        assert len(workloads) == 3
+
+    def test_rejects_bad_params(self):
+        injector = FaultInjector(small_env())
+        with pytest.raises(ValueError):
+            injector.intermittent(
+                at=0.0, until=100.0, period_s=0.0, duty_cycle=0.5,
+                fault=injector.external_contention, volume_id="V3",
+            )
+        with pytest.raises(ValueError):
+            injector.intermittent(
+                at=0.0, until=100.0, period_s=60.0, duty_cycle=0.0,
+                fault=injector.external_contention, volume_id="V3",
+            )

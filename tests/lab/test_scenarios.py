@@ -92,3 +92,59 @@ class TestBundleProxy:
     def test_info_carried(self, scenario1):
         assert scenario1.info.scenario_id == 1
         assert scenario1.query_name == QUERY_NAME
+
+
+class TestStreamingScenarios:
+    def test_flapping_metadata(self):
+        from repro.lab.scenarios import scenario_flapping_san_misconfiguration
+
+        scenario = scenario_flapping_san_misconfiguration(hours=6.0)
+        assert scenario.info.ground_truth == ("volume-contention-san-misconfig",)
+        assert scenario.info.fault_time == 6.0 * 3600.0 / 2.0
+
+    def test_flapping_build_flaps_the_workload(self):
+        from repro.lab.scenarios import scenario_flapping_san_misconfiguration
+
+        scenario = scenario_flapping_san_misconfiguration(
+            hours=6.0, period_s=3600.0, duty_cycle=0.5
+        )
+        env = scenario.build()
+        env.run(6.0 * 3600.0)
+        fault_t = scenario.info.fault_time
+        workloads = [w for w in env.external if w.name == "app-workload-Vprime"]
+        assert len(workloads) >= 2  # one per on-window
+        on = workloads[0]
+        assert on.load_at(fault_t + 60.0) is not None
+        # Off-window: no app workload offers load mid-way through the period.
+        off_t = fault_t + 2400.0
+        assert all(w.load_at(off_t) is None for w in workloads)
+
+    def test_staggered_metadata_and_fault_times(self):
+        from repro.lab.scenarios import scenario_staggered_dual_faults
+
+        scenario = scenario_staggered_dual_faults(hours=9.0)
+        assert set(scenario.info.ground_truth) == {
+            "volume-contention-san-misconfig", "data-property-change",
+        }
+        env = scenario.build()
+        env.run(9.0 * 3600.0)
+        end_t = 9.0 * 3600.0
+        dml = [e for e in env.stores.events.of_kind("dml_batch")]
+        assert dml and dml[0].time == pytest.approx(2.0 * end_t / 3.0, abs=60.0)
+        created = env.stores.events.of_kind("volume_created")
+        assert created and created[0].time == pytest.approx(end_t / 3.0, abs=60.0)
+
+    def test_flapping_offline_labels_match_degradation(self):
+        """Scenario.run() must label only on-window (degraded) runs bad —
+        off-window runs are healthy and stay satisfactory."""
+        from repro.lab.scenarios import scenario_flapping_san_misconfiguration
+
+        bundle = scenario_flapping_san_misconfiguration(hours=8.0).run()
+        sat = bundle.stores.runs.satisfactory_runs(bundle.query_name)
+        unsat = bundle.stores.runs.unsatisfactory_runs(bundle.query_name)
+        assert sat and unsat
+        # Clean separation: every labelled-bad run is slower than every
+        # labelled-good run, with a clear degradation margin.
+        slowest_good = max(r.duration for r in sat)
+        fastest_bad = min(r.duration for r in unsat)
+        assert fastest_bad > 1.5 * slowest_good

@@ -176,3 +176,53 @@ class TestCollector:
         Collector(stores=stores).collect_network(0.0, "sw", bytes_moved=1e6)
         recorded = stores.metrics.metrics_for("sw")
         assert {"bytesTransmitted", "errorFrames", "crcErrors"} <= recorded
+
+
+class TestCollectorTap:
+    """The streaming tap: observers see every append without polling."""
+
+    def test_metric_tap_sees_every_san_append(self, testbed):
+        stores = MonitoringStores()
+        collector = Collector(stores=stores)
+        seen = []
+        collector.add_metric_tap(lambda t, cid, m, v: seen.append((cid, m)))
+        sample = IoSimulator(testbed.topology).simulate({"V1": VolumeLoad(read_iops=50)})
+        collector.collect_san(0.0, sample)
+        assert len(seen) == len(stores.metrics)
+        assert ("V1", "readTime") in seen
+
+    def test_run_tap_sees_recorded_runs(self, catalog):
+        stores = MonitoringStores()
+        collector = Collector(stores=stores)
+        seen = []
+        collector.add_run_tap(seen.append)
+        run = make_run(catalog)
+        collector.collect_query_run(run)
+        assert seen == [run]
+
+    def test_tap_fires_on_singles_and_heartbeats(self):
+        stores = MonitoringStores()
+        collector = Collector(stores=stores)
+        seen = []
+        collector.add_metric_tap(lambda t, cid, m, v: seen.append(m))
+        collector.collect_db_tick(0.0, locks_held=3.0)
+        collector.collect_server(0.0, "srv-db", cpu_pct=10.0)
+        assert "locksHeld" in seen and "cpuUsagePct" in seen
+
+    def test_remove_tap(self):
+        stores = MonitoringStores()
+        collector = Collector(stores=stores)
+        seen = []
+        tap = collector.add_metric_tap(lambda t, cid, m, v: seen.append(m))
+        collector.collect_db_tick(0.0, locks_held=1.0)
+        collector.remove_tap(tap)
+        collector.collect_db_tick(60.0, locks_held=1.0)
+        assert len(seen) == 1
+
+    def test_untapped_collector_unchanged(self, testbed):
+        """No observers: the collector behaves exactly like the seed's."""
+        stores = MonitoringStores()
+        collector = Collector(stores=stores)
+        sample = IoSimulator(testbed.topology).simulate({"V1": VolumeLoad(read_iops=50)})
+        collector.collect_san(0.0, sample)
+        assert len(stores.metrics) == len(sample.values)

@@ -143,3 +143,64 @@ class TestProperties:
         hi = max(v for _, v in points)
         for sample in series:
             assert lo - 1e-6 <= sample.value <= hi + 1e-6
+
+
+class TestAppendMany:
+    def test_batch_equals_singles(self):
+        a, b = make_store(), make_store()
+        observations = [
+            (float(t), "V1", "readTime", float(v))
+            for t, v in enumerate([5.0, 6.0, 7.0, 8.0])
+        ]
+        for obs in observations:
+            a.record(*obs)
+        assert b.append_many(observations) == 4
+        assert a.series("V1", "readTime") == b.series("V1", "readTime")
+
+    def test_invalidates_series_cache(self):
+        store = make_store()
+        store.record(0.0, "V1", "readTime", 10.0)
+        before = store.series("V1", "readTime")
+        store.append_many([(600.0, "V1", "readTime", 20.0)])
+        after = store.series("V1", "readTime")
+        assert len(after) == len(before) + 1
+
+    def test_concurrent_appends_and_reads(self):
+        """Streaming writers + diagnosing readers must not lose samples or
+        serve stale cached series (the observer-tap append path shares the
+        store lock with batch reads)."""
+        import threading
+
+        store = make_store()
+        n_writers, per_writer = 4, 200
+        errors = []
+
+        def writer(wid: int) -> None:
+            for i in range(per_writer):
+                store.append_many(
+                    [(float(wid * per_writer + i), "V1", "readTime", 1.0)]
+                )
+
+        def reader() -> None:
+            try:
+                for _ in range(200):
+                    series = store.series("V1", "readTime")
+                    times = [s.time for s in series]
+                    if times != sorted(times):
+                        errors.append("unsorted series")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(n_writers)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store) == n_writers * per_writer
+        # Final read must see every write (no stale cache left behind).
+        assert sum(
+            1 for _ in store.series("V1", "readTime")
+        ) == len({int(t // 300.0) for t in range(n_writers * per_writer)})

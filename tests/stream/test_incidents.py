@@ -1,0 +1,146 @@
+"""Incident lifecycle, deduplication, cooldown and severity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream import Detection, Incident, IncidentManager, IncidentState, Severity
+
+
+def det(time: float, target: str = "V1/readTime", magnitude: float = 1.5) -> Detection:
+    return Detection(
+        time=time, detector="ewma-drift", target=target, value=magnitude * 10.0,
+        expected=10.0, magnitude=magnitude, kind="drift",
+    )
+
+
+class TestLifecycle:
+    def test_open_diagnosing_resolved(self):
+        mgr = IncidentManager("env-a")
+        incident = mgr.observe(det(100.0))
+        assert incident is not None and incident.state is IncidentState.OPEN
+        incident.begin_diagnosis(200.0)
+        assert incident.state is IncidentState.DIAGNOSING
+        assert incident.diagnosed_at == 200.0
+        mgr.resolve(incident, 300.0)
+        assert incident.state is IncidentState.RESOLVED
+        assert incident.resolved_at == 300.0
+        assert mgr.resolved_incidents() == [incident]
+
+    def test_cannot_diagnose_twice(self):
+        mgr = IncidentManager("env-a")
+        incident = mgr.observe(det(100.0))
+        incident.begin_diagnosis(200.0)
+        with pytest.raises(ValueError):
+            incident.begin_diagnosis(300.0)
+
+    def test_cannot_resolve_twice(self):
+        mgr = IncidentManager("env-a")
+        incident = mgr.observe(det(100.0))
+        mgr.resolve(incident, 200.0)
+        with pytest.raises(ValueError):
+            incident.resolve(300.0)
+
+    def test_incident_ids_are_unique_and_scoped(self):
+        mgr = IncidentManager("env-a", cooldown_s=0.0)
+        first = mgr.observe(det(100.0))
+        mgr.resolve(first, 150.0)
+        second = mgr.observe(det(200.0))
+        assert {first.incident_id, second.incident_id} == {
+            "INC-env-a-1", "INC-env-a-2",
+        }
+
+
+class TestDedup:
+    def test_live_incident_absorbs_same_target(self):
+        mgr = IncidentManager("env-a")
+        incident = mgr.observe(det(100.0))
+        assert mgr.observe(det(160.0)) is None
+        assert mgr.observe(det(220.0)) is None
+        assert len(mgr) == 1
+        assert len(incident.detections) == 3
+        assert incident.deduped == 2
+
+    def test_diagnosing_incident_still_absorbs(self):
+        mgr = IncidentManager("env-a")
+        incident = mgr.observe(det(100.0))
+        incident.begin_diagnosis(150.0)
+        assert mgr.observe(det(200.0)) is None
+        assert incident.deduped == 1
+
+    def test_different_targets_open_different_incidents(self):
+        mgr = IncidentManager("env-a")
+        a = mgr.observe(det(100.0, target="V1/readTime"))
+        b = mgr.observe(det(110.0, target="run:q2-report"))
+        assert a is not None and b is not None and a is not b
+
+    def test_dedup_is_per_environment(self):
+        a = IncidentManager("env-a")
+        b = IncidentManager("env-b")
+        assert a.observe(det(100.0)) is not None
+        assert b.observe(det(100.0)) is not None
+
+
+class TestCooldown:
+    def test_detection_during_cooldown_suppressed(self):
+        mgr = IncidentManager("env-a", cooldown_s=3600.0)
+        incident = mgr.observe(det(100.0))
+        mgr.resolve(incident, 200.0)
+        assert mgr.observe(det(200.0 + 1800.0)) is None
+        assert mgr.suppressed == 1
+        assert len(mgr) == 1
+
+    def test_detection_after_cooldown_reopens(self):
+        mgr = IncidentManager("env-a", cooldown_s=3600.0)
+        incident = mgr.observe(det(100.0))
+        mgr.resolve(incident, 200.0)
+        reopened = mgr.observe(det(200.0 + 3600.0 + 1.0))
+        assert reopened is not None and reopened is not incident
+
+    def test_zero_cooldown(self):
+        mgr = IncidentManager("env-a", cooldown_s=0.0)
+        incident = mgr.observe(det(100.0))
+        mgr.resolve(incident, 200.0)
+        assert mgr.observe(det(201.0)) is not None
+
+    def test_cooldown_does_not_cross_targets(self):
+        mgr = IncidentManager("env-a", cooldown_s=3600.0)
+        incident = mgr.observe(det(100.0, target="V1/readTime"))
+        mgr.resolve(incident, 200.0)
+        other = mgr.observe(det(300.0, target="run:q2-report"))
+        assert other is not None
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            IncidentManager("env-a", cooldown_s=-1.0)
+
+
+class TestSeverity:
+    @pytest.mark.parametrize(
+        "magnitude,expected",
+        [(1.0, Severity.MINOR), (1.9, Severity.MINOR), (2.0, Severity.MAJOR),
+         (3.9, Severity.MAJOR), (4.0, Severity.CRITICAL), (10.0, Severity.CRITICAL)],
+    )
+    def test_thresholds(self, magnitude, expected):
+        assert Severity.from_magnitude(magnitude) is expected
+
+    def test_incident_severity_is_max_over_detections(self):
+        mgr = IncidentManager("env-a")
+        incident = mgr.observe(det(100.0, magnitude=1.2))
+        mgr.observe(det(160.0, magnitude=5.0))  # absorbed, raises severity
+        assert incident.severity is Severity.CRITICAL
+
+
+class TestSerialization:
+    def test_to_dict_roundtrips_without_report(self):
+        mgr = IncidentManager("env-a")
+        incident = mgr.observe(det(100.0))
+        payload = incident.to_dict()
+        assert payload["incident_id"] == incident.incident_id
+        assert payload["state"] == "open"
+        assert payload["severity"] == "minor"
+        assert payload["report"] is None
+        assert payload["detections"][0]["target"] == "V1/readTime"
+        import json
+
+        json.dumps(payload)  # must be JSON-serialisable
