@@ -1,0 +1,106 @@
+"""Telemetry-store backend throughput: append/scan ops/s, memory vs JSONL.
+
+One table lands in ``benchmarks/results/storage_throughput.txt``: raw
+backend append (single + batched) and scan rates, plus the end-to-end
+``MetricStore.record`` rate through each backend — the number that bounds
+how many raw observations per wall second a ``repro watch --state-dir``
+deployment can absorb.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.monitor import MetricStore
+from repro.storage import JsonlBackend, MemoryBackend
+
+N_APPEND = 50_000
+BATCH = 500
+
+
+def _records(n):
+    return [
+        {"t": 60.0 * i, "k": f"V{i % 8}/readTime", "c": f"V{i % 8}", "m": "readTime", "v": 5.0}
+        for i in range(n)
+    ]
+
+
+def _backends(tmp: Path):
+    return (
+        ("memory", MemoryBackend()),
+        ("jsonl", JsonlBackend(tmp / "jsonl")),
+    )
+
+
+def _rate(n, seconds):
+    return n / seconds if seconds > 0 else float("inf")
+
+
+def test_bench_storage_throughput(record_result):
+    tmp = Path(tempfile.mkdtemp(prefix="storage-bench-"))
+    rows = []
+    try:
+        records = _records(N_APPEND)
+        for name, backend in _backends(tmp):
+            start = time.perf_counter()
+            for record in records:
+                backend.append("metrics", record)
+            append_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for i in range(0, N_APPEND, BATCH):
+                backend.append_many("batched", records[i : i + BATCH])
+            batch_s = time.perf_counter() - start
+
+            backend.flush()
+            start = time.perf_counter()
+            scanned = sum(1 for _ in backend.scan("metrics"))
+            scan_s = time.perf_counter() - start
+            assert scanned == N_APPEND
+
+            start = time.perf_counter()
+            keyed = sum(1 for _ in backend.scan("metrics", key="V3/readTime"))
+            keyed_s = time.perf_counter() - start
+            assert keyed == N_APPEND // 8
+
+            backend.close()
+            rows.append(
+                (name, _rate(N_APPEND, append_s), _rate(N_APPEND, batch_s),
+                 _rate(N_APPEND, scan_s), _rate(N_APPEND, keyed_s))
+            )
+
+        # End-to-end MetricStore.record through each backend.
+        store_rows = []
+        for name, backend in _backends(tmp / "store"):
+            store = MetricStore(backend=backend)
+            start = time.perf_counter()
+            for i in range(N_APPEND):
+                store.record(60.0 * i, f"V{i % 8}", "readTime", 5.0)
+            record_s = time.perf_counter() - start
+            backend.close()
+            store_rows.append((name, _rate(N_APPEND, record_s)))
+
+        lines = [
+            f"Telemetry backend throughput ({N_APPEND} records, ops/s)",
+            "-" * 76,
+            f"{'backend':<10}{'append':>13}{'append_many':>13}{'scan':>13}{'scan(key)':>13}",
+            "-" * 76,
+        ]
+        for name, a, b, s, k in rows:
+            lines.append(f"{name:<10}{a:>13.0f}{b:>13.0f}{s:>13.0f}{k:>13.0f}")
+        lines += [
+            "",
+            "MetricStore.record end-to-end (raw observations/s)",
+            "-" * 44,
+        ]
+        for name, r in store_rows:
+            lines.append(f"{name:<10}{r:>13.0f}")
+        record_result("storage_throughput", "\n".join(lines))
+
+        # Sanity: the memory path must stay at least as fast as JSONL.
+        assert rows[0][1] >= rows[1][1] * 0.5
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,62 @@
+"""Durable, restart-survivable monitoring — kill the watch, resume it.
+
+Everything in the closed loop now persists through the unified
+telemetry-store API (:mod:`repro.storage`): a ``FleetSupervisor`` given a
+``state_dir`` journals every incident transition (open → diagnosing →
+resolved) through a crash-safe JSONL backend and checkpoints detector +
+dedup/cooldown state after every chunk.  A second supervisor pointed at the
+same directory resumes exactly where the first one died and finishes with
+the byte-identical incident history an uninterrupted run would produce.
+
+This script demonstrates the kill/resume cycle in-process: the first
+supervisor simply stops halfway (as if SIGKILLed — it never shuts down
+cleanly) and a fresh one takes over.
+
+Run:  python examples/durable_watch.py
+CLI:  python -m repro.cli watch --hours 8 --state-dir ./state
+      python -m repro.cli incidents --state-dir ./state
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import FleetSupervisor, IncidentStore
+from repro.lab.scenarios import scenario_flapping_san_misconfiguration
+
+HOURS = 6.0
+STATE = Path(tempfile.mkdtemp(prefix="repro-durable-watch-"))
+
+
+def make_supervisor() -> FleetSupervisor:
+    supervisor = FleetSupervisor(chunk_s=1800.0, cooldown_s=7200.0, state_dir=STATE)
+    supervisor.watch_scenario(scenario_flapping_san_misconfiguration(hours=HOURS))
+    return supervisor
+
+
+# --- first life: dies halfway through, no clean shutdown --------------------
+first = make_supervisor()
+first.run(HOURS * 3600.0 / 2)
+print(f"first process 'killed' at t={first.advanced_s / 3600.0:.1f}h "
+      f"with {len(first.incidents())} incident(s)")
+del first
+
+# --- second life: resumes from the checkpoint -------------------------------
+second = make_supervisor()
+covered = second.resume()
+print(f"resumed from checkpoint at t={covered / 3600.0:.1f}h "
+      f"({len(second.incidents())} incident(s) restored)")
+second.run(HOURS * 3600.0 - covered)
+
+print(f"\nfinal history after {HOURS:g} simulated hours:")
+for incident in second.incidents():
+    print(f"  {incident.incident_id:<42} {incident.state.value:<10} "
+          f"{incident.severity.value:<9} -> {incident.top_cause_id}")
+
+# --- the journal outlives every process -------------------------------------
+journal = IncidentStore.open(STATE)
+print(f"\ndurable journal holds {len(journal.history())} ticket(s), "
+      f"{len(journal.history(state='resolved'))} resolved")
+journal.close()
+
+shutil.rmtree(STATE, ignore_errors=True)

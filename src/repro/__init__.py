@@ -10,7 +10,11 @@ An integrated database + SAN diagnosis library.  The package is organised as:
 * :mod:`repro.core` — the paper's contribution: APGs and the DIADS workflow,
   built on a pluggable pipeline engine (registry + DAG scheduling),
 * :mod:`repro.stream` — online detectors, incidents, and the fleet
-  supervisor that closes the detect→diagnose loop with no human marking.
+  supervisor that closes the detect→diagnose loop with no human marking,
+* :mod:`repro.storage` — the unified telemetry-store API: one pluggable
+  backend protocol (memory + crash-safe JSONL) under every store, the
+  ``TelemetryStore`` facade, and lossless serializers for persistence
+  (``DiagnosisBundle.save()/load()``, ``repro watch --state-dir`` resume).
 
 Quickstart::
 
@@ -79,13 +83,15 @@ from .stream import (
     Incident,
     IncidentManager,
     IncidentState,
+    IncidentStore,
     ResponseTimeSloDetector,
     Severity,
     ThresholdSloDetector,
     WatchedEnvironment,
 )
+from .storage import JsonlBackend, MemoryBackend, StorageBackend, TelemetryStore
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
@@ -127,7 +133,12 @@ __all__ = [
     "Incident",
     "IncidentManager",
     "IncidentState",
+    "IncidentStore",
     "Severity",
     "FleetSupervisor",
     "WatchedEnvironment",
+    "StorageBackend",
+    "MemoryBackend",
+    "JsonlBackend",
+    "TelemetryStore",
 ]

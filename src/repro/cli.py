@@ -9,6 +9,8 @@ Usage (``repro`` console script, or module form)::
     python -m repro.cli batch san-misconfiguration lock-contention --json
     python -m repro.cli watch --hours 8
     python -m repro.cli watch flapping-san-misconfiguration --json
+    python -m repro.cli watch --hours 8 --state-dir ./state   # durable + resumable
+    python -m repro.cli incidents --state-dir ./state
 
 ``run`` simulates one scenario, diagnoses it, and prints the report (plus the
 Figure-3/6/7 screens with ``--screens``).  ``sweep`` evaluates every Table-1
@@ -19,7 +21,10 @@ catalogue), diagnoses every diagnosable query in every bundle through
 is the closed loop: a :class:`~repro.stream.FleetSupervisor` advances a
 fleet of scenario environments live, detectors open incidents without any
 manual run-marking, and every incident is auto-diagnosed; the fleet table
-refreshes per chunk (or stream the final state with ``--json``).
+refreshes per chunk (or stream the final state with ``--json``).  With
+``--state-dir`` the incident history and detector state are journalled
+durably and a killed run resumes from its last checkpoint; ``incidents``
+queries that history afterwards — across any number of restarts.
 """
 
 from __future__ import annotations
@@ -138,6 +143,36 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--json", action="store_true",
         help="emit the final fleet state + incidents as JSON (no live table)",
+    )
+    watch.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help=(
+            "persist incident history + detector state under DIR; when DIR "
+            "already holds a checkpoint for the same fleet, the run resumes "
+            "where it was killed (--hours is the total simulated duration)"
+        ),
+    )
+
+    incidents = sub.add_parser(
+        "incidents", help="query the durable incident history of a state dir"
+    )
+    incidents.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="state dir a `repro watch --state-dir DIR` run wrote",
+    )
+    incidents.add_argument(
+        "--env", default=None, help="only incidents of this environment"
+    )
+    incidents.add_argument(
+        "--status", default=None, choices=["open", "diagnosing", "resolved"],
+        help="only incidents currently in this state",
+    )
+    incidents.add_argument(
+        "--since-hours", type=float, default=None,
+        help="only incidents opened at or after this simulated hour",
+    )
+    incidents.add_argument(
+        "--json", action="store_true", help="emit the tickets as a JSON array"
     )
     return parser
 
@@ -274,6 +309,14 @@ def cmd_watch(args: argparse.Namespace) -> int:
         chunk_s=args.chunk_minutes * 60.0,
         max_workers=args.max_workers,
         cooldown_s=args.cooldown_minutes * 60.0,
+        state_dir=args.state_dir,
+        checkpoint_meta={
+            "scenarios": list(names),
+            "hours": args.hours,
+            "seed": args.seed,
+            "chunk_minutes": args.chunk_minutes,
+            "cooldown_minutes": args.cooldown_minutes,
+        },
     )
     for name in names:
         kwargs = {"hours": args.hours}
@@ -281,29 +324,59 @@ def cmd_watch(args: argparse.Namespace) -> int:
             kwargs["seed"] = args.seed
         supervisor.watch_scenario(SCENARIOS[name](**kwargs), name=name)
 
+    resumed_s = 0.0
+    if supervisor.has_checkpoint():
+        try:
+            resumed_s = supervisor.resume()
+        except (ValueError, FileNotFoundError) as exc:
+            print(f"cannot resume from {args.state_dir}: {exc}", file=sys.stderr)
+            return 2
+        if not args.json:
+            print(
+                f"resumed from {args.state_dir} at t={resumed_s / 3600.0:.1f}h "
+                f"({len(supervisor.incidents())} incident(s) restored)"
+            )
+
     live = not args.json and sys.stdout.isatty()
+    redraws = 0
 
     def render_tick(resolved, elapsed: float) -> None:
+        nonlocal redraws
+        total_h = (resumed_s + elapsed) / 3600.0
         if live:
             # Redraw in place: move up over the previous table and reprint.
             table = supervisor.render_table()
             height = table.count("\n") + 2
-            if supervisor.ticks > 1:
+            if redraws:
                 print(f"\x1b[{height}A", end="")
+            redraws += 1
             print(table)
-            print(f"t={elapsed / 3600.0:.1f}h  incidents resolved this tick: "
+            print(f"t={total_h:.1f}h  incidents resolved this tick: "
                   f"{len(resolved)}   ", flush=True)
         elif not args.json:
             for incident in resolved:
                 print(
-                    f"t={elapsed / 3600.0:5.1f}h  {incident.incident_id:<40} "
+                    f"t={total_h:5.1f}h  {incident.incident_id:<40} "
                     f"{incident.severity.value:<8} -> {incident.top_cause_id}",
                     flush=True,
                 )
 
-    supervisor.run(args.hours * 3600.0, on_tick=render_tick)
+    remaining_s = args.hours * 3600.0 - resumed_s
+    if remaining_s > 0:
+        supervisor.run(remaining_s, on_tick=render_tick)
+    elif not args.json:
+        print(
+            f"checkpoint already covers {resumed_s / 3600.0:.1f}h "
+            f">= --hours {args.hours:g}; nothing left to simulate"
+        )
 
-    diagnosed = [i for i in supervisor.incidents() if i.report is not None]
+    # Incidents restored from a checkpoint carry their report in serialised
+    # form (report_data); both count as diagnosed.
+    diagnosed = [
+        i
+        for i in supervisor.incidents()
+        if i.report is not None or i.report_data is not None
+    ]
     if args.json:
         print(json.dumps(supervisor.to_dict(), indent=2))
     else:
@@ -315,6 +388,45 @@ def cmd_watch(args: argparse.Namespace) -> int:
             f"diagnosed across {len(supervisor.watched)} environment(s)"
         )
     return 0 if diagnosed else 1
+
+
+def cmd_incidents(args: argparse.Namespace) -> int:
+    import os
+
+    from .stream import IncidentStore
+
+    if not os.path.isdir(args.state_dir):
+        print(f"no state dir at {args.state_dir}", file=sys.stderr)
+        return 2
+    store = IncidentStore.open(args.state_dir)
+    try:
+        since = args.since_hours * 3600.0 if args.since_hours is not None else None
+        tickets = store.history(env=args.env, state=args.status, since=since)
+        if args.json:
+            print(json.dumps(tickets, indent=2))
+            return 0
+        if not tickets:
+            print("no incidents recorded")
+            return 0
+        header = (
+            f"{'incident':<40} {'opened(h)':>9} {'state':<11} {'sev':<8} "
+            f"{'det':>3} top cause"
+        )
+        print(header)
+        print("-" * len(header))
+        for ticket in tickets:
+            report = ticket.get("report")
+            causes = (report or {}).get("causes") or []
+            top = causes[0]["cause_id"] if causes else "-"
+            print(
+                f"{ticket['incident_id']:<40} {ticket['opened_at'] / 3600.0:>9.1f} "
+                f"{ticket['state']:<11} {ticket['severity']:<8} "
+                f"{len(ticket.get('detections', [])):>3} {top}"
+            )
+        print(f"\n{len(tickets)} incident(s)")
+        return 0
+    finally:
+        store.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -329,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_batch(args)
     if args.command == "watch":
         return cmd_watch(args)
+    if args.command == "incidents":
+        return cmd_incidents(args)
     return 2  # pragma: no cover
 
 

@@ -10,43 +10,39 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..db.plans import OpType, PlanOperator
+from ..storage.serializers import (  # noqa: F401  (re-exported)
+    catalog_from_dict,
+    catalog_to_dict,
+    dbconfig_from_dict,
+    dbconfig_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+    run_from_dict,
+    run_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+    testbed_from_dict,
+    testbed_to_dict,
+)
 from .apg import AnnotatedPlanGraph
 from .workflow import DiagnosisReport
 
-__all__ = ["plan_to_dict", "plan_from_dict", "apg_to_dict", "report_to_dict"]
-
-
-def plan_to_dict(plan: PlanOperator) -> dict[str, Any]:
-    """Nested-dict form of a plan tree (round-trips via plan_from_dict)."""
-    return {
-        "op_id": plan.op_id,
-        "op_type": plan.op_type.value,
-        "table": plan.table,
-        "index": plan.index,
-        "est_rows": plan.est_rows,
-        "est_cost": plan.est_cost,
-        "loops": plan.loops,
-        "selectivity": plan.selectivity,
-        "detail": plan.detail,
-        "children": [plan_to_dict(child) for child in plan.children],
-    }
-
-
-def plan_from_dict(data: dict[str, Any]) -> PlanOperator:
-    """Inverse of :func:`plan_to_dict`."""
-    return PlanOperator(
-        op_id=data["op_id"],
-        op_type=OpType(data["op_type"]),
-        table=data.get("table"),
-        index=data.get("index"),
-        est_rows=data.get("est_rows", 1.0),
-        est_cost=data.get("est_cost", 0.0),
-        loops=data.get("loops", 1),
-        selectivity=data.get("selectivity", 1.0),
-        detail=data.get("detail", ""),
-        children=[plan_from_dict(child) for child in data.get("children", [])],
-    )
+__all__ = [
+    "plan_to_dict",
+    "plan_from_dict",
+    "run_to_dict",
+    "run_from_dict",
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "dbconfig_to_dict",
+    "dbconfig_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+    "testbed_to_dict",
+    "testbed_from_dict",
+    "apg_to_dict",
+    "report_to_dict",
+]
 
 
 def apg_to_dict(apg: AnnotatedPlanGraph, include_annotations: bool = False) -> dict[str, Any]:

@@ -19,7 +19,10 @@ truth).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -67,6 +70,117 @@ class DiagnosisBundle:
     def topology(self):
         return self.testbed.topology
 
+    # -- persistence -----------------------------------------------------
+    def save(self, state_dir: str | os.PathLike, *, overwrite: bool = False) -> None:
+        """Persist the whole bundle under ``state_dir``.
+
+        Monitoring telemetry (metrics, runs with labels, config snapshots,
+        events) is journalled into a :class:`~repro.storage.JsonlBackend`
+        under ``state_dir/telemetry``; the object graph (testbed, catalogs,
+        configs, query specs) goes into ``bundle.json`` via the lossless
+        serializers in :mod:`repro.storage.serializers`.  The manifest is
+        written atomically last, so a directory holding a ``bundle.json``
+        is always a complete, loadable bundle.
+        """
+        from ..storage.jsonl import JsonlBackend
+        from ..storage.serializers import (
+            catalog_to_dict,
+            dbconfig_to_dict,
+            spec_to_dict,
+            testbed_to_dict,
+        )
+        from ..storage.telemetry import TelemetryStore
+
+        import shutil
+
+        path = Path(state_dir)
+        manifest = path / "bundle.json"
+        if manifest.exists():
+            if not overwrite:
+                raise FileExistsError(
+                    f"{manifest} already holds a saved bundle (pass overwrite=True)"
+                )
+            manifest.unlink()
+        # No manifest means no complete bundle: any telemetry segments
+        # present are leftovers of a save() that died before its manifest
+        # landed — appending onto them would double every record, so start
+        # clean either way.
+        shutil.rmtree(path / "telemetry", ignore_errors=True)
+        path.mkdir(parents=True, exist_ok=True)
+
+        metrics = self.stores.metrics
+        target = TelemetryStore.with_backend(
+            JsonlBackend(path / "telemetry"),
+            interval_s=metrics.interval_s,
+            noise_sigma=metrics.noise_sigma,
+            seed=metrics.seed,
+            replay=False,
+        )
+        target.absorb(self.stores)
+        target.close()
+
+        payload = {
+            "version": 1,
+            "metrics": {
+                "interval_s": metrics.interval_s,
+                "noise_sigma": metrics.noise_sigma,
+                "seed": metrics.seed,
+            },
+            "testbed": testbed_to_dict(self.testbed),
+            "catalog": catalog_to_dict(self.catalog),
+            "db_config": dbconfig_to_dict(self.db_config),
+            "initial_catalog": catalog_to_dict(self.initial_catalog),
+            "initial_config": dbconfig_to_dict(self.initial_config),
+            "query_names": list(self.query_names),
+            "query_specs": {
+                name: spec_to_dict(spec) if spec is not None else None
+                for name, spec in self.query_specs.items()
+            },
+        }
+        from ..storage.backend import atomic_write_json
+
+        atomic_write_json(manifest, payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, state_dir: str | os.PathLike) -> "DiagnosisBundle":
+        """Restore a bundle persisted with :meth:`save`.
+
+        The returned bundle diagnoses identically to the one saved: stores
+        replay byte-identically (same sampling interval, noise sigma, and
+        seed), and the testbed/catalog/config graph round-trips through the
+        same serializers that wrote it.
+        """
+        from ..storage.serializers import (
+            catalog_from_dict,
+            dbconfig_from_dict,
+            spec_from_dict,
+            testbed_from_dict,
+        )
+        from ..storage.telemetry import TelemetryStore
+
+        path = Path(state_dir)
+        payload = json.loads((path / "bundle.json").read_text())
+        metrics_meta = payload["metrics"]
+        stores = TelemetryStore.open(
+            path / "telemetry",
+            interval_s=metrics_meta["interval_s"],
+            noise_sigma=metrics_meta["noise_sigma"],
+            seed=metrics_meta["seed"],
+        )
+        return cls(
+            stores=stores,
+            testbed=testbed_from_dict(payload["testbed"]),
+            catalog=catalog_from_dict(payload["catalog"]),
+            db_config=dbconfig_from_dict(payload["db_config"]),
+            initial_catalog=catalog_from_dict(payload["initial_catalog"]),
+            initial_config=dbconfig_from_dict(payload["initial_config"]),
+            query_names=list(payload.get("query_names", [])),
+            query_specs={
+                name: spec_from_dict(spec) if spec is not None else None
+                for name, spec in payload.get("query_specs", {}).items()
+            },
+        )
+
 
 class Environment:
     """Orchestrates the simulators over a timeline."""
@@ -82,6 +196,7 @@ class Environment:
         executor_noise_sigma: float = 0.02,
         buffer_cache_mb: float = 96.0,
         seed: int = 0,
+        stores: MonitoringStores | None = None,
     ) -> None:
         self.testbed = testbed
         self.catalog = catalog
@@ -95,7 +210,10 @@ class Environment:
             locks=LockManager(),
             noise_sigma=executor_noise_sigma,
         )
-        self.stores = MonitoringStores(
+        # An injected store bundle (e.g. a durable TelemetryStore.open(...))
+        # wins over the sampling/noise/seed parameters: the caller owns the
+        # metric-store configuration along with the backend.
+        self.stores = stores or MonitoringStores(
             metrics=MetricStore(
                 interval_s=sampling_interval_s,
                 noise_sigma=monitor_noise_sigma,

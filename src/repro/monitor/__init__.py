@@ -1,4 +1,10 @@
-"""Monitoring substrate: noisy sampled metrics, events, config, run store."""
+"""Monitoring substrate: noisy sampled metrics, events, config, run store.
+
+Every store accepts an optional ``backend`` (any
+:class:`repro.storage.StorageBackend`) through which mutations are
+journalled; :class:`repro.storage.TelemetryStore` is the facade that wires
+all four to one backend and adds ``open(state_dir)`` durability.
+"""
 
 from .timeseries import MetricStore, Sample
 from .events import DB_EVENT_KINDS, EventLog, EventRecord

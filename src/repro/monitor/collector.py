@@ -142,8 +142,15 @@ class Collector:
                 for metric, value in run.db_metrics.items()
             ]
         )
+        label_before = run.satisfactory
         for tap in self._run_taps:
             tap(run)
+        # A tap that labelled the run (the response-time SLO detector writes
+        # run.satisfactory directly) bypassed RunStore.mark(); re-issue the
+        # label through the store so it reaches the durability journal — the
+        # run record itself was journalled at add() time, before the label.
+        if run.satisfactory is not label_before and run.satisfactory is not None:
+            self.stores.runs.mark(run.run_id, run.satisfactory)
 
     def collect_db_tick(self, time: float, locks_held: float) -> None:
         """Between-runs database heartbeat metrics."""

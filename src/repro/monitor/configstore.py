@@ -10,7 +10,10 @@ Module PD's plan-change analysis and Module SD's misconfiguration symptoms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.backend import StorageBackend
 
 __all__ = ["ConfigChange", "ConfigStore", "flatten"]
 
@@ -55,14 +58,53 @@ class ConfigChange:
 
 
 class ConfigStore:
-    """Timestamped snapshots per scope."""
+    """Timestamped snapshots per scope.
 
-    def __init__(self) -> None:
+    Snapshots are stored (and journalled) in flattened form; out-of-order
+    ``take_snapshot`` calls are accepted and kept sorted by time.
+    """
+
+    def __init__(
+        self,
+        backend: "StorageBackend | None" = None,
+        keyspace: str = "config",
+    ) -> None:
         self._snapshots: dict[str, list[tuple[float, dict[str, Any]]]] = {}
+        self.backend = backend
+        self.keyspace = keyspace
+        self._replaying = False
 
     def take_snapshot(self, time: float, scope: str, snapshot: dict) -> None:
-        self._snapshots.setdefault(scope, []).append((time, flatten(snapshot)))
+        self._insert_flat(time, scope, flatten(snapshot))
+
+    def _insert_flat(self, time: float, scope: str, flat: dict[str, Any]) -> None:
+        """Insert an already-flattened snapshot (journal + replay path)."""
+        self._snapshots.setdefault(scope, []).append((time, flat))
         self._snapshots[scope].sort(key=lambda pair: pair[0])
+        if self.backend is not None and not self._replaying:
+            self.backend.append(
+                self.keyspace, {"t": time, "k": scope, "flat": flat}
+            )
+
+    def snapshots(self) -> Iterator[tuple[str, float, dict[str, Any]]]:
+        """Every stored snapshot as ``(scope, time, flattened)`` in time order."""
+        for scope in self.scopes():
+            for when, flat in self._snapshots[scope]:
+                yield scope, when, flat
+
+    def replay_from_backend(self) -> int:
+        """Rebuild the snapshot history from the backend journal (on open)."""
+        if self.backend is None:
+            return 0
+        self._replaying = True
+        applied = 0
+        try:
+            for rec in self.backend.scan(self.keyspace):
+                self._insert_flat(rec["t"], rec["k"], rec["flat"])
+                applied += 1
+        finally:
+            self._replaying = False
+        return applied
 
     def scopes(self) -> list[str]:
         return sorted(self._snapshots)

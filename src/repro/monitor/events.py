@@ -9,9 +9,12 @@ before the slowdown began*).  The log stores normalised
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..san.events import SanEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.backend import StorageBackend
 
 __all__ = ["EventRecord", "EventLog", "DB_EVENT_KINDS"]
 
@@ -41,16 +44,58 @@ class EventRecord:
         suffix = f" ({extra})" if extra else ""
         return f"[t={self.time:.0f}] {self.layer}/{self.kind} @ {self.component_id}{suffix}"
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "t": self.time,
+            "k": self.component_id,
+            "kind": self.kind,
+            "layer": self.layer,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EventRecord":
+        return cls(
+            time=data["t"],
+            kind=data["kind"],
+            component_id=data["k"],
+            layer=data["layer"],
+            details=dict(data.get("details", {})),
+        )
+
 
 class EventLog:
     """Append-only event store with window/type queries."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        backend: "StorageBackend | None" = None,
+        keyspace: str = "events",
+    ) -> None:
         self._events: list[EventRecord] = []
+        self.backend = backend
+        self.keyspace = keyspace
+        self._replaying = False
 
     def add(self, event: EventRecord) -> EventRecord:
         self._events.append(event)
+        if self.backend is not None and not self._replaying:
+            self.backend.append(self.keyspace, event.to_dict())
         return event
+
+    def replay_from_backend(self) -> int:
+        """Rebuild the event list from the backend journal (on open)."""
+        if self.backend is None:
+            return 0
+        self._replaying = True
+        applied = 0
+        try:
+            for rec in self.backend.scan(self.keyspace):
+                self.add(EventRecord.from_dict(rec))
+                applied += 1
+        finally:
+            self._replaying = False
+        return applied
 
     def add_san_event(self, event: SanEvent) -> EventRecord:
         return self.add(

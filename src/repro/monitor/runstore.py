@@ -5,13 +5,22 @@ directly ("run 17 was bad") or declaratively ("every run over 30 minutes is
 unsatisfactory", "all runs between 2 PM and 3 PM were bad").  The run store
 holds the per-run APG annotations (operator times, record counts, metrics)
 and implements both labelling styles.
+
+When wired to a :class:`repro.storage.StorageBackend`, every added run and
+every label mutation is journalled (runs are serialised losslessly via
+:mod:`repro.storage.serializers`), so a reopened store replays to the exact
+same run set *and* the exact labels that were in force at close.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..db.executor import QueryRun
+from ..storage.serializers import run_from_dict, run_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.backend import StorageBackend
 
 __all__ = ["RunStore"]
 
@@ -19,14 +28,29 @@ __all__ = ["RunStore"]
 class RunStore:
     """Recorded :class:`QueryRun` objects grouped by query name."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        backend: "StorageBackend | None" = None,
+        keyspace: str = "runs",
+    ) -> None:
         self._runs: dict[str, QueryRun] = {}
+        self.backend = backend
+        self.keyspace = keyspace
+        self._replaying = False
 
     # -- ingestion -----------------------------------------------------------
     def add(self, run: QueryRun) -> QueryRun:
         if run.run_id in self._runs:
             raise ValueError(f"duplicate run id {run.run_id!r}")
         self._runs[run.run_id] = run
+        self._journal(
+            {
+                "t": run.start_time,
+                "k": run.query_name,
+                "kind": "run",
+                "run": run_to_dict(run),
+            }
+        )
         return run
 
     def extend(self, runs: Iterable[QueryRun]) -> None:
@@ -60,7 +84,17 @@ class RunStore:
     # -- labelling -------------------------------------------------------------
     def mark(self, run_id: str, satisfactory: bool) -> None:
         """Direct labelling of one run (the Figure-3 check-box)."""
-        self.get(run_id).satisfactory = satisfactory
+        run = self.get(run_id)
+        run.satisfactory = satisfactory
+        self._journal(
+            {
+                "t": run.start_time,
+                "k": run.query_name,
+                "kind": "label",
+                "run_id": run_id,
+                "satisfactory": satisfactory,
+            }
+        )
 
     def label_by_rule(
         self, query_name: str, unsatisfactory_if: Callable[[QueryRun], bool]
@@ -69,10 +103,10 @@ class RunStore:
         good = bad = 0
         for run in self.runs(query_name):
             if unsatisfactory_if(run):
-                run.satisfactory = False
+                self.mark(run.run_id, False)
                 bad += 1
             else:
-                run.satisfactory = True
+                self.mark(run.run_id, True)
                 good += 1
         return good, bad
 
@@ -90,3 +124,25 @@ class RunStore:
 
     def __len__(self) -> int:
         return len(self._runs)
+
+    # -- persistence -----------------------------------------------------
+    def _journal(self, record: dict) -> None:
+        if self.backend is not None and not self._replaying:
+            self.backend.append(self.keyspace, record)
+
+    def replay_from_backend(self) -> int:
+        """Rebuild runs + labels from the backend journal (on open)."""
+        if self.backend is None:
+            return 0
+        self._replaying = True
+        applied = 0
+        try:
+            for rec in self.backend.scan(self.keyspace):
+                if rec.get("kind") == "run":
+                    self.add(run_from_dict(rec["run"]))
+                elif rec.get("kind") == "label":
+                    self.mark(rec["run_id"], rec["satisfactory"])
+                applied += 1
+        finally:
+            self._replaying = False
+        return applied

@@ -20,9 +20,12 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.backend import StorageBackend
 
 __all__ = ["Sample", "MetricStore"]
 
@@ -63,6 +66,12 @@ class MetricStore:
     _cache_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    #: Optional :class:`repro.storage.StorageBackend` the store journals raw
+    #: observations through (duck-typed so the monitor layer stays import-
+    #: cycle free).  None keeps the historical fully-in-memory behaviour.
+    backend: "StorageBackend | None" = field(default=None, compare=False)
+    keyspace: str = "metrics"
+    _replaying: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -72,22 +81,29 @@ class MetricStore:
 
     # -- ingestion -------------------------------------------------------
     def record(self, time: float, component_id: str, metric: str, value: float) -> None:
-        """Push one raw observation (called by the collector each tick)."""
-        with self._cache_lock:
-            key = (component_id, metric)
-            self._raw.setdefault(key, []).append(Sample(time=time, value=float(value)))
-            self._cache.pop(key, None)
+        """Push one raw observation (called by the collector each tick).
+
+        Delegates to :meth:`append_many`, so single-sample appends go through
+        the exact same locked/journalled path as batches — there is no side
+        door that could skip cache invalidation or the backend journal.
+        """
+        self.append_many(((time, component_id, metric, value),))
 
     def append_many(
         self, observations: Iterable[tuple[float, str, str, float]]
     ) -> int:
         """Batch-push ``(time, component_id, metric, value)`` observations.
 
-        Takes the store lock once for the whole batch, so per-tick collector
-        writes (tens of series) stay cheap while remaining safe against
-        concurrent :meth:`series` reads; returns how many were appended.
+        The single ingestion code path: takes the store lock once for the
+        whole batch (per-tick collector writes of tens of series stay cheap
+        while remaining safe against concurrent :meth:`series` reads),
+        journals each observation through the backend, and returns how many
+        were appended.
         """
         appended = 0
+        journal: list[dict] | None = (
+            [] if self.backend is not None and not self._replaying else None
+        )
         with self._cache_lock:
             for time, component_id, metric, value in observations:
                 key = (component_id, metric)
@@ -95,8 +111,39 @@ class MetricStore:
                     Sample(time=time, value=float(value))
                 )
                 self._cache.pop(key, None)
+                if journal is not None:
+                    journal.append(
+                        {
+                            "t": time,
+                            "k": f"{component_id}/{metric}",
+                            "c": component_id,
+                            "m": metric,
+                            "v": float(value),
+                        }
+                    )
                 appended += 1
+            if journal:
+                self.backend.append_many(self.keyspace, journal)
         return appended
+
+    # -- persistence -----------------------------------------------------
+    def replay_from_backend(self) -> int:
+        """Rebuild the raw series from the backend journal (on open).
+
+        Records are re-applied through the normal ingestion path with
+        journalling suppressed, so a replayed store is indistinguishable
+        from one that recorded the observations live.
+        """
+        if self.backend is None:
+            return 0
+        self._replaying = True
+        try:
+            return self.append_many(
+                (rec["t"], rec["c"], rec["m"], rec["v"])
+                for rec in self.backend.scan(self.keyspace)
+            )
+        finally:
+            self._replaying = False
 
     # -- monitored view ----------------------------------------------------
     def series(self, component_id: str, metric: str) -> list[Sample]:

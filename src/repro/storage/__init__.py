@@ -1,0 +1,91 @@
+"""repro.storage — the unified telemetry-store API with pluggable backends.
+
+One backend contract (:class:`StorageBackend`: append, scan by key/time
+window, flush, close) carries every kind of telemetry the system records —
+raw metric observations, query runs with labels, configuration snapshots,
+events, and incident journals.  Two first-class implementations ship here:
+
+* :class:`MemoryBackend` — per-keyspace record lists held by reference
+  (zero-copy appends; the historical in-memory behaviour);
+* :class:`JsonlBackend` — append-only JSONL segment files per keyspace with
+  an in-memory index, replayed on open; crash-safe because segments are
+  only ever appended to (torn tails from a mid-append crash are ignored on
+  replay and reclaimed by the next writer).
+
+On top sits :class:`TelemetryStore` (``TelemetryStore.open(state_dir)`` /
+``TelemetryStore.in_memory()``), the facade that re-founds the four monitor
+stores on one backend, and :mod:`repro.storage.serializers`, the lossless
+dict serializers shared by journal records, ``DiagnosisBundle.save()`` /
+``load()``, and the fleet supervisor's resume checkpoints.
+
+Implementing a third-party backend is a matter of satisfying the protocol —
+see the "storage backend how-to" section of the README.
+"""
+
+from .backend import (
+    MemoryBackend,
+    Record,
+    StorageBackend,
+    atomic_write_json,
+    record,
+)
+from .jsonl import JsonlBackend
+from .serializers import (
+    access_from_dict,
+    access_to_dict,
+    catalog_from_dict,
+    catalog_to_dict,
+    component_from_dict,
+    component_to_dict,
+    dbconfig_from_dict,
+    dbconfig_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+    run_from_dict,
+    run_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+    testbed_from_dict,
+    testbed_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+__all__ = [
+    "StorageBackend",
+    "Record",
+    "record",
+    "atomic_write_json",
+    "MemoryBackend",
+    "JsonlBackend",
+    "TelemetryStore",
+    "plan_to_dict",
+    "plan_from_dict",
+    "run_to_dict",
+    "run_from_dict",
+    "dbconfig_to_dict",
+    "dbconfig_from_dict",
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+    "component_to_dict",
+    "component_from_dict",
+    "topology_to_dict",
+    "topology_from_dict",
+    "access_to_dict",
+    "access_from_dict",
+    "testbed_to_dict",
+    "testbed_from_dict",
+]
+
+
+def __getattr__(name: str):
+    # TelemetryStore is imported lazily (PEP 562): its module pulls in the
+    # monitor stores, which themselves import repro.storage.serializers —
+    # an eager import here would close that loop mid-initialisation.
+    if name == "TelemetryStore":
+        from .telemetry import TelemetryStore
+
+        return TelemetryStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

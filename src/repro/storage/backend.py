@@ -1,0 +1,195 @@
+"""The pluggable telemetry-store backend protocol and its in-memory reference.
+
+Every monitoring store (metrics, runs, config snapshots, events, incident
+journals) persists through the same tiny contract: an append-only log of
+JSON-able *records* partitioned into named **keyspaces**.  A record is a
+plain dict carrying at least a timestamp under ``"t"`` and (optionally) a
+routing key under ``"k"``; everything else is the owning store's business.
+
+The contract is deliberately minimal — append, scan by key and/or time
+window, flush, close — so third-party backends (sqlite, redis, a TSDB
+gateway) can be dropped in without touching any store.  Two first-class
+implementations ship with the package:
+
+* :class:`MemoryBackend` (here) — records are kept **by reference** in
+  per-keyspace lists: appending never serialises, copies, or touches the
+  filesystem, which keeps the hot collector path as cheap as it was before
+  stores were re-founded on the protocol;
+* :class:`repro.storage.jsonl.JsonlBackend` — append-only segment files per
+  keyspace with an in-memory index and crash-safe replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "Record",
+    "StorageBackend",
+    "MemoryBackend",
+    "matches",
+    "record",
+    "atomic_write_json",
+]
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    payload: Any,
+    *,
+    indent: int | None = None,
+    sort_keys: bool = False,
+) -> None:
+    """Write JSON via tmp-file + rename: a crash leaves the old file or the
+    new one, never a torn mix.  Shared by every checkpoint/manifest writer
+    (bundle manifests, supervisor checkpoints, segment manifests)."""
+    target = Path(path)
+    tmp = target.with_name(f".{target.name}.tmp")
+    tmp.write_text(json.dumps(payload, indent=indent, sort_keys=sort_keys))
+    os.replace(tmp, target)
+
+#: A stored record: JSON-able dict with a float timestamp under ``"t"`` and
+#: an optional routing key under ``"k"``.
+Record = dict
+
+#: Reserved record fields every backend understands.
+TIME_FIELD = "t"
+KEY_FIELD = "k"
+
+
+def matches(
+    record: Record,
+    key: str | None = None,
+    start: float | None = None,
+    end: float | None = None,
+) -> bool:
+    """Shared key/time-window filter semantics for backend ``scan``."""
+    if key is not None and record.get(KEY_FIELD) != key:
+        return False
+    if start is not None or end is not None:
+        t = record.get(TIME_FIELD)
+        if t is None:
+            return False
+        if start is not None and t < start:
+            return False
+        if end is not None and t > end:
+            return False
+    return True
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What a telemetry-store backend must provide.
+
+    Append order within a keyspace is the replay order; ``scan`` preserves
+    it.  ``durable`` advertises whether records survive :meth:`close` (the
+    stores use it to decide whether ``replay`` on open makes sense).
+    """
+
+    durable: bool
+
+    def append(self, keyspace: str, record: Record) -> None:
+        """Append one record to a keyspace (created on first use)."""
+        ...
+
+    def append_many(self, keyspace: str, records: Iterable[Record]) -> int:
+        """Batch append; returns how many records were written."""
+        ...
+
+    def scan(
+        self,
+        keyspace: str,
+        *,
+        key: str | None = None,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> Iterator[Record]:
+        """Records of a keyspace in append order, filtered by key/window."""
+        ...
+
+    def keyspaces(self) -> list[str]:
+        """Sorted names of every keyspace holding at least one record."""
+        ...
+
+    def flush(self) -> None:
+        """Push buffered appends to the backing medium."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources; further appends are an error."""
+        ...
+
+
+class MemoryBackend:
+    """Reference in-memory backend: per-keyspace lists of record dicts.
+
+    The zero-copy fast path: ``append`` stores the caller's dict object by
+    reference (no serialisation), so a :class:`~repro.storage.TelemetryStore`
+    opened in memory costs one list append per journal write — the same
+    order of work the pre-protocol stores did.
+    """
+
+    durable = False
+
+    def __init__(self) -> None:
+        self._keyspaces: dict[str, list[Record]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def append(self, keyspace: str, record: Record) -> None:
+        self._check_open()
+        with self._lock:
+            self._keyspaces.setdefault(keyspace, []).append(record)
+
+    def append_many(self, keyspace: str, records: Iterable[Record]) -> int:
+        self._check_open()
+        with self._lock:
+            rows = self._keyspaces.setdefault(keyspace, [])
+            before = len(rows)
+            rows.extend(records)
+            return len(rows) - before
+
+    def scan(
+        self,
+        keyspace: str,
+        *,
+        key: str | None = None,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> Iterator[Record]:
+        with self._lock:
+            rows = list(self._keyspaces.get(keyspace, ()))
+        for record in rows:
+            if matches(record, key, start, end):
+                yield record
+
+    def keyspaces(self) -> list[str]:
+        with self._lock:
+            return sorted(ks for ks, rows in self._keyspaces.items() if rows)
+
+    def flush(self) -> None:  # nothing buffered
+        self._check_open()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(rows) for rows in self._keyspaces.values())
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("backend is closed")
+
+
+def record(t: float, key: str | None = None, **payload: Any) -> Record:
+    """Convenience constructor enforcing the reserved-field layout."""
+    out: Record = {TIME_FIELD: t}
+    if key is not None:
+        out[KEY_FIELD] = key
+    out.update(payload)
+    return out

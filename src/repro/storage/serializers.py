@@ -1,0 +1,356 @@
+"""Full-fidelity dict serializers for the database/SAN object graph.
+
+The config store's ``snapshot()`` views are lossy by design (they capture
+what configuration *diffing* needs); persistence needs lossless forms.
+Everything here round-trips exactly — ``X_from_dict(X_to_dict(x))``
+reconstructs an equal object — and produces plain ``json.dumps``-able
+structures, so the same serializers back
+
+* the JSONL journal records of the re-founded monitoring stores,
+* ``DiagnosisBundle.save()`` / ``DiagnosisBundle.load()``,
+* the fleet supervisor's resume checkpoints.
+
+This module deliberately depends only on :mod:`repro.db` and
+:mod:`repro.san` so it can be imported from anywhere (including the monitor
+stores) without cycles; :mod:`repro.core.serialize` re-exports the public
+names for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any
+
+from ..db.catalog import Catalog, Column, Index, Table, Tablespace
+from ..db.executor import OperatorRuntime, QueryRun
+from ..db.optimizer.cost import DbConfig
+from ..db.plans import OpType, PlanOperator
+from ..db.query import JoinEdge, Predicate, QuerySpec
+from ..san.builder import Testbed
+from ..san.components import (
+    Component,
+    ComponentType,
+    Disk,
+    FcPort,
+    FcSwitch,
+    Hba,
+    Server,
+    StoragePool,
+    StorageSubsystem,
+    Volume,
+)
+from ..san.topology import SanTopology
+from ..san.zoning import AccessControl
+
+__all__ = [
+    "plan_to_dict",
+    "plan_from_dict",
+    "run_to_dict",
+    "run_from_dict",
+    "dbconfig_to_dict",
+    "dbconfig_from_dict",
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+    "component_to_dict",
+    "component_from_dict",
+    "topology_to_dict",
+    "topology_from_dict",
+    "access_to_dict",
+    "access_from_dict",
+    "testbed_to_dict",
+    "testbed_from_dict",
+]
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+def plan_to_dict(plan: PlanOperator) -> dict[str, Any]:
+    """Nested-dict form of a plan tree (round-trips via plan_from_dict)."""
+    return {
+        "op_id": plan.op_id,
+        "op_type": plan.op_type.value,
+        "table": plan.table,
+        "index": plan.index,
+        "est_rows": plan.est_rows,
+        "est_cost": plan.est_cost,
+        "loops": plan.loops,
+        "selectivity": plan.selectivity,
+        "detail": plan.detail,
+        "children": [plan_to_dict(child) for child in plan.children],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> PlanOperator:
+    """Inverse of :func:`plan_to_dict`."""
+    return PlanOperator(
+        op_id=data["op_id"],
+        op_type=OpType(data["op_type"]),
+        table=data.get("table"),
+        index=data.get("index"),
+        est_rows=data.get("est_rows", 1.0),
+        est_cost=data.get("est_cost", 0.0),
+        loops=data.get("loops", 1),
+        selectivity=data.get("selectivity", 1.0),
+        detail=data.get("detail", ""),
+        children=[plan_from_dict(child) for child in data.get("children", [])],
+    )
+
+
+# ---------------------------------------------------------------------------
+# query runs
+# ---------------------------------------------------------------------------
+def _operator_runtime_to_dict(rt: OperatorRuntime) -> dict[str, Any]:
+    out = {f.name: getattr(rt, f.name) for f in fields(OperatorRuntime)}
+    out["op_type"] = rt.op_type.value
+    return out
+
+
+def _operator_runtime_from_dict(data: dict[str, Any]) -> OperatorRuntime:
+    kwargs = dict(data)
+    kwargs["op_type"] = OpType(kwargs["op_type"])
+    return OperatorRuntime(**kwargs)
+
+
+def run_to_dict(run: QueryRun) -> dict[str, Any]:
+    """Lossless form of one recorded query run (APG annotation source)."""
+    return {
+        "run_id": run.run_id,
+        "query_name": run.query_name,
+        "plan": plan_to_dict(run.plan),
+        "start_time": run.start_time,
+        "operators": {
+            op_id: _operator_runtime_to_dict(rt)
+            for op_id, rt in sorted(run.operators.items())
+        },
+        "db_metrics": dict(run.db_metrics),
+        "satisfactory": run.satisfactory,
+    }
+
+
+def run_from_dict(data: dict[str, Any]) -> QueryRun:
+    """Inverse of :func:`run_to_dict`."""
+    return QueryRun(
+        run_id=data["run_id"],
+        query_name=data["query_name"],
+        plan=plan_from_dict(data["plan"]),
+        start_time=data["start_time"],
+        operators={
+            op_id: _operator_runtime_from_dict(rt)
+            for op_id, rt in data.get("operators", {}).items()
+        },
+        db_metrics=dict(data.get("db_metrics", {})),
+        satisfactory=data.get("satisfactory"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# database configuration + catalog
+# ---------------------------------------------------------------------------
+def dbconfig_to_dict(config: DbConfig) -> dict[str, Any]:
+    return {f.name: getattr(config, f.name) for f in fields(DbConfig)}
+
+
+def dbconfig_from_dict(data: dict[str, Any]) -> DbConfig:
+    return DbConfig(**data)
+
+
+def catalog_to_dict(catalog: Catalog) -> dict[str, Any]:
+    """Lossless catalog form — unlike ``Catalog.snapshot()``, which keeps
+    only what configuration diffing needs (no row widths, column stats)."""
+    return {
+        "tablespaces": [
+            {"name": ts.name, "volume_id": ts.volume_id}
+            for ts in sorted(catalog.tablespaces, key=lambda ts: ts.name)
+        ],
+        "tables": [
+            {
+                "name": t.name,
+                "row_count": t.row_count,
+                "row_width": t.row_width,
+                "tablespace": t.tablespace,
+                "columns": [
+                    {
+                        "name": c.name,
+                        "ndv": c.ndv,
+                        "avg_width": c.avg_width,
+                        "null_fraction": c.null_fraction,
+                    }
+                    for c in (t.columns[name] for name in sorted(t.columns))
+                ],
+            }
+            for t in sorted(catalog.tables, key=lambda t: t.name)
+        ],
+        "indexes": [
+            {"name": i.name, "table": i.table, "column": i.column, "unique": i.unique}
+            for i in sorted(catalog.indexes, key=lambda i: i.name)
+        ],
+    }
+
+
+def catalog_from_dict(data: dict[str, Any]) -> Catalog:
+    catalog = Catalog()
+    for ts in data.get("tablespaces", []):
+        catalog.add_tablespace(Tablespace(name=ts["name"], volume_id=ts["volume_id"]))
+    for t in data.get("tables", []):
+        catalog.add_table(
+            Table(
+                name=t["name"],
+                row_count=t["row_count"],
+                row_width=t["row_width"],
+                tablespace=t["tablespace"],
+                columns={
+                    c["name"]: Column(
+                        name=c["name"],
+                        ndv=c["ndv"],
+                        avg_width=c["avg_width"],
+                        null_fraction=c["null_fraction"],
+                    )
+                    for c in t.get("columns", [])
+                },
+            )
+        )
+    for i in data.get("indexes", []):
+        catalog.create_index(
+            Index(name=i["name"], table=i["table"], column=i["column"], unique=i["unique"])
+        )
+    return catalog
+
+
+# ---------------------------------------------------------------------------
+# query specs
+# ---------------------------------------------------------------------------
+def spec_to_dict(spec: QuerySpec) -> dict[str, Any]:
+    return {
+        "name": spec.name,
+        "tables": list(spec.tables),
+        "predicates": [
+            {
+                "table": p.table,
+                "column": p.column,
+                "selectivity": p.selectivity,
+                "description": p.description,
+            }
+            for p in spec.predicates
+        ],
+        "joins": [
+            {
+                "left_table": j.left_table,
+                "left_column": j.left_column,
+                "right_table": j.right_table,
+                "right_column": j.right_column,
+            }
+            for j in spec.joins
+        ],
+        "order_by": spec.order_by,
+        "limit": spec.limit,
+        "aggregate": spec.aggregate,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> QuerySpec:
+    return QuerySpec(
+        name=data["name"],
+        tables=list(data["tables"]),
+        predicates=[Predicate(**p) for p in data.get("predicates", [])],
+        joins=[JoinEdge(**j) for j in data.get("joins", [])],
+        order_by=data.get("order_by", False),
+        limit=data.get("limit"),
+        aggregate=data.get("aggregate", False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# SAN components / topology / access control / testbed
+# ---------------------------------------------------------------------------
+_COMPONENT_CLASSES: dict[ComponentType, type[Component]] = {
+    ComponentType.SERVER: Server,
+    ComponentType.HBA: Hba,
+    ComponentType.FC_PORT: FcPort,
+    ComponentType.SWITCH: FcSwitch,
+    ComponentType.SUBSYSTEM: StorageSubsystem,
+    ComponentType.POOL: StoragePool,
+    ComponentType.VOLUME: Volume,
+    ComponentType.DISK: Disk,
+}
+
+
+def component_to_dict(component: Component) -> dict[str, Any]:
+    """Type-tagged dict of every init field (subclass-specific ones too)."""
+    out = {
+        f.name: getattr(component, f.name)
+        for f in fields(component)
+        if f.init
+    }
+    out["type"] = component.ctype.value
+    return out
+
+
+def component_from_dict(data: dict[str, Any]) -> Component:
+    kwargs = dict(data)
+    ctype = ComponentType(kwargs.pop("type"))
+    cls = _COMPONENT_CLASSES[ctype]
+    return cls(**kwargs)
+
+
+def topology_to_dict(topology: SanTopology) -> dict[str, Any]:
+    return {
+        "components": [component_to_dict(c) for c in topology],
+        "edges": sorted(
+            (parent.component_id, child.component_id)
+            for parent in topology
+            for child in topology.children(parent.component_id)
+        ),
+    }
+
+
+def topology_from_dict(data: dict[str, Any]) -> SanTopology:
+    topology = SanTopology()
+    for comp in data.get("components", []):
+        topology.add(component_from_dict(comp))
+    for upstream, downstream in data.get("edges", []):
+        topology.connect(upstream, downstream)
+    return topology
+
+
+def access_to_dict(access: AccessControl) -> dict[str, Any]:
+    return {
+        "zones": {z.name: sorted(z.port_ids) for z in access.zoning.zones},
+        "lun_mapping": access.lun_mapping.snapshot(),
+    }
+
+
+def access_from_dict(data: dict[str, Any]) -> AccessControl:
+    access = AccessControl()
+    for name, ports in sorted(data.get("zones", {}).items()):
+        access.zoning.create_zone(name, set(ports))
+    for volume_id, servers in sorted(data.get("lun_mapping", {}).items()):
+        for server_id in servers:
+            access.lun_mapping.map_volume(volume_id, server_id)
+    return access
+
+
+def testbed_to_dict(testbed: Testbed) -> dict[str, Any]:
+    return {
+        "topology": topology_to_dict(testbed.topology),
+        "access": access_to_dict(testbed.access),
+        "db_server_id": testbed.db_server_id,
+        "subsystem_id": testbed.subsystem_id,
+        "pool1_id": testbed.pool1_id,
+        "pool2_id": testbed.pool2_id,
+        "volume_ids": dict(testbed.volume_ids),
+    }
+
+
+def testbed_from_dict(data: dict[str, Any]) -> Testbed:
+    return Testbed(
+        topology=topology_from_dict(data["topology"]),
+        access=access_from_dict(data["access"]),
+        db_server_id=data.get("db_server_id", "srv-db"),
+        subsystem_id=data.get("subsystem_id", "ds6000"),
+        pool1_id=data.get("pool1_id", "P1"),
+        pool2_id=data.get("pool2_id", "P2"),
+        volume_ids=dict(data.get("volume_ids", {})),
+    )

@@ -29,7 +29,7 @@ from .detectors import (
     ThresholdSloDetector,
     default_detector_factory,
 )
-from .incidents import Incident, IncidentManager, IncidentState, Severity
+from .incidents import Incident, IncidentManager, IncidentState, IncidentStore, Severity
 from .supervisor import FleetSupervisor, WatchedEnvironment
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "Incident",
     "IncidentManager",
     "IncidentState",
+    "IncidentStore",
     "Severity",
     "FleetSupervisor",
     "WatchedEnvironment",

@@ -77,9 +77,44 @@ class Detection:
             f"({self.magnitude:.1f}x trigger)"
         )
 
+    def to_dict(self) -> dict:
+        """JSON form — the shape incident tickets have always carried.
+
+        ``details`` is diagnostic colour, not identity, and is deliberately
+        dropped (it may hold non-JSON-able values from custom detectors).
+        """
+        return {
+            "time": self.time,
+            "detector": self.detector,
+            "target": self.target,
+            "value": self.value,
+            "expected": self.expected,
+            "magnitude": self.magnitude,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Detection":
+        return cls(
+            time=data["time"],
+            detector=data["detector"],
+            target=data["target"],
+            value=data["value"],
+            expected=data["expected"],
+            magnitude=data["magnitude"],
+            kind=data["kind"],
+        )
+
 
 class Detector(Protocol):
-    """Protocol all online detectors implement."""
+    """Protocol all online detectors implement.
+
+    ``state_dict``/``load_state`` expose the learned state as a JSON-able
+    dict so a supervisor checkpoint can freeze a detector mid-stream and a
+    resumed process can continue it bit-for-bit (configuration — thresholds,
+    alphas, warmups — is *not* part of the state: it is reconstructed by the
+    factory, the state only carries what the stream taught the detector).
+    """
 
     name: str
 
@@ -89,6 +124,14 @@ class Detector(Protocol):
 
     def reset(self) -> None:
         """Forget all learned state."""
+        ...
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the learned state."""
+        ...
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
         ...
 
 
@@ -113,6 +156,14 @@ class _Welford:
         if self.n < 2:
             return 0.0
         return math.sqrt(self._m2 / (self.n - 1))
+
+    def state_dict(self) -> dict:
+        return {"n": self.n, "mean": self.mean, "m2": self._m2}
+
+    def load_state(self, state: dict) -> None:
+        self.n = state["n"]
+        self.mean = state["mean"]
+        self._m2 = state["m2"]
 
 
 class ThresholdSloDetector:
@@ -159,6 +210,13 @@ class ThresholdSloDetector:
     def reset(self) -> None:
         self._streak = 0
         self._fired = False
+
+    def state_dict(self) -> dict:
+        return {"streak": self._streak, "fired": self._fired}
+
+    def load_state(self, state: dict) -> None:
+        self._streak = state["streak"]
+        self._fired = state["fired"]
 
 
 class EwmaDriftDetector:
@@ -212,6 +270,23 @@ class EwmaDriftDetector:
         self._var = 0.0
         self._streak = 0
         self._fired = False
+
+    def state_dict(self) -> dict:
+        return {
+            "warm": self._warm.state_dict(),
+            "mean": self._mean,
+            "var": self._var,
+            "streak": self._streak,
+            "fired": self._fired,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._warm = _Welford()
+        self._warm.load_state(state["warm"])
+        self._mean = state["mean"]
+        self._var = state["var"]
+        self._streak = state["streak"]
+        self._fired = state["fired"]
 
     def update(self, time: float, value: float) -> Detection | None:
         if self._warm.n < self.warmup:
@@ -289,6 +364,21 @@ class CusumDetector:
         self.s_pos = 0.0
         self.s_neg = 0.0
 
+    def state_dict(self) -> dict:
+        return {
+            "warm": self._warm.state_dict(),
+            "refining": self._refining,
+            "s_pos": self.s_pos,
+            "s_neg": self.s_neg,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._warm = _Welford()
+        self._warm.load_state(state["warm"])
+        self._refining = state["refining"]
+        self.s_pos = state["s_pos"]
+        self.s_neg = state["s_neg"]
+
     def update(self, time: float, value: float) -> Detection | None:
         if self._warm.n < self.warmup:
             self._warm.push(value)
@@ -346,6 +436,13 @@ class ResponseTimeSloDetector:
 
     def reset(self) -> None:
         self._baseline = _Welford()
+
+    def state_dict(self) -> dict:
+        return {"baseline": self._baseline.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self._baseline = _Welford()
+        self._baseline.load_state(state["baseline"])
 
     @property
     def baseline_duration(self) -> float | None:
@@ -421,6 +518,33 @@ class DetectorBank:
     def reset(self) -> None:
         for detector in self.detectors.values():
             detector.reset()
+
+    def state_dict(self) -> dict:
+        """Learned state of every materialised detector + the ignore set."""
+        return {
+            "detectors": [
+                [cid, metric, detector.state_dict()]
+                for (cid, metric), detector in sorted(self.detectors.items())
+            ],
+            "ignored": sorted(list(key) for key in self._ignored),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Re-materialise detectors through the factory, then restore state.
+
+        The factory must be the same policy that produced the checkpoint; a
+        series the factory now declines is skipped (its state is dropped).
+        """
+        self.detectors.clear()
+        self._ignored = {(cid, metric) for cid, metric in state.get("ignored", [])}
+        for cid, metric, det_state in state.get("detectors", []):
+            detector = self.factory(cid, metric)
+            if detector is None:
+                continue
+            if not getattr(detector, "target", ""):
+                detector.target = f"{cid}/{metric}"
+            detector.load_state(det_state)
+            self.detectors[(cid, metric)] = detector
 
 
 class DetectorFactory(Protocol):

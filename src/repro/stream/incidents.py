@@ -12,11 +12,21 @@ stream onto few incidents:
   fault does not reopen an incident per flap;
 * **severity** — derived from the largest normalised detection magnitude
   (1.0 = exactly at the trigger): minor < 2x <= major < 4x <= critical.
+
+Durability: an :class:`IncidentStore` journals every lifecycle transition
+(open → absorb → diagnosing → resolved) through a pluggable
+:class:`repro.storage.StorageBackend`, so incident history survives process
+restarts and is queryable across them (``repro incidents``).  A manager
+wired to a store journals automatically; :meth:`IncidentManager.state_dict`
+/ :meth:`~IncidentManager.restore` freeze and thaw the live dedup/cooldown
+state for supervisor resume checkpoints.
 """
 
 from __future__ import annotations
 
+import copy
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -24,8 +34,15 @@ from .detectors import Detection
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.pipeline import DiagnosisReport
+    from ..storage.backend import StorageBackend
 
-__all__ = ["IncidentState", "Severity", "Incident", "IncidentManager"]
+__all__ = [
+    "IncidentState",
+    "Severity",
+    "Incident",
+    "IncidentManager",
+    "IncidentStore",
+]
 
 
 class IncidentState(enum.Enum):
@@ -63,6 +80,10 @@ class Incident:
     diagnosed_at: float | None = None
     resolved_at: float | None = None
     report: "DiagnosisReport | None" = None
+    #: Serialised report carried by incidents restored from a journal or
+    #: checkpoint (the live ``DiagnosisReport`` object does not round-trip;
+    #: its ticket form does).  ``to_dict`` falls back to this.
+    report_data: dict | None = None
 
     @property
     def severity(self) -> Severity:
@@ -71,9 +92,13 @@ class Incident:
 
     @property
     def top_cause_id(self) -> str | None:
-        if self.report is None or self.report.top_cause is None:
-            return None
-        return self.report.top_cause.match.cause_id
+        if self.report is not None:
+            if self.report.top_cause is None:
+                return None
+            return self.report.top_cause.match.cause_id
+        if self.report_data is not None and self.report_data.get("causes"):
+            return self.report_data["causes"][0]["cause_id"]
+        return None
 
     def absorb(self, detection: Detection) -> None:
         self.detections.append(detection)
@@ -95,8 +120,12 @@ class Incident:
 
     def to_dict(self) -> dict:
         """JSON-friendly form (the ticket the supervisor would file)."""
-        from ..core.serialize import report_to_dict
+        if self.report is not None:
+            from ..core.serialize import report_to_dict
 
+            report = report_to_dict(self.report)
+        else:
+            report = self.report_data
         return {
             "incident_id": self.incident_id,
             "env": self.env_name,
@@ -106,31 +135,52 @@ class Incident:
             "opened_at": self.opened_at,
             "diagnosed_at": self.diagnosed_at,
             "resolved_at": self.resolved_at,
-            "detections": [
-                {
-                    "time": d.time,
-                    "detector": d.detector,
-                    "target": d.target,
-                    "value": d.value,
-                    "expected": d.expected,
-                    "magnitude": d.magnitude,
-                    "kind": d.kind,
-                }
-                for d in self.detections
-            ],
+            "detections": [d.to_dict() for d in self.detections],
             "deduped": self.deduped,
-            "report": report_to_dict(self.report) if self.report is not None else None,
+            "report": report,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Incident":
+        """Rebuild an incident from its ticket form.
+
+        The inverse of :meth:`to_dict` up to the live report object: a
+        restored incident carries the serialised report under
+        ``report_data``, which ``to_dict`` and ``top_cause_id`` consult, so
+        ``Incident.from_dict(i.to_dict()).to_dict() == i.to_dict()``.
+        """
+        return cls(
+            incident_id=data["incident_id"],
+            env_name=data["env"],
+            key=(data["env"], data["target"]),
+            opened_at=data["opened_at"],
+            state=IncidentState(data["state"]),
+            detections=[Detection.from_dict(d) for d in data.get("detections", [])],
+            deduped=data.get("deduped", 0),
+            diagnosed_at=data.get("diagnosed_at"),
+            resolved_at=data.get("resolved_at"),
+            report_data=data.get("report"),
+        )
 
 
 class IncidentManager:
-    """Turns one environment's detection stream into deduplicated incidents."""
+    """Turns one environment's detection stream into deduplicated incidents.
 
-    def __init__(self, env_name: str, cooldown_s: float = 3600.0) -> None:
+    When constructed with a ``store``, every lifecycle transition is
+    journalled through it, making the incident history durable.
+    """
+
+    def __init__(
+        self,
+        env_name: str,
+        cooldown_s: float = 3600.0,
+        store: "IncidentStore | None" = None,
+    ) -> None:
         if cooldown_s < 0:
             raise ValueError("cooldown_s must be non-negative")
         self.env_name = env_name
         self.cooldown_s = cooldown_s
+        self.store = store
         self.incidents: list[Incident] = []
         self._live: dict[tuple[str, str], Incident] = {}
         self._cooldown_until: dict[tuple[str, str], float] = {}
@@ -143,6 +193,7 @@ class IncidentManager:
         live = self._live.get(key)
         if live is not None and live.state is not IncidentState.RESOLVED:
             live.absorb(detection)
+            self._journal("absorb", live, detection.time)
             return None
         if detection.time < self._cooldown_until.get(key, -1.0):
             self.suppressed += 1
@@ -157,7 +208,13 @@ class IncidentManager:
         )
         self.incidents.append(incident)
         self._live[key] = incident
+        self._journal("open", incident, detection.time)
         return incident
+
+    def begin_diagnosis(self, incident: Incident, time: float) -> None:
+        """Transition to DIAGNOSING (journalled)."""
+        incident.begin_diagnosis(time)
+        self._journal("diagnosing", incident, time)
 
     def resolve(
         self, incident: Incident, time: float, report: "DiagnosisReport | None" = None
@@ -165,6 +222,42 @@ class IncidentManager:
         """Resolve and start the key's cooldown clock."""
         incident.resolve(time, report)
         self._cooldown_until[incident.key] = time + self.cooldown_s
+        self._journal("resolved", incident, time)
+
+    def _journal(self, event: str, incident: Incident, time: float) -> None:
+        if self.store is not None:
+            self.store.record(event, incident, time)
+
+    # -- resume ----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to resume dedup/cooldown exactly: incidents
+        (ticket form), cooldown clocks, the suppressed count, the id
+        counter."""
+        return {
+            "env_name": self.env_name,
+            "cooldown_s": self.cooldown_s,
+            "incidents": [i.to_dict() for i in self.incidents],
+            "cooldown_until": [
+                [env, target, until]
+                for (env, target), until in sorted(self._cooldown_until.items())
+            ],
+            "suppressed": self.suppressed,
+            "counter": self._counter,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Thaw a :meth:`state_dict` snapshot (journalling suppressed —
+        the journal already holds these transitions)."""
+        self.incidents = [Incident.from_dict(d) for d in state.get("incidents", [])]
+        self._live = {
+            i.key: i for i in self.incidents if i.state is not IncidentState.RESOLVED
+        }
+        self._cooldown_until = {
+            (env, target): until
+            for env, target, until in state.get("cooldown_until", [])
+        }
+        self.suppressed = state.get("suppressed", 0)
+        self._counter = state.get("counter", len(self.incidents))
 
     def open_incidents(self) -> list[Incident]:
         return [i for i in self.incidents if i.state is IncidentState.OPEN]
@@ -177,3 +270,143 @@ class IncidentManager:
 
     def __len__(self) -> int:
         return len(self.incidents)
+
+
+class IncidentStore:
+    """Durable, queryable incident history over a pluggable backend.
+
+    Each lifecycle transition is journalled as one *delta* record keyed by
+    incident id: ``open`` carries the full ticket, ``absorb`` only the new
+    detection, ``diagnosing``/``resolved`` only the fields they change — so
+    an incident that absorbs N detections costs O(N) journal bytes, not
+    O(N²) of re-serialised tickets.  The store folds the journal into the
+    *latest* ticket per incident (both live and on :meth:`replay`), which is
+    what ``history()`` serves across any number of process restarts — the
+    query surface behind ``repro incidents``.
+
+    Folding is idempotent: a supervisor resumed from a checkpoint replays
+    the partially-journalled tick deterministically, so a transition may be
+    journalled twice with identical content — re-folding it must not change
+    the ticket (``absorb`` skips a detection already present; the other
+    events overwrite with equal values).
+    """
+
+    KEYSPACE = "incidents"
+
+    def __init__(self, backend: "StorageBackend") -> None:
+        self.backend = backend
+        self._latest: dict[str, dict] = {}
+        self._transitions = 0
+        if getattr(backend, "durable", False):
+            self.replay()
+
+    @classmethod
+    def open(cls, state_dir: str | os.PathLike) -> "IncidentStore":
+        """Open (or create) the journal under ``state_dir/incidents``."""
+        from pathlib import Path
+
+        from ..storage.jsonl import JsonlBackend
+
+        return cls(JsonlBackend(Path(state_dir) / "incidents"))
+
+    def replay(self) -> int:
+        """Fold the journal into the latest-ticket view (on open)."""
+        count = 0
+        for rec in self.backend.scan(self.KEYSPACE):
+            self._fold(rec)
+            count += 1
+        self._transitions = count
+        return count
+
+    def _fold(self, rec: dict) -> None:
+        event = rec["event"]
+        if event == "open":
+            # Deep-copy: by-reference backends (MemoryBackend) keep the
+            # journal record's own dict; folding later deltas into it in
+            # place would retroactively rewrite the journalled open snapshot.
+            self._latest[rec["k"]] = copy.deepcopy(rec["incident"])
+            return
+        ticket = self._latest.get(rec["k"])
+        if ticket is None:
+            return  # delta for an incident whose open record is gone
+        if event == "absorb":
+            detection = rec["detection"]
+            if detection not in ticket["detections"]:
+                ticket["detections"].append(detection)
+                ticket["deduped"] = rec["deduped"]
+                ticket["severity"] = rec["severity"]
+        elif event == "diagnosing":
+            ticket["state"] = IncidentState.DIAGNOSING.value
+            ticket["diagnosed_at"] = rec["diagnosed_at"]
+        elif event == "resolved":
+            ticket["state"] = IncidentState.RESOLVED.value
+            ticket["resolved_at"] = rec["resolved_at"]
+            ticket["report"] = rec["report"]
+
+    # -- writing ---------------------------------------------------------
+    def record(self, event: str, incident: Incident, time: float) -> None:
+        rec: dict = {"t": time, "k": incident.incident_id, "event": event}
+        if event == "open":
+            rec["incident"] = incident.to_dict()
+        elif event == "absorb":
+            rec["detection"] = incident.detections[-1].to_dict()
+            rec["deduped"] = incident.deduped
+            rec["severity"] = incident.severity.value
+        elif event == "diagnosing":
+            rec["diagnosed_at"] = incident.diagnosed_at
+        elif event == "resolved":
+            rec["resolved_at"] = incident.resolved_at
+            if incident.report is not None:
+                from ..core.serialize import report_to_dict
+
+                rec["report"] = report_to_dict(incident.report)
+            else:
+                rec["report"] = incident.report_data
+        else:
+            raise ValueError(f"unknown incident event {event!r}")
+        self.backend.append(self.KEYSPACE, rec)
+        self._fold(rec)
+        self._transitions += 1
+
+    def flush(self) -> None:
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    # -- queries ---------------------------------------------------------
+    def history(
+        self,
+        *,
+        env: str | None = None,
+        state: "IncidentState | str | None" = None,
+        since: float | None = None,
+    ) -> list[dict]:
+        """Latest ticket per incident, ordered by open time.
+
+        ``env`` filters by environment name, ``state`` by final state,
+        ``since`` by ``opened_at``.
+        """
+        wanted = state.value if isinstance(state, IncidentState) else state
+        out = [
+            copy.deepcopy(ticket)  # callers must not reach the folded state
+            for ticket in self._latest.values()
+            if (env is None or ticket["env"] == env)
+            and (wanted is None or ticket["state"] == wanted)
+            and (since is None or ticket["opened_at"] >= since)
+        ]
+        return sorted(out, key=lambda t: (t["opened_at"], t["incident_id"]))
+
+    def transitions(self, incident_id: str | None = None) -> list[dict]:
+        """The raw journal (optionally one incident's), in append order."""
+        return [
+            rec
+            for rec in self.backend.scan(self.KEYSPACE, key=incident_id)
+        ]
+
+    def incidents(self) -> list[Incident]:
+        """History rehydrated into :class:`Incident` objects."""
+        return [Incident.from_dict(t) for t in self.history()]
+
+    def __len__(self) -> int:
+        return len(self._latest)

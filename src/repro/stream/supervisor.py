@@ -23,23 +23,30 @@ causes, and ``repro watch`` renders the fleet table live.
 
 from __future__ import annotations
 
+import json
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from ..core.evaluation import evaluate_report
 from ..core.pipeline import DiagnosisPipeline, DiagnosisRequest, default_pipeline
 from ..lab.environment import Environment
 from ..lab.scenarios import Scenario, ScenarioBundle, ScenarioInfo
+from ..storage.backend import atomic_write_json
 from .detectors import (
     Detection,
     DetectorBank,
     ResponseTimeSloDetector,
     default_detector_factory,
 )
-from .incidents import Incident, IncidentManager, IncidentState
+from .incidents import Incident, IncidentManager, IncidentState, IncidentStore
 
 __all__ = ["WatchedEnvironment", "FleetSupervisor"]
+
+#: File name of the atomic resume checkpoint inside a state dir.
+CHECKPOINT_FILE = "checkpoint.json"
 
 
 @dataclass
@@ -146,6 +153,8 @@ class FleetSupervisor:
         cooldown_s: float = 7200.0,
         slo_factor: float = 1.3,
         baseline_runs: int = 4,
+        state_dir: str | os.PathLike | None = None,
+        checkpoint_meta: dict | None = None,
     ) -> None:
         if chunk_s <= 0:
             raise ValueError("chunk_s must be positive")
@@ -157,6 +166,19 @@ class FleetSupervisor:
         self.baseline_runs = baseline_runs
         self.watched: dict[str, WatchedEnvironment] = {}
         self.ticks = 0
+        #: Cumulative simulated seconds the fleet has been advanced.
+        self.advanced_s = 0.0
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        #: Caller-supplied run parameters (scenario names, hours, seed...)
+        #: stamped into every checkpoint; resume() refuses a checkpoint whose
+        #: meta differs, since the rebuilt fleet would not be the same
+        #: deterministic simulation the checkpoint froze.
+        self.checkpoint_meta = checkpoint_meta
+        #: Durable incident journal (None without a state dir); managers of
+        #: watched environments journal their transitions through it.
+        self.incident_store: IncidentStore | None = (
+            IncidentStore.open(self.state_dir) if self.state_dir is not None else None
+        )
 
     # -- registration ----------------------------------------------------
     def watch(
@@ -181,7 +203,9 @@ class FleetSupervisor:
                 baseline_runs=self.baseline_runs,
                 query_name=query_name,
             ),
-            manager=IncidentManager(name, cooldown_s=self.cooldown_s),
+            manager=IncidentManager(
+                name, cooldown_s=self.cooldown_s, store=self.incident_store
+            ),
             info=info,
         )
         self.watched[name] = watched
@@ -236,7 +260,7 @@ class FleetSupervisor:
             if not watched.diagnosable():
                 continue  # stays OPEN until labelled runs exist on both sides
             for incident in open_incidents:
-                incident.begin_diagnosis(watched.env.clock)
+                watched.manager.begin_diagnosis(incident, watched.env.clock)
             wave.append(
                 (
                     watched,
@@ -254,6 +278,8 @@ class FleetSupervisor:
                     watched.manager.resolve(incident, watched.env.clock, report)
                     resolved.append(incident)
         self.ticks += 1
+        self.advanced_s += chunk
+        self.checkpoint()
         return resolved
 
     def run(
@@ -278,6 +304,107 @@ class FleetSupervisor:
                 on_tick(resolved, elapsed)
         return self.incidents()
 
+    # -- persistence -----------------------------------------------------
+    def checkpoint(self) -> None:
+        """Freeze resumable state into ``state_dir`` (no-op without one).
+
+        Written atomically (tmp + rename) after every tick, alongside the
+        incident journal the managers already appended to, so a kill at any
+        point leaves a consistent pair: a checkpoint as of the last complete
+        tick plus a journal holding at least those transitions.
+        """
+        if self.state_dir is None:
+            return
+        state = {
+            "version": 1,
+            "meta": self.checkpoint_meta,
+            "ticks": self.ticks,
+            "chunk_s": self.chunk_s,
+            "advanced_s": self.advanced_s,
+            "environments": {
+                name: {
+                    "query_name": w.query_name,
+                    "clock": w.env.clock,
+                    "bank": w.bank.state_dict(),
+                    "run_detector": w.run_detector.state_dict(),
+                    "manager": w.manager.state_dict(),
+                }
+                for name, w in self.watched.items()
+            },
+        }
+        if self.incident_store is not None:
+            self.incident_store.flush()
+        atomic_write_json(self.state_dir / CHECKPOINT_FILE, state)
+
+    def has_checkpoint(self) -> bool:
+        return (
+            self.state_dir is not None
+            and (self.state_dir / CHECKPOINT_FILE).exists()
+        )
+
+    def resume(self) -> float:
+        """Resume from the state dir's checkpoint; returns simulated seconds
+        already covered.
+
+        Call after registering the *same* fleet (names, scenarios, seeds)
+        that produced the checkpoint.  Environments are deterministic, so
+        they are rebuilt by fast-forwarding the simulation to the
+        checkpointed duration — detectors stay attached (run labelling and
+        baselines evolve exactly as in the uninterrupted run) but the
+        detections drained during the fast-forward are discarded: the
+        checkpointed manager state already accounts for them.  Detector and
+        manager state are then restored from the checkpoint, after which
+        :meth:`tick` / :meth:`run` continue as if the process never died.
+        """
+        if not self.has_checkpoint():
+            raise FileNotFoundError(f"no {CHECKPOINT_FILE} under {self.state_dir}")
+        if self.ticks:
+            raise ValueError("resume() must run before any tick")
+        state = json.loads((self.state_dir / CHECKPOINT_FILE).read_text())
+        saved_meta = state.get("meta")
+        if (
+            self.checkpoint_meta is not None
+            and saved_meta is not None
+            and saved_meta != self.checkpoint_meta
+        ):
+            raise ValueError(
+                "checkpoint was produced by a different run configuration: "
+                f"checkpoint {saved_meta!r} vs current {self.checkpoint_meta!r}"
+            )
+        saved = state["environments"]
+        missing = sorted(set(saved) - set(self.watched))
+        extra = sorted(set(self.watched) - set(saved))
+        if missing or extra:
+            raise ValueError(
+                "watched fleet does not match the checkpoint "
+                f"(missing: {missing or '-'}, unexpected: {extra or '-'})"
+            )
+        for name, env_state in saved.items():
+            if self.watched[name].query_name != env_state["query_name"]:
+                raise ValueError(
+                    f"environment {name!r} watches {self.watched[name].query_name!r}"
+                    f" but the checkpoint recorded {env_state['query_name']!r}"
+                )
+
+        advanced = state["advanced_s"]
+        fleet = list(self.watched.values())
+        if advanced > 0:
+            workers = self.max_workers or min(8, len(fleet))
+            if workers > 1 and len(fleet) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    list(pool.map(lambda w: w.advance(advanced), fleet))
+            else:
+                for w in fleet:
+                    w.advance(advanced)  # drains (discards) tap detections
+        for name, env_state in saved.items():
+            watched = self.watched[name]
+            watched.bank.load_state(env_state["bank"])
+            watched.run_detector.load_state(env_state["run_detector"])
+            watched.manager.restore(env_state["manager"])
+        self.ticks = state["ticks"]
+        self.advanced_s = advanced
+        return advanced
+
     # -- reporting -------------------------------------------------------
     def incidents(self) -> list[Incident]:
         out: list[Incident] = []
@@ -293,6 +420,7 @@ class FleetSupervisor:
         return {
             "ticks": self.ticks,
             "chunk_s": self.chunk_s,
+            "advanced_s": self.advanced_s,
             "fleet": self.status_rows(),
             "incidents": [i.to_dict() for i in self.incidents()],
         }

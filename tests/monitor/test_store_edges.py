@@ -1,0 +1,97 @@
+"""Edge cases for ConfigStore.diff and EventLog.in_window (+ journalling)."""
+
+from __future__ import annotations
+
+from repro.monitor import ConfigStore, EventLog, EventRecord
+from repro.storage import MemoryBackend
+
+
+class TestConfigStoreDiffEdges:
+    def test_empty_scope_diff_is_empty(self):
+        store = ConfigStore()
+        assert store.diff("never-snapshotted", 0.0, 100.0) == []
+        assert store.changes_between(0.0, 100.0) == []
+
+    def test_t0_equals_t1_yields_no_changes(self):
+        store = ConfigStore()
+        store.take_snapshot(10.0, "db_config", {"work_mem_kb": 4096})
+        store.take_snapshot(50.0, "db_config", {"work_mem_kb": 65536})
+        for t in (5.0, 10.0, 30.0, 50.0, 99.0):
+            assert store.diff("db_config", t, t) == []
+
+    def test_window_before_first_snapshot(self):
+        store = ConfigStore()
+        store.take_snapshot(100.0, "san", {"zones": 1})
+        # both endpoints precede every snapshot: both sides resolve to {}
+        assert store.diff("san", 0.0, 50.0) == []
+        # spanning the first snapshot reports everything as "added"
+        changes = store.diff("san", 0.0, 100.0)
+        assert [c.kind for c in changes] == ["added"]
+
+    def test_out_of_order_snapshot_times_are_sorted(self):
+        store = ConfigStore()
+        store.take_snapshot(100.0, "db_config", {"x": 3})
+        store.take_snapshot(10.0, "db_config", {"x": 1})   # arrives late
+        store.take_snapshot(50.0, "db_config", {"x": 2})
+        assert store.snapshot_at("db_config", 10.0) == {"x": 1}
+        assert store.snapshot_at("db_config", 60.0) == {"x": 2}
+        changes = store.diff("db_config", 10.0, 100.0)
+        assert len(changes) == 1 and changes[0].before == 1 and changes[0].after == 3
+
+    def test_diff_across_scopes_does_not_leak(self):
+        store = ConfigStore()
+        store.take_snapshot(0.0, "a", {"k": 1})
+        store.take_snapshot(10.0, "b", {"k": 2})
+        # scope "a" is unchanged across the window; only "b" appeared in it
+        assert store.diff("a", 0.0, 20.0) == []
+        assert [c.scope for c in store.changes_between(5.0, 20.0)] == ["b"]
+
+    def test_out_of_order_snapshots_survive_replay(self):
+        backend = MemoryBackend()
+        store = ConfigStore(backend=backend)
+        store.take_snapshot(100.0, "db_config", {"x": 3})
+        store.take_snapshot(10.0, "db_config", {"x": 1})
+        fresh = ConfigStore(backend=backend)
+        fresh.replay_from_backend()
+        assert fresh.snapshot_at("db_config", 20.0) == {"x": 1}
+        assert fresh.snapshot_at("db_config", 200.0) == {"x": 3}
+
+
+class TestEventLogWindowEdges:
+    @staticmethod
+    def _log():
+        log = EventLog()
+        for t in (10.0, 20.0, 30.0):
+            log.add(EventRecord(time=t, kind="dml_batch", component_id="db", layer="db"))
+        return log
+
+    def test_empty_log(self):
+        assert EventLog().in_window(0.0, 100.0) == []
+
+    def test_window_bounds_are_inclusive(self):
+        log = self._log()
+        assert [e.time for e in log.in_window(10.0, 30.0)] == [10.0, 20.0, 30.0]
+        assert [e.time for e in log.in_window(10.0, 20.0)] == [10.0, 20.0]
+
+    def test_degenerate_window_start_equals_end(self):
+        log = self._log()
+        assert [e.time for e in log.in_window(20.0, 20.0)] == [20.0]
+        assert log.in_window(15.0, 15.0) == []
+
+    def test_inverted_window_is_empty(self):
+        assert self._log().in_window(30.0, 10.0) == []
+
+    def test_out_of_order_adds_come_back_sorted(self):
+        log = EventLog()
+        for t in (30.0, 10.0, 20.0):
+            log.add(EventRecord(time=t, kind="dml_batch", component_id="db", layer="db"))
+        assert [e.time for e in log.in_window(0.0, 100.0)] == [10.0, 20.0, 30.0]
+
+    def test_events_round_trip_through_backend(self):
+        backend = MemoryBackend()
+        log = EventLog(backend=backend)
+        log.add_db_event(5.0, "index_created", "db", index="idx1")
+        log.add(EventRecord(time=1.0, kind="dml_batch", component_id="db", layer="db"))
+        fresh = EventLog(backend=backend)
+        fresh.replay_from_backend()
+        assert [e.describe() for e in fresh.events] == [e.describe() for e in log.events]
