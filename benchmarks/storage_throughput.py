@@ -1,24 +1,34 @@
-"""Telemetry-store backend throughput: append/scan ops/s, memory vs JSONL.
+"""Telemetry-store backend throughput: append/scan ops/s, memory vs durable.
 
-One table lands in ``benchmarks/results/storage_throughput.txt``: raw
-backend append (single + batched) and scan rates, plus the end-to-end
-``MetricStore.record`` rate through each backend — the number that bounds
-how many raw observations per wall second a ``repro watch --state-dir``
-deployment can absorb.
+Results land in ``benchmarks/results/`` twice: a human table
+(``storage_throughput.txt``) and machine-readable ``BENCH_storage.json``
+(ops/s plus p50/p95 single-append latency per backend) so the perf
+trajectory is tracked across PRs.  Covered: raw backend append (single +
+batched), full scans, *keyed* scans (where the sqlite backend's
+``(keyspace, key, ts)`` index earns its keep against JSONL's whole-segment
+reads), and the end-to-end ``MetricStore.record`` rate through each backend
+— the number that bounds how many raw observations per wall second a
+``repro watch --state-dir`` deployment can absorb.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import shutil
 import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.monitor import MetricStore
-from repro.storage import JsonlBackend, MemoryBackend
+from repro.storage import JsonlBackend, MemoryBackend, SqliteBackend
 
 N_APPEND = 50_000
 BATCH = 500
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def _records(n):
@@ -32,6 +42,7 @@ def _backends(tmp: Path):
     return (
         ("memory", MemoryBackend()),
         ("jsonl", JsonlBackend(tmp / "jsonl")),
+        ("sqlite", SqliteBackend(tmp / "telemetry.db")),
     )
 
 
@@ -42,13 +53,16 @@ def _rate(n, seconds):
 def test_bench_storage_throughput(record_result):
     tmp = Path(tempfile.mkdtemp(prefix="storage-bench-"))
     rows = []
+    stats: dict[str, dict] = {}
     try:
         records = _records(N_APPEND)
         for name, backend in _backends(tmp):
-            start = time.perf_counter()
-            for record in records:
+            latencies = np.empty(N_APPEND)
+            for i, record in enumerate(records):
+                t0 = time.perf_counter()
                 backend.append("metrics", record)
-            append_s = time.perf_counter() - start
+                latencies[i] = time.perf_counter() - t0
+            append_s = float(latencies.sum())
 
             start = time.perf_counter()
             for i in range(0, N_APPEND, BATCH):
@@ -67,10 +81,19 @@ def test_bench_storage_throughput(record_result):
             assert keyed == N_APPEND // 8
 
             backend.close()
-            rows.append(
-                (name, _rate(N_APPEND, append_s), _rate(N_APPEND, batch_s),
-                 _rate(N_APPEND, scan_s), _rate(N_APPEND, keyed_s))
+            row = (
+                name, _rate(N_APPEND, append_s), _rate(N_APPEND, batch_s),
+                _rate(N_APPEND, scan_s), _rate(N_APPEND, keyed_s),
             )
+            rows.append(row)
+            stats[name] = {
+                "append_ops_s": round(row[1]),
+                "append_many_ops_s": round(row[2]),
+                "scan_ops_s": round(row[3]),
+                "keyed_scan_ops_s": round(row[4]),
+                "append_p50_latency_us": round(float(np.percentile(latencies, 50)) * 1e6, 2),
+                "append_p95_latency_us": round(float(np.percentile(latencies, 95)) * 1e6, 2),
+            }
 
         # End-to-end MetricStore.record through each backend.
         store_rows = []
@@ -82,15 +105,34 @@ def test_bench_storage_throughput(record_result):
             record_s = time.perf_counter() - start
             backend.close()
             store_rows.append((name, _rate(N_APPEND, record_s)))
+            stats[name]["metric_store_record_ops_s"] = round(_rate(N_APPEND, record_s))
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_storage.json").write_text(
+            json.dumps(
+                {
+                    "benchmark": "storage_throughput",
+                    "config": {"records": N_APPEND, "batch": BATCH, "distinct_keys": 8},
+                    "backends": stats,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
 
         lines = [
             f"Telemetry backend throughput ({N_APPEND} records, ops/s)",
-            "-" * 76,
-            f"{'backend':<10}{'append':>13}{'append_many':>13}{'scan':>13}{'scan(key)':>13}",
-            "-" * 76,
+            "-" * 102,
+            f"{'backend':<10}{'append':>13}{'append_many':>13}{'scan':>13}"
+            f"{'scan(key)':>13}{'p50 us':>10}{'p95 us':>10}",
+            "-" * 102,
         ]
         for name, a, b, s, k in rows:
-            lines.append(f"{name:<10}{a:>13.0f}{b:>13.0f}{s:>13.0f}{k:>13.0f}")
+            lines.append(
+                f"{name:<10}{a:>13.0f}{b:>13.0f}{s:>13.0f}{k:>13.0f}"
+                f"{stats[name]['append_p50_latency_us']:>10.1f}"
+                f"{stats[name]['append_p95_latency_us']:>10.1f}"
+            )
         lines += [
             "",
             "MetricStore.record end-to-end (raw observations/s)",

@@ -1,0 +1,257 @@
+"""Barriered vs barrier-free fleet supervision throughput.
+
+The motivating pathology of the runtime refactor: in the barriered
+``tick`` loop, one slow diagnosis stalls *every* environment's next chunk —
+the fleet advances at the speed of its slowest member.  The barrier-free
+``run`` path gives each environment its own clock, so a slow diagnosis
+stalls only the environment it belongs to while the rest of the fleet keeps
+advancing.
+
+This benchmark measures exactly that: a 64-environment fleet with a 10%
+per-chunk incident rate and a heavy-tailed diagnosis latency (one straggler
+environment pays a long pipeline, the other firing environments a short
+one), supervised for a fixed wall-clock window under both execution paths.
+The metric is **fleet-advance throughput** — environment-chunks completed
+per wall second — plus the p50/p95 per-environment chunk-completion latency.
+
+Acceptance: the barrier-free path must deliver **>= 2x** the barriered
+throughput.  Results land in ``benchmarks/results/`` as a human table
+(``supervisor_throughput.txt``) and machine-readable
+``BENCH_supervisor.json`` so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.stream import FleetSupervisor
+from repro.stream.detectors import Detection
+
+N_ENVS = 64
+INCIDENT_RATE = 0.10           # fraction of environments firing per chunk
+CHUNK_S = 1800.0               # simulated seconds per chunk
+ADVANCE_COST_S = 0.002         # wall cost of simulating one chunk
+FAST_DIAGNOSIS_S = 0.02        # wall cost of a typical pipeline run
+SLOW_DIAGNOSIS_S = 0.5         # wall cost of the straggler's pipeline
+WINDOW_S = 2.5                 # measurement window per mode (wall seconds)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class _StubWatched:
+    """A WatchedEnvironment stand-in with deterministic incident pressure.
+
+    The first ``int(N_ENVS * INCIDENT_RATE)`` environments fire one
+    detection per chunk (cooldown 0 reopens an incident every time); the
+    rest stay healthy.  ``advance`` burns a fixed wall cost standing in for
+    the simulation work, and records chunk-completion times so both
+    execution paths are instrumented identically.
+    """
+
+    def __init__(self, index: int, fires: bool) -> None:
+        self.name = f"env-{index:03d}"
+        self.index = index
+        self.fires = fires
+        self.query_name = "q-bench"
+        self.advanced_s = 0.0
+        self.manager = None  # filled in by the harness (needs the supervisor's store)
+        self.env = SimpleNamespace(clock=0.0, bundle=lambda: None)
+        self.info = None
+        self.chunks = 0
+        self.completions: list[float] = []
+
+    def advance(self, chunk_s: float) -> list[Detection]:
+        time.sleep(ADVANCE_COST_S)
+        self.env.clock += chunk_s
+        self.chunks += 1
+        self.completions.append(time.perf_counter())
+        if not self.fires:
+            return []
+        return [
+            Detection(
+                time=self.env.clock,
+                detector="bench",
+                target="V1/readTime",
+                value=10.0,
+                expected=5.0,
+                magnitude=2.0,
+                kind="drift",
+            )
+        ]
+
+    def diagnosable(self) -> bool:
+        return True
+
+
+class _SlowPipeline:
+    """Duck-typed DiagnosisPipeline: per-environment diagnosis latency.
+
+    Environment 0 is the straggler; every other firing environment pays the
+    fast latency.  Implements both batch entry points the supervisor uses —
+    ``diagnose_many`` (barriered wave) and ``submit_many`` (barrier-free).
+    """
+
+    def __init__(self, fleet: dict[str, _StubWatched]) -> None:
+        self.fleet = fleet
+
+    def _latency_for(self, request) -> float:
+        # Each stub's bundle() returns its environment name, so the
+        # request's bundle routes the per-environment latency.
+        index = self.fleet[request.bundle].index
+        return SLOW_DIAGNOSIS_S if index == 0 else FAST_DIAGNOSIS_S
+
+    def _diagnose(self, request):
+        time.sleep(self._latency_for(request))
+        return None  # incidents resolve without a report; counts are what matter
+
+    def diagnose_many(self, requests, max_workers=None, pool=None):
+        from repro.runtime import shared_pool
+
+        pool = pool or shared_pool()
+        reqs = list(requests)
+        if max_workers is not None and max_workers <= 1 or len(reqs) <= 1:
+            return [self._diagnose(r) for r in reqs]
+        return pool.map_bounded(self._diagnose, reqs, limit=max_workers)
+
+    def submit_many(self, requests, pool=None):
+        from repro.runtime import shared_pool
+
+        pool = pool or shared_pool()
+        return [pool.submit(self._diagnose, request) for request in requests]
+
+
+def _build_supervisor() -> tuple[FleetSupervisor, list[_StubWatched]]:
+    from repro.stream.incidents import IncidentManager
+
+    firing = max(1, int(N_ENVS * INCIDENT_RATE))
+    fleet: dict[str, _StubWatched] = {}
+    stubs = []
+    for index in range(N_ENVS):
+        stub = _StubWatched(index, fires=index < firing)
+        stub.env.bundle = (lambda name=stub.name: name)
+        fleet[stub.name] = stub
+        stubs.append(stub)
+    supervisor = FleetSupervisor(
+        pipeline=_SlowPipeline(fleet), chunk_s=CHUNK_S, cooldown_s=0.0
+    )
+    for stub in stubs:
+        stub.manager = IncidentManager(stub.name, cooldown_s=0.0)
+        supervisor.watched[stub.name] = stub
+    return supervisor, stubs
+
+
+def _latency_stats(stubs) -> tuple[float, float]:
+    gaps = []
+    for stub in stubs:
+        done = stub.completions
+        gaps.extend(b - a for a, b in zip(done, done[1:]))
+    if not gaps:
+        return float("nan"), float("nan")
+    return (
+        float(np.percentile(gaps, 50) * 1000.0),
+        float(np.percentile(gaps, 95) * 1000.0),
+    )
+
+
+def _measure_barriered() -> dict:
+    supervisor, stubs = _build_supervisor()
+    start = time.perf_counter()
+    deadline = start + WINDOW_S
+    ticks = 0
+    while time.perf_counter() < deadline:
+        supervisor.tick()
+        ticks += 1
+    wall = time.perf_counter() - start
+    chunks = sum(stub.chunks for stub in stubs)
+    p50, p95 = _latency_stats(stubs)
+    return {
+        "mode": "barriered-tick",
+        "ticks": ticks,
+        "chunks": chunks,
+        "wall_s": round(wall, 3),
+        "chunks_per_s": round(chunks / wall, 1),
+        "p50_chunk_latency_ms": round(p50, 2),
+        "p95_chunk_latency_ms": round(p95, 2),
+        "incidents": len(supervisor.incidents()),
+    }
+
+
+def _measure_async() -> dict:
+    supervisor, stubs = _build_supervisor()
+    timer = threading.Timer(WINDOW_S, supervisor.stop)
+    start = time.perf_counter()
+    timer.start()
+    try:
+        supervisor.run(10_000 * CHUNK_S)  # far beyond the window; stop() ends it
+    finally:
+        timer.cancel()
+    wall = time.perf_counter() - start
+    chunks = sum(stub.chunks for stub in stubs)
+    p50, p95 = _latency_stats(stubs)
+    return {
+        "mode": "async-runtime",
+        "chunks": chunks,
+        "wall_s": round(wall, 3),
+        "chunks_per_s": round(chunks / wall, 1),
+        "p50_chunk_latency_ms": round(p50, 2),
+        "p95_chunk_latency_ms": round(p95, 2),
+        "incidents": len(supervisor.incidents()),
+    }
+
+
+def test_bench_supervisor_throughput(record_result):
+    barriered = _measure_barriered()
+    asynchronous = _measure_async()
+    speedup = asynchronous["chunks_per_s"] / barriered["chunks_per_s"]
+
+    payload = {
+        "benchmark": "supervisor_throughput",
+        "config": {
+            "environments": N_ENVS,
+            "incident_rate": INCIDENT_RATE,
+            "chunk_s": CHUNK_S,
+            "advance_cost_s": ADVANCE_COST_S,
+            "fast_diagnosis_s": FAST_DIAGNOSIS_S,
+            "slow_diagnosis_s": SLOW_DIAGNOSIS_S,
+            "window_s": WINDOW_S,
+        },
+        "barriered": barriered,
+        "async": asynchronous,
+        "speedup": round(speedup, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_supervisor.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = [
+        f"Fleet-advance throughput: {N_ENVS} environments, "
+        f"{INCIDENT_RATE:.0%} incident rate, heavy-tailed diagnosis "
+        f"({SLOW_DIAGNOSIS_S * 1000:.0f}ms straggler / "
+        f"{FAST_DIAGNOSIS_S * 1000:.0f}ms typical)",
+        "-" * 86,
+        f"{'mode':<18}{'chunks':>8}{'wall s':>9}{'chunks/s':>11}"
+        f"{'p50 ms':>9}{'p95 ms':>9}{'incidents':>11}",
+        "-" * 86,
+    ]
+    for row in (barriered, asynchronous):
+        lines.append(
+            f"{row['mode']:<18}{row['chunks']:>8}{row['wall_s']:>9.2f}"
+            f"{row['chunks_per_s']:>11.1f}{row['p50_chunk_latency_ms']:>9.1f}"
+            f"{row['p95_chunk_latency_ms']:>9.1f}{row['incidents']:>11}"
+        )
+    lines.append("")
+    lines.append(f"speedup (async / barriered): {speedup:.2f}x  (target >= 2.0x)")
+    record_result("supervisor_throughput", "\n".join(lines))
+
+    assert asynchronous["incidents"] > 0 and barriered["incidents"] > 0
+    assert speedup >= 2.0, (
+        f"barrier-free runtime delivered only {speedup:.2f}x the barriered "
+        f"tick throughput (need >= 2x)"
+    )

@@ -9,12 +9,18 @@ An integrated database + SAN diagnosis library.  The package is organised as:
 * :mod:`repro.lab` — environment, workloads, fault injection, scenarios,
 * :mod:`repro.core` — the paper's contribution: APGs and the DIADS workflow,
   built on a pluggable pipeline engine (registry + DAG scheduling),
-* :mod:`repro.stream` — online detectors, incidents, and the fleet
-  supervisor that closes the detect→diagnose loop with no human marking,
+* :mod:`repro.runtime` — the execution substrate: a shared long-lived
+  worker pool, a cooperative asyncio scheduler with bounded backpressure
+  queues, and per-environment clock vectors,
+* :mod:`repro.stream` — online detectors, incidents, and the barrier-free
+  fleet supervisor that closes the detect→diagnose loop with no human
+  marking (each environment advances on its own clock; slow diagnoses
+  overlap the rest of the fleet),
 * :mod:`repro.storage` — the unified telemetry-store API: one pluggable
-  backend protocol (memory + crash-safe JSONL) under every store, the
-  ``TelemetryStore`` facade, and lossless serializers for persistence
-  (``DiagnosisBundle.save()/load()``, ``repro watch --state-dir`` resume).
+  backend protocol (memory + crash-safe JSONL + indexed sqlite) under every
+  store, the ``TelemetryStore`` facade, and lossless serializers for
+  persistence (``DiagnosisBundle.save()/load()``, ``repro watch
+  --state-dir`` resume).
 
 Quickstart::
 
@@ -89,9 +95,16 @@ from .stream import (
     ThresholdSloDetector,
     WatchedEnvironment,
 )
-from .storage import JsonlBackend, MemoryBackend, StorageBackend, TelemetryStore
+from .runtime import ClockVector, Scheduler, TaskQueue, WorkerPool, shared_pool
+from .storage import (
+    JsonlBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    TelemetryStore,
+)
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "__version__",
@@ -140,5 +153,11 @@ __all__ = [
     "StorageBackend",
     "MemoryBackend",
     "JsonlBackend",
+    "SqliteBackend",
     "TelemetryStore",
+    "WorkerPool",
+    "shared_pool",
+    "Scheduler",
+    "TaskQueue",
+    "ClockVector",
 ]

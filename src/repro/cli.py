@@ -19,9 +19,12 @@ entry point: it simulates one or more scenarios (``all`` for the whole
 catalogue), diagnoses every diagnosable query in every bundle through
 ``DiagnosisPipeline.diagnose_many``, and prints a table or JSON.  ``watch``
 is the closed loop: a :class:`~repro.stream.FleetSupervisor` advances a
-fleet of scenario environments live, detectors open incidents without any
-manual run-marking, and every incident is auto-diagnosed; the fleet table
-refreshes per chunk (or stream the final state with ``--json``).  With
+fleet of scenario environments live on the barrier-free runtime — each
+environment on its own clock, slow diagnoses overlapping the rest of the
+fleet (cap them with ``--max-inflight-diagnoses``) — detectors open
+incidents without any manual run-marking, and every incident is
+auto-diagnosed; the fleet table refreshes per runtime event (or stream the
+final state with ``--json``).  With
 ``--state-dir`` the incident history and detector state are journalled
 durably and a killed run resumes from its last checkpoint; ``incidents``
 queries that history afterwards — across any number of restarts.
@@ -32,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .core import Diads, build_apg
 from .core.evaluation import evaluate_bundle
@@ -135,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--max-workers", type=int, default=None,
         help="thread-pool width for advancing environments and diagnosing",
+    )
+    watch.add_argument(
+        "--max-inflight-diagnoses", type=int, default=None, metavar="N",
+        help=(
+            "cap concurrent diagnosis pipelines across the fleet (default: "
+            "bounded only by the shared worker pool); advancing continues "
+            "while diagnoses are in flight"
+        ),
     )
     watch.add_argument(
         "--cooldown-minutes", type=float, default=120.0,
@@ -310,6 +322,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         cooldown_s=args.cooldown_minutes * 60.0,
         state_dir=args.state_dir,
+        max_inflight_diagnoses=args.max_inflight_diagnoses,
         checkpoint_meta={
             "scenarios": list(names),
             "hours": args.hours,
@@ -339,31 +352,51 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
     live = not args.json and sys.stdout.isatty()
     redraws = 0
+    last_draw = 0.0
+    resolved_total = 0
 
-    def render_tick(resolved, elapsed: float) -> None:
+    def redraw() -> None:
+        # Redraw in place: move up over the previous table and reprint.
         nonlocal redraws
-        total_h = (resumed_s + elapsed) / 3600.0
+        table = supervisor.render_table()
+        height = table.count("\n") + 2
+        if redraws:
+            print(f"\x1b[{height}A", end="")
+        redraws += 1
+        clocks = supervisor.clocks
+        print(table)
+        print(
+            f"t>={clocks.min_clock / 3600.0:.1f}h (skew {clocks.skew / 60.0:.0f}m)  "
+            f"incidents resolved: {resolved_total}   ",
+            flush=True,
+        )
+
+    def on_event(event: dict) -> None:
+        # The supervisor streams per-environment events (no global tick):
+        # the live table refreshes as each environment moves, throttled to
+        # keep terminal I/O off the supervision hot path.
+        nonlocal last_draw, resolved_total
+        kind = event["type"]
+        if kind == "incident_resolved":
+            resolved_total += 1
         if live:
-            # Redraw in place: move up over the previous table and reprint.
-            table = supervisor.render_table()
-            height = table.count("\n") + 2
-            if redraws:
-                print(f"\x1b[{height}A", end="")
-            redraws += 1
-            print(table)
-            print(f"t={total_h:.1f}h  incidents resolved this tick: "
-                  f"{len(resolved)}   ", flush=True)
-        elif not args.json:
-            for incident in resolved:
-                print(
-                    f"t={total_h:5.1f}h  {incident.incident_id:<40} "
-                    f"{incident.severity.value:<8} -> {incident.top_cause_id}",
-                    flush=True,
-                )
+            now = time.monotonic()
+            if (
+                kind in ("incident_resolved", "env_done", "fleet_done")
+                or now - last_draw >= 0.2
+            ):
+                last_draw = now
+                redraw()
+        elif not args.json and kind == "incident_resolved":
+            print(
+                f"t={event['clock'] / 3600.0:5.1f}h  {event['incident_id']:<40} "
+                f"{event['severity']:<8} -> {event['top_cause']}",
+                flush=True,
+            )
 
     remaining_s = args.hours * 3600.0 - resumed_s
     if remaining_s > 0:
-        supervisor.run(remaining_s, on_tick=render_tick)
+        supervisor.run(remaining_s, on_event=on_event)
     elif not args.json:
         print(
             f"checkpoint already covers {resumed_s / 3600.0:.1f}h "

@@ -22,12 +22,13 @@ touching anything here.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from ..lab.environment import DiagnosisBundle
 from ..lab.scenarios import ScenarioBundle
+from ..runtime import WorkerPool, shared_pool
 from .modules.base import DiagnosisContext, ModuleResult
 from .registry import DiagnosisModule, ModuleRegistry, default_registry
 from .symptoms import RootCauseMatch
@@ -406,24 +407,46 @@ class DiagnosisPipeline:
         self,
         requests: Iterable["DiagnosisRequest | tuple | ScenarioBundle"],
         max_workers: int | None = None,
+        *,
+        pool: "WorkerPool | None" = None,
     ) -> list[DiagnosisReport]:
         """Fleet-scale batch diagnosis over one or many bundles.
 
         ``requests`` items may be :class:`DiagnosisRequest`\\ s,
         ``(bundle, query_name)`` tuples, or scenario bundles.  Reports come
-        back in request order.  Work fans out over ``max_workers`` threads
-        (contexts are per-request, module instances are stateless, and the
-        monitoring stores synchronise their lazy caches, so requests are
-        independent); ``max_workers=1`` forces sequential execution.
+        back in request order.  Work fans out over the shared runtime worker
+        pool with at most ``max_workers`` requests in flight (contexts are
+        per-request, module instances are stateless, and the monitoring
+        stores synchronise their lazy caches, so requests are independent);
+        ``max_workers=1`` forces sequential execution on the calling thread.
         """
         reqs = [DiagnosisRequest.of(item) for item in requests]
         if max_workers is None:
             max_workers = min(8, len(reqs)) or 1
         if max_workers <= 1 or len(reqs) <= 1:
             return [self._diagnose_request(r) for r in reqs]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(self._diagnose_request, r) for r in reqs]
-            return [f.result() for f in futures]
+        pool = pool or shared_pool()
+        return pool.map_bounded(self._diagnose_request, reqs, limit=max_workers)
+
+    def submit_many(
+        self,
+        requests: Iterable["DiagnosisRequest | tuple | ScenarioBundle"],
+        *,
+        pool: "WorkerPool | None" = None,
+    ) -> "list[Future[DiagnosisReport]]":
+        """Asynchronous batch submission: one future per request.
+
+        The non-blocking sibling of :meth:`diagnose_many`: work lands on the
+        shared runtime pool (or ``pool``) immediately and the caller collects
+        results whenever it likes — the fleet supervisor awaits these futures
+        while other environments keep advancing, which is what lets a slow
+        diagnosis overlap the rest of the fleet instead of barriering it.
+        """
+        pool = pool or shared_pool()
+        return [
+            pool.submit(self._diagnose_request, DiagnosisRequest.of(item))
+            for item in requests
+        ]
 
     def _diagnose_request(self, req: DiagnosisRequest) -> DiagnosisReport:
         return self.diagnose(

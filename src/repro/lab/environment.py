@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -240,6 +241,12 @@ class Environment:
         #: Sum of requested advance durations.  The tick loop aims at this,
         #: so fractional-tick chunk sizes cannot compound into clock drift.
         self._target: float = 0.0
+        #: Serialises advance() calls: the runtime scheduler may hand chunks
+        #: of the same environment to different pool threads over time, and a
+        #: late duplicate submission must queue behind the live one instead
+        #: of interleaving ticks (the simulation state is not shareable
+        #: mid-tick).  Progress is still single-threaded per environment.
+        self._advance_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # setup
@@ -289,27 +296,52 @@ class Environment:
         Chunks need not be tick multiples: the loop aims at the *cumulative*
         requested duration, so the clock never drifts more than one tick
         ahead of the total asked for, no matter how the chunks divide.
+
+        Re-entrancy: calls are serialised on a per-environment lock, so the
+        runtime scheduler may safely submit chunks from any worker thread —
+        a second caller blocks until the in-flight chunk completes rather
+        than interleaving simulation ticks.
         """
-        if self._clock is None:
-            self._clock = start_s
-            self._target = start_s
-            self.snapshot_all_config(start_s)
-            self._capture_baseline_latencies()
-        elif start_s not in (0.0, self._clock):
-            raise ValueError(
-                f"environment clock already at t={self._clock:g}; it cannot "
-                f"jump to start_s={start_s:g} (the timeline is continuous)"
-            )
-        self._target += duration_s
-        while self._clock < self._target:
-            t = self._clock
-            self._fire_scheduled(t)
-            for job in self.jobs:
-                for run_at in job.due_at(t, t + self.tick_s):
-                    self._execute_job(job, run_at)
-            self._monitor_tick(t)
-            self._clock = t + self.tick_s
-        return self._clock
+        with self._advance_lock:
+            if self._clock is None:
+                self._clock = start_s
+                self._target = start_s
+                self.snapshot_all_config(start_s)
+                self._capture_baseline_latencies()
+            elif start_s not in (0.0, self._clock):
+                raise ValueError(
+                    f"environment clock already at t={self._clock:g}; it cannot "
+                    f"jump to start_s={start_s:g} (the timeline is continuous)"
+                )
+            self._target += duration_s
+            while self._clock < self._target:
+                t = self._clock
+                self._fire_scheduled(t)
+                for job in self.jobs:
+                    for run_at in job.due_at(t, t + self.tick_s):
+                        self._execute_job(job, run_at)
+                self._monitor_tick(t)
+                self._clock = t + self.tick_s
+            return self._clock
+
+    def advance_chunks(
+        self, duration_s: float, chunk_s: float, start_s: float = 0.0
+    ) -> Iterator[float]:
+        """Advance ``duration_s`` in ``chunk_s`` steps, yielding after each.
+
+        The cooperative form of :meth:`advance`: the generator returns
+        control to its caller at every chunk boundary, which is where the
+        runtime scheduler interleaves thousands of environments on a bounded
+        worker pool.  The final chunk is clamped so the cumulative duration
+        is exact; yields the clock after each completed chunk.
+        """
+        if chunk_s <= 0:
+            raise ValueError("chunk_s must be positive")
+        done = 0.0
+        while done < duration_s:
+            step = min(chunk_s, duration_s - done)
+            yield self.advance(step, start_s if done == 0.0 else 0.0)
+            done += step
 
     @property
     def clock(self) -> float:

@@ -1,0 +1,34 @@
+"""repro.runtime — the execution substrate under the fleet closed loop.
+
+Three small pieces, layered so every fan-out site in the codebase draws from
+one budget of threads instead of spinning up throwaway executors:
+
+* :mod:`repro.runtime.pools` — :class:`WorkerPool`, a long-lived thread pool
+  with a bounded ``map_bounded`` fan-out, and :func:`shared_pool`, the
+  process-wide instance the supervisor, the diagnosis pipeline, and the CLI
+  all share;
+* :mod:`repro.runtime.scheduler` — :class:`Scheduler`, cooperative asyncio
+  orchestration (coordination on one loop, blocking work bridged onto the
+  pool via ``call`` with per-task cancellation/timeout) and
+  :class:`TaskQueue`, the bounded backpressure queue;
+* :mod:`repro.runtime.clock` — :class:`ClockVector`, per-environment
+  simulated-time tracking for a fleet whose members advance on independent
+  clocks.
+
+The module deliberately imports nothing from the rest of the package, so any
+layer (core, lab, stream, cli) can build on it without cycles.
+"""
+
+from .clock import ClockVector
+from .pools import WorkerPool, reset_shared_pool, shared_pool
+from .scheduler import Scheduler, TaskQueue, TaskTimeout
+
+__all__ = [
+    "WorkerPool",
+    "shared_pool",
+    "reset_shared_pool",
+    "Scheduler",
+    "TaskQueue",
+    "TaskTimeout",
+    "ClockVector",
+]

@@ -1,0 +1,107 @@
+"""Per-environment clock vectors for the barrier-free fleet runtime.
+
+Once environments advance on independent clocks, "how far has the fleet
+got?" stops being a single number.  A :class:`ClockVector` tracks each
+member's simulated progress, enforces monotonicity (a clock never moves
+backwards), and reduces to the two aggregates the supervisor needs:
+``min_clock`` — the duration the *whole* fleet is guaranteed to have covered
+(what ``resume()`` reports and ``--hours`` accounting uses) — and
+``max_clock``/``skew`` for observability.  Checkpoints persist the vector so
+a resumed fleet fast-forwards every environment to exactly where *it* was,
+not to a fleet-wide barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+__all__ = ["ClockVector"]
+
+
+class ClockVector:
+    """A monotonic map of member name → simulated seconds covered."""
+
+    def __init__(self, clocks: Mapping[str, float] | None = None) -> None:
+        self._clocks: dict[str, float] = {}
+        for name, value in (clocks or {}).items():
+            self.advance(name, value)
+
+    # -- updates ---------------------------------------------------------
+    def advance(self, name: str, to: float) -> float:
+        """Move one member's clock forward to ``to``; returns the new value.
+
+        Moving backwards raises — a regressing clock means two writers
+        disagree about an environment's timeline, which is exactly the bug
+        class the vector exists to surface.
+        """
+        if to < 0:
+            raise ValueError(f"clock for {name!r} cannot be negative ({to!r})")
+        current = self._clocks.get(name)
+        if current is not None and to < current:
+            raise ValueError(
+                f"clock for {name!r} cannot move backwards "
+                f"(at {current:g}, asked for {to:g})"
+            )
+        self._clocks[name] = float(to)
+        return self._clocks[name]
+
+    def merge(self, other: "ClockVector | Mapping[str, float]") -> "ClockVector":
+        """Element-wise maximum with ``other`` (in place); returns self."""
+        items = other._clocks if isinstance(other, ClockVector) else other
+        for name, value in items.items():
+            if value >= self._clocks.get(name, 0.0):
+                self._clocks[name] = float(value)
+        return self
+
+    def drop(self, name: str) -> None:
+        self._clocks.pop(name, None)
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def min_clock(self) -> float:
+        """Progress the whole fleet is guaranteed to have covered."""
+        return min(self._clocks.values(), default=0.0)
+
+    @property
+    def max_clock(self) -> float:
+        return max(self._clocks.values(), default=0.0)
+
+    @property
+    def skew(self) -> float:
+        """Spread between the fastest and slowest member."""
+        return self.max_clock - self.min_clock if self._clocks else 0.0
+
+    # -- mapping surface -------------------------------------------------
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._clocks.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._clocks[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._clocks
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._clocks)
+
+    def __len__(self) -> int:
+        return len(self._clocks)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ClockVector):
+            return self._clocks == other._clocks
+        if isinstance(other, Mapping):
+            return self._clocks == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._clocks.items()))
+        return f"ClockVector({body})"
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict[str, float]:
+        return dict(sorted(self._clocks.items()))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "ClockVector":
+        return cls(data)

@@ -1,0 +1,147 @@
+"""Shared, long-lived worker pools for the execution substrate.
+
+Before the runtime layer existed, every fan-out site (``FleetSupervisor.tick``,
+``DiagnosisPipeline.diagnose_many``, ``repro batch``) spun up a throwaway
+:class:`~concurrent.futures.ThreadPoolExecutor` per call — thread churn on
+the hot loop and no way to bound *total* concurrency across subsystems.
+:class:`WorkerPool` wraps one long-lived executor behind a small surface
+(``submit`` / ``map_bounded``), and :func:`shared_pool` hands every caller in
+the process the same instance, so the supervisor's advance phases and the
+pipeline's diagnosis waves draw from one budget of threads.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Any, Callable, Iterable, TypeVar
+
+__all__ = ["WorkerPool", "shared_pool", "reset_shared_pool"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _default_workers() -> int:
+    return min(32, (os.cpu_count() or 4) + 4)
+
+
+class WorkerPool:
+    """A long-lived thread pool with bounded fan-out helpers.
+
+    The pool is deliberately dumb: threads, not processes (the workloads are
+    numpy-heavy simulation steps and store scans that release the GIL often
+    enough), created once and reused for the lifetime of the owner.  The
+    interesting part is :meth:`map_bounded`, which keeps at most ``limit``
+    items in flight — the primitive both ``diagnose_many`` and the barriered
+    ``tick`` path use instead of constructing executors per call.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        thread_name_prefix: str = "repro-runtime",
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers or _default_workers()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix=thread_name_prefix
+        )
+        self._closed = False
+
+    # -- submission ------------------------------------------------------
+    def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any) -> "Future[R]":
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def map_bounded(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        limit: int | None = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every item with at most ``limit`` in flight.
+
+        Results come back in item order; the first exception propagates after
+        the in-flight work drains.  ``limit`` defaults to the pool width, and
+        is clamped to at least 1 so callers may pass a computed 0 (the empty-
+        fleet sizing bug this API replaces).
+        """
+        todo = list(items)
+        if not todo:
+            return []
+        limit = max(1, min(limit or self.max_workers, len(todo)))
+        results: list[Any] = [None] * len(todo)
+        stream = iter(enumerate(todo))
+        in_flight: dict[Future, int] = {
+            self.submit(fn, item): idx
+            for idx, item in itertools.islice(stream, limit)
+        }
+        error: BaseException | None = None
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            refill = 0
+            for future in done:
+                idx = in_flight.pop(future)
+                exc = future.exception()
+                if exc is not None:
+                    error = error or exc
+                else:
+                    results[idx] = future.result()
+                refill += 1
+            if error is None:
+                for idx, item in itertools.islice(stream, refill):
+                    in_flight[self.submit(fn, item)] = idx
+        if error is not None:
+            raise error
+        return results
+
+    # -- lifecycle -------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+_shared: WorkerPool | None = None
+_shared_lock = threading.Lock()
+
+
+def shared_pool() -> WorkerPool:
+    """The process-wide pool every runtime consumer shares.
+
+    Created lazily on first use and shut down at interpreter exit; the
+    supervisor, the diagnosis pipeline, and the CLI all fan out through this
+    single instance instead of constructing executors per call.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None or _shared.closed:
+            _shared = WorkerPool(thread_name_prefix="repro-shared")
+            atexit.register(_shared.shutdown, False)
+        return _shared
+
+
+def reset_shared_pool() -> None:
+    """Tear down the shared pool (tests); the next caller gets a fresh one."""
+    global _shared
+    with _shared_lock:
+        if _shared is not None:
+            _shared.shutdown(wait=False)
+            _shared = None

@@ -1,0 +1,203 @@
+"""Cooperative scheduler: asyncio orchestration over the shared worker pool.
+
+The runtime's execution model is two-tier.  **Coordination** (which
+environment advances next, folding detections into incidents, journalling,
+checkpoint snapshots) runs as plain coroutines on one event loop — single
+threaded, so per-environment bookkeeping needs no locks.  **Work** (simulation
+chunks, diagnosis pipelines, store scans) is blocking and CPU/IO-bound, so it
+is pushed onto the shared :class:`~repro.runtime.pools.WorkerPool` via
+:meth:`Scheduler.call`, which awaits the result without holding the loop.
+
+Thousands of cooperating tasks interleave on the loop while at most
+``pool.max_workers`` blocking jobs run at once.  :class:`TaskQueue` is the
+substrate's bounded-buffer backpressure primitive (``put`` suspends the
+producer once the queue is full) for consumers that pipeline work through
+handler stages; note the fleet supervisor caps its in-flight diagnosis
+waves with a plain ``asyncio.Semaphore`` instead — it needs each report
+back at the submitting task, not a fire-and-forget handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Coroutine
+
+from .pools import WorkerPool, shared_pool
+
+__all__ = ["Scheduler", "TaskQueue", "TaskTimeout"]
+
+
+class TaskTimeout(TimeoutError):
+    """A pool task exceeded its wall-clock budget.
+
+    The blocking callable may still be running on its worker thread (threads
+    cannot be preempted); the awaiting coroutine has moved on and the task's
+    result — whenever it lands — is discarded.
+    """
+
+
+class Scheduler:
+    """Drives coroutines on a private event loop backed by a worker pool.
+
+    One scheduler owns one :class:`asyncio` loop per :meth:`run` invocation
+    and borrows (by default) the process-shared worker pool, so concurrent
+    schedulers still draw from a single thread budget.  The API is small on
+    purpose: ``run`` is the sync entry point, ``call`` bridges blocking work
+    onto the pool, ``spawn``/``gather`` manage cooperating tasks.
+    """
+
+    def __init__(self, pool: WorkerPool | None = None) -> None:
+        self.pool = pool or shared_pool()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- sync entry point ------------------------------------------------
+    def run(self, main: Coroutine[Any, Any, Any]) -> Any:
+        """Run ``main`` to completion on a fresh event loop (sync caller).
+
+        Unfinished tasks spawned by ``main`` are cancelled and awaited before
+        the loop closes, so a raising workload cannot leak pending tasks into
+        the next run.
+        """
+        if self._loop is not None:
+            raise RuntimeError("scheduler is already running")
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            return loop.run_until_complete(self._supervise(main))
+        finally:
+            self._loop = None
+            try:
+                pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    async def _supervise(self, main: Coroutine[Any, Any, Any]) -> Any:
+        return await main
+
+    # -- bridging blocking work ------------------------------------------
+    async def call(
+        self,
+        fn: Callable[..., Any],
+        /,
+        *args: Any,
+        timeout: float | None = None,
+    ) -> Any:
+        """Run blocking ``fn(*args)`` on the pool; await its result.
+
+        Cancelling the awaiting coroutine cancels the pool task if it has not
+        started (a started thread runs to completion, its result discarded).
+        ``timeout`` bounds the wall-clock wait and raises :class:`TaskTimeout`.
+        """
+        future = self.pool.submit(fn, *args)
+        wrapped = asyncio.wrap_future(future)
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(wrapped, timeout)
+            return await wrapped
+        except asyncio.TimeoutError:
+            future.cancel()
+            raise TaskTimeout(
+                f"pool task {getattr(fn, '__name__', fn)!r} exceeded {timeout:g}s"
+            ) from None
+
+    # -- task management -------------------------------------------------
+    def spawn(
+        self, coro: Coroutine[Any, Any, Any], *, name: str | None = None
+    ) -> "asyncio.Task":
+        """Start a cooperating task on the running loop."""
+        return asyncio.get_running_loop().create_task(coro, name=name)
+
+    async def gather(self, *aws: Awaitable[Any]) -> list[Any]:
+        return list(await asyncio.gather(*aws))
+
+
+class TaskQueue:
+    """A bounded work queue with backpressure and N consumer workers.
+
+    Producers ``await put(item)`` — once ``maxsize`` items are buffered the
+    producer *suspends* until a consumer drains one, which is what keeps a
+    fast advance loop from piling up unbounded diagnosis work.  ``handler``
+    is an async callable invoked per item by ``workers`` consumer tasks.
+
+    Handler exceptions are captured (first one re-raised by :meth:`close`)
+    rather than killing the consumer, so one poisoned item cannot silently
+    stall every producer behind a dead queue.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Any], Awaitable[Any]],
+        *,
+        workers: int = 4,
+        maxsize: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.handler = handler
+        self.workers = workers
+        self.maxsize = maxsize
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        self._tasks: list[asyncio.Task] = []
+        self._errors: list[BaseException] = []
+        self._closed = False
+        self.processed = 0
+
+    def start(self) -> "TaskQueue":
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._consume(), name=f"taskqueue-{i}")
+            for i in range(self.workers)
+        ]
+        return self
+
+    async def _consume(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is _SENTINEL:
+                    return
+                await self.handler(item)
+                self.processed += 1
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 — recorded, re-raised on close
+                self._errors.append(exc)
+            finally:
+                self._queue.task_done()
+
+    async def put(self, item: Any) -> None:
+        """Enqueue one item; suspends (backpressure) while the queue is full."""
+        if self._closed:
+            raise RuntimeError("task queue is closed")
+        await self._queue.put(item)
+
+    async def join(self) -> None:
+        """Wait until every enqueued item has been handled."""
+        await self._queue.join()
+
+    async def close(self) -> None:
+        """Drain, stop the consumers, and re-raise the first handler error."""
+        self._closed = True
+        await self._queue.join()
+        for _ in self._tasks:
+            await self._queue.put(_SENTINEL)
+        await asyncio.gather(*self._tasks)
+        if self._errors:
+            raise self._errors[0]
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+
+#: Internal shutdown marker for TaskQueue consumers.
+_SENTINEL = object()

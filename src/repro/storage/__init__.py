@@ -10,7 +10,11 @@ events, and incident journals.  Two first-class implementations ship here:
 * :class:`JsonlBackend` — append-only JSONL segment files per keyspace with
   an in-memory index, replayed on open; crash-safe because segments are
   only ever appended to (torn tails from a mid-append crash are ignored on
-  replay and reclaimed by the next writer).
+  replay and reclaimed by the next writer);
+* :class:`SqliteBackend` — one sqlite database with a real
+  ``(keyspace, key, ts)`` index, so keyed and time-windowed scans are index
+  lookups instead of whole-segment reads
+  (``TelemetryStore.open(state_dir, backend="sqlite")``).
 
 On top sits :class:`TelemetryStore` (``TelemetryStore.open(state_dir)`` /
 ``TelemetryStore.in_memory()``), the facade that re-founds the four monitor
@@ -30,6 +34,7 @@ from .backend import (
     record,
 )
 from .jsonl import JsonlBackend
+from .sqlite import SqliteBackend
 from .serializers import (
     access_from_dict,
     access_to_dict,
@@ -58,6 +63,7 @@ __all__ = [
     "atomic_write_json",
     "MemoryBackend",
     "JsonlBackend",
+    "SqliteBackend",
     "TelemetryStore",
     "plan_to_dict",
     "plan_from_dict",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..monitor.collector import MonitoringStores
@@ -104,19 +105,33 @@ class TelemetryStore(MonitoringStores):
         cls,
         state_dir: str | os.PathLike,
         *,
+        backend: str = "jsonl",
         interval_s: float = 300.0,
         noise_sigma: float = 0.05,
         seed: int = 0,
         fsync: bool = False,
     ) -> "TelemetryStore":
-        """Open (or create) a durable JSONL-backed store under ``state_dir``.
+        """Open (or create) a durable store under ``state_dir``.
 
-        Existing segment files are replayed, so a reopened store returns the
+        ``backend`` selects the durable implementation: ``"jsonl"`` (the
+        default append-only segment files) or ``"sqlite"`` (one indexed
+        database file — keyed scans stop reading whole segments).  Existing
+        records are replayed either way, so a reopened store returns the
         exact same ``series()`` / ``runs()`` / ``events()`` / config diffs
         as the store that wrote them.
         """
+        if backend == "jsonl":
+            impl = JsonlBackend(state_dir, fsync=fsync)
+        elif backend == "sqlite":
+            from .sqlite import SqliteBackend
+
+            impl = SqliteBackend(Path(state_dir) / "telemetry.db", fsync=fsync)
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r} (expected 'jsonl' or 'sqlite')"
+            )
         return cls.with_backend(
-            JsonlBackend(state_dir, fsync=fsync),
+            impl,
             interval_s=interval_s,
             noise_sigma=noise_sigma,
             seed=seed,

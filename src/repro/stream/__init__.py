@@ -30,7 +30,7 @@ from .detectors import (
     default_detector_factory,
 )
 from .incidents import Incident, IncidentManager, IncidentState, IncidentStore, Severity
-from .supervisor import FleetSupervisor, WatchedEnvironment
+from .supervisor import FleetEvent, FleetSupervisor, WatchedEnvironment
 
 __all__ = [
     "Detection",
@@ -47,5 +47,6 @@ __all__ = [
     "IncidentStore",
     "Severity",
     "FleetSupervisor",
+    "FleetEvent",
     "WatchedEnvironment",
 ]

@@ -1,31 +1,46 @@
-"""Fleet supervisor: watch many environments, auto-diagnose incidents.
+"""Fleet supervisor: barrier-free supervision of many environments.
 
 This is the closed loop the offline workflow lacks.  A
-:class:`FleetSupervisor` owns a set of watched environments and advances the
-whole fleet in *chunks* of simulated time (a thread pool advances
-environments concurrently, the same fan-out semantics as
-``DiagnosisPipeline.diagnose_many``).  Each chunk:
+:class:`FleetSupervisor` owns a set of watched environments and advances
+each of them **on its own clock** over the shared execution substrate
+(:mod:`repro.runtime`): one cooperative task per environment interleaves on
+an asyncio scheduler, while simulation chunks and diagnosis pipelines run on
+the shared worker pool.  Per environment, each iteration:
 
-1. **advance** — every environment simulates ``chunk_s`` seconds; the
+1. **advance** — the environment simulates one chunk on a pool thread; the
    collector's streaming tap feeds every raw metric append and finished
    query run to the environment's detectors as it happens (no polling);
 2. **detect** — detections are folded into incidents with dedup + cooldown
    (:mod:`repro.stream.incidents`); the response-time SLO detector has
    already auto-marked runs, replacing the administrator's marking step;
-3. **diagnose** — every open incident whose environment has a diagnosable
-   query gets a ``DiagnosisBundle`` snapshot and a full pipeline run
-   (batched across the fleet via ``diagnose_many``); the ranked report is
-   attached to the incident, which resolves.
+3. **diagnose** — open incidents whose environment has a diagnosable query
+   get a ``DiagnosisBundle`` snapshot and a pipeline run *submitted* to the
+   runtime (``DiagnosisPipeline.submit_many``).  Only the affected
+   environment waits for its report; the rest of the fleet keeps advancing —
+   a slow diagnosis no longer barriers anyone else's next chunk.
+
+Checkpoint writes are off the hot loop: environment tasks stash a snapshot
+at each iteration boundary and set a dirty flag; a batched flusher task
+writes the (per-environment clock-vector) checkpoint at a wall-clock cadence
+and once more at quiesce.  Determinism is preserved per environment — the
+simulation, detection, and diagnosis of one environment form a single
+sequential program — so a killed-and-resumed run still reproduces the
+uninterrupted incident history byte-for-byte, and the barriered
+:meth:`FleetSupervisor.tick` compatibility path produces the same per-
+environment history as the barrier-free :meth:`FleetSupervisor.run`.
 
 No human is in the loop: faults open incidents, incidents carry ranked root
-causes, and ``repro watch`` renders the fleet table live.
+causes, and ``repro watch`` renders the fleet table live from the runtime's
+event stream.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -34,6 +49,7 @@ from ..core.evaluation import evaluate_report
 from ..core.pipeline import DiagnosisPipeline, DiagnosisRequest, default_pipeline
 from ..lab.environment import Environment
 from ..lab.scenarios import Scenario, ScenarioBundle, ScenarioInfo
+from ..runtime import ClockVector, Scheduler, WorkerPool, shared_pool
 from ..storage.backend import atomic_write_json
 from .detectors import (
     Detection,
@@ -43,10 +59,16 @@ from .detectors import (
 )
 from .incidents import Incident, IncidentManager, IncidentState, IncidentStore
 
-__all__ = ["WatchedEnvironment", "FleetSupervisor"]
+__all__ = ["WatchedEnvironment", "FleetSupervisor", "FleetEvent"]
 
 #: File name of the atomic resume checkpoint inside a state dir.
 CHECKPOINT_FILE = "checkpoint.json"
+
+#: A fleet event: plain dict with at least a ``type`` key; the stream the
+#: CLI's live table renders from.  Types: ``advanced``, ``incident_opened``,
+#: ``diagnosis_started``, ``incident_resolved``, ``env_done``, ``fleet_done``,
+#: ``checkpoint``.
+FleetEvent = dict
 
 
 @dataclass
@@ -60,6 +82,10 @@ class WatchedEnvironment:
     run_detector: ResponseTimeSloDetector
     manager: IncidentManager
     info: ScenarioInfo | None = None
+    #: Simulated seconds this environment has covered under supervision.
+    #: With per-environment clocks this is *this member's* progress, not the
+    #: fleet's — the supervisor's clock vector aggregates across members.
+    advanced_s: float = 0.0
     #: Detections accumulated by the taps during the current chunk; drained
     #: by the supervisor after the advance phase (taps run on the single
     #: thread advancing this environment, so no further locking is needed).
@@ -142,7 +168,20 @@ class WatchedEnvironment:
 
 
 class FleetSupervisor:
-    """Advance a fleet of environments and close the detect→diagnose loop."""
+    """Advance a fleet of environments and close the detect→diagnose loop.
+
+    Two execution paths share all detection/diagnosis semantics:
+
+    * :meth:`run` — the barrier-free path: one cooperative task per
+      environment on the :class:`~repro.runtime.Scheduler`, diagnosis waves
+      overlapping other members' advances, checkpoints batched off the hot
+      loop.  This is what ``repro watch`` drives.
+    * :meth:`tick` — the barriered compatibility path: the whole fleet
+      advances one chunk in lock-step, then diagnoses as a wave.  Kept for
+      incremental callers (and as the baseline the throughput benchmark
+      measures the runtime against); per-environment incident histories are
+      identical between the two paths.
+    """
 
     def __init__(
         self,
@@ -155,19 +194,32 @@ class FleetSupervisor:
         baseline_runs: int = 4,
         state_dir: str | os.PathLike | None = None,
         checkpoint_meta: dict | None = None,
+        max_inflight_diagnoses: int | None = None,
+        checkpoint_interval_s: float = 2.0,
+        pool: WorkerPool | None = None,
     ) -> None:
         if chunk_s <= 0:
             raise ValueError("chunk_s must be positive")
+        if max_inflight_diagnoses is not None and max_inflight_diagnoses < 1:
+            raise ValueError("max_inflight_diagnoses must be at least 1")
+        if checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive")
         self.pipeline = pipeline or default_pipeline()
         self.chunk_s = chunk_s
         self.max_workers = max_workers
         self.cooldown_s = cooldown_s
         self.slo_factor = slo_factor
         self.baseline_runs = baseline_runs
+        #: Cap on diagnosis pipelines in flight at once across the fleet
+        #: (None: bounded only by the worker pool).  ``repro watch
+        #: --max-inflight-diagnoses`` sets this.
+        self.max_inflight_diagnoses = max_inflight_diagnoses
+        #: Wall-clock cadence of the batched checkpoint flusher.
+        self.checkpoint_interval_s = checkpoint_interval_s
+        #: Worker pool for advances and diagnoses (default: process-shared).
+        self.pool = pool
         self.watched: dict[str, WatchedEnvironment] = {}
         self.ticks = 0
-        #: Cumulative simulated seconds the fleet has been advanced.
-        self.advanced_s = 0.0
         self.state_dir = Path(state_dir) if state_dir is not None else None
         #: Caller-supplied run parameters (scenario names, hours, seed...)
         #: stamped into every checkpoint; resume() refuses a checkpoint whose
@@ -179,6 +231,26 @@ class FleetSupervisor:
         self.incident_store: IncidentStore | None = (
             IncidentStore.open(self.state_dir) if self.state_dir is not None else None
         )
+        #: Latest per-environment snapshot, refreshed at iteration
+        #: boundaries; what the batched flusher persists.
+        self._env_snapshots: dict[str, dict] = {}
+        self._checkpoint_dirty = False
+        #: Graceful-stop flag: settable from any thread; environment tasks
+        #: finish their current iteration, a final checkpoint is written,
+        #: and :meth:`run` returns early (the run stays resumable).
+        self._stop_requested = threading.Event()
+
+    # -- sizing ----------------------------------------------------------
+    def _workers(self, fleet_size: int) -> int:
+        """Fan-out width for a fleet of ``fleet_size`` — never less than 1.
+
+        (The pre-runtime code computed ``max_workers or min(8, len(fleet))``,
+        which is 0 for an empty fleet and made ``ThreadPoolExecutor`` raise.)
+        """
+        return max(1, self.max_workers or min(8, fleet_size))
+
+    def _pool(self) -> WorkerPool:
+        return self.pool if self.pool is not None else shared_pool()
 
     # -- registration ----------------------------------------------------
     def watch(
@@ -221,120 +293,446 @@ class FleetSupervisor:
             info=scenario.info,
         )
 
-    # -- the loop --------------------------------------------------------
+    # -- fleet progress --------------------------------------------------
+    @property
+    def clocks(self) -> ClockVector:
+        """Per-environment simulated progress (the checkpoint clock vector)."""
+        return ClockVector({name: w.advanced_s for name, w in self.watched.items()})
+
+    @property
+    def advanced_s(self) -> float:
+        """Simulated seconds the *whole* fleet is guaranteed to have covered
+        (the minimum over per-environment clocks; computed directly — this
+        is read on the coordination hot path)."""
+        return min(
+            (w.advanced_s for w in self.watched.values()), default=0.0
+        )
+
+    # -- shared per-iteration semantics ----------------------------------
+    def _fold_detections(
+        self, watched: WatchedEnvironment, detections: list[Detection]
+    ) -> list[Incident]:
+        """Feed one chunk's detections to the manager; incidents opened."""
+        opened: list[Incident] = []
+        for detection in detections:
+            incident = watched.manager.observe(detection)
+            if incident is not None:
+                opened.append(incident)
+        return opened
+
+    def _begin_diagnosis_wave(
+        self, watched: WatchedEnvironment
+    ) -> tuple[list[Incident], DiagnosisRequest] | None:
+        """Open incidents → DIAGNOSING + a bundle-snapshot request, if due.
+
+        An environment whose watched query has both labels gets ONE bundle
+        snapshot and ONE pipeline run; every incident it opened shares that
+        report (several detection targets firing together would otherwise
+        pay for the six-module pipeline once each).  Incidents stay OPEN
+        until labelled runs exist on both sides.
+        """
+        open_incidents = watched.manager.open_incidents()
+        if not open_incidents or not watched.diagnosable():
+            return None
+        clock = watched.env.clock
+        for incident in open_incidents:
+            watched.manager.begin_diagnosis(incident, clock)
+        return open_incidents, DiagnosisRequest(watched.env.bundle(), watched.query_name)
+
+    def _resolve_wave(
+        self, watched: WatchedEnvironment, incidents: list[Incident], report
+    ) -> list[Incident]:
+        """Attach the report and resolve at the clock diagnosis began.
+
+        The resolve clock is the environment clock captured when the wave
+        was submitted — a deterministic simulated time, never wall time —
+        so overlapped execution cannot perturb the incident history.
+        """
+        clock = watched.env.clock
+        for incident in incidents:
+            watched.manager.resolve(incident, clock, report)
+        return incidents
+
+    # -- the barriered compatibility loop --------------------------------
     def tick(self, chunk_s: float | None = None) -> list[Incident]:
-        """Advance the fleet one chunk; returns incidents resolved this tick.
+        """Advance the fleet one chunk in lock-step; incidents resolved.
 
         ``chunk_s`` overrides the configured chunk for this tick only (used
-        to clamp the final chunk of a bounded run).
+        to clamp the final chunk of a bounded run).  This is the PR-2 era
+        barriered loop kept as the incremental/compatibility surface: every
+        environment advances the same chunk, then one fleet-wide diagnosis
+        wave runs to completion before the tick returns.  Prefer
+        :meth:`run` — the barrier-free path — for fleets where a slow
+        diagnosis must not stall other members.
         """
         if not self.watched:
             raise ValueError("no environments watched")
         chunk = chunk_s if chunk_s is not None else self.chunk_s
         fleet = list(self.watched.values())
-        workers = self.max_workers or min(8, len(fleet))
+        workers = self._workers(len(fleet))
 
-        # Phase 1 — advance all environments concurrently.  Each environment
-        # is touched by exactly one thread; detections buffer per-env.
+        # Phase 1 — advance all environments concurrently on the shared
+        # pool.  Each environment is touched by exactly one worker at a
+        # time; detections buffer per-env.
         if workers > 1 and len(fleet) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                batches = list(pool.map(lambda w: w.advance(chunk), fleet))
+            batches = self._pool().map_bounded(
+                lambda w: w.advance(chunk), fleet, limit=workers
+            )
         else:
             batches = [w.advance(chunk) for w in fleet]
 
         # Phase 2 — fold detections into incidents (dedup + cooldown).
         for watched, detections in zip(fleet, batches):
-            for detection in detections:
-                watched.manager.observe(detection)
+            watched.advanced_s += chunk
+            self._fold_detections(watched, detections)
 
-        # Phase 3 — auto-diagnose: an environment whose watched query now
-        # has both labels gets ONE bundle snapshot and ONE pipeline run per
-        # tick; every incident it opened shares that report (several
-        # detection targets firing together would otherwise pay for the
-        # six-module pipeline once each).  The wave is batched fleet-wide.
-        wave: list[tuple[WatchedEnvironment, list[Incident], DiagnosisRequest]] = []
+        # Phase 3 — fleet-wide diagnosis wave (the barrier this method is
+        # named for): submit every due environment's request as a batch and
+        # wait for all reports.
+        wave: list[tuple[WatchedEnvironment, list[Incident]]] = []
+        requests: list[DiagnosisRequest] = []
         for watched in fleet:
-            open_incidents = watched.manager.open_incidents()
-            if not open_incidents:
+            due = self._begin_diagnosis_wave(watched)
+            if due is None:
                 continue
-            if not watched.diagnosable():
-                continue  # stays OPEN until labelled runs exist on both sides
-            for incident in open_incidents:
-                watched.manager.begin_diagnosis(incident, watched.env.clock)
-            wave.append(
-                (
-                    watched,
-                    open_incidents,
-                    DiagnosisRequest(watched.env.bundle(), watched.query_name),
-                )
-            )
+            incidents, request = due
+            wave.append((watched, incidents))
+            requests.append(request)
         resolved: list[Incident] = []
         if wave:
             reports = self.pipeline.diagnose_many(
-                [req for _, _, req in wave], max_workers=workers
+                requests, max_workers=workers, pool=self._pool()
             )
-            for (watched, incidents, _), report in zip(wave, reports):
-                for incident in incidents:
-                    watched.manager.resolve(incident, watched.env.clock, report)
-                    resolved.append(incident)
+            for (watched, incidents), report in zip(wave, reports):
+                resolved.extend(self._resolve_wave(watched, incidents, report))
         self.ticks += 1
-        self.advanced_s += chunk
         self.checkpoint()
         return resolved
 
+    # -- the barrier-free loop -------------------------------------------
     def run(
         self,
         duration_s: float,
         on_tick: Callable[[list[Incident], float], None] | None = None,
+        *,
+        on_event: Callable[[FleetEvent], None] | None = None,
     ) -> list[Incident]:
-        """Advance the whole fleet for exactly ``duration_s``; all incidents.
+        """Advance every environment to ``advanced_s + duration_s``; all
+        incidents.
 
-        The final chunk is clamped, so a duration that is not a multiple of
-        ``chunk_s`` does not overshoot the scenario's designed end (the
-        environment clock can exceed the target by at most one tick).
-        ``on_tick(resolved, elapsed)`` is invoked after every chunk — the
-        hook ``repro watch`` renders its live table from.
+        Barrier-free: each watched environment runs on its own clock as a
+        cooperative task over the runtime scheduler.  Chunks are clamped so
+        a duration that is not a multiple of ``chunk_s`` does not overshoot
+        the scenario's designed end.  Environments resumed at uneven clocks
+        (a checkpoint written mid-overlap) each advance only what *they*
+        are missing.
+
+        ``on_event(event)`` receives the live fleet event stream (see
+        :data:`FleetEvent`) — what ``repro watch`` renders from.
+        ``on_tick(resolved, elapsed)`` is retained for pre-runtime callers:
+        it fires after every environment iteration with the incidents that
+        iteration resolved and the fleet's guaranteed covered duration for
+        this call (no longer a global tick boundary).
+
+        :meth:`stop` (any thread) ends the run early at the next iteration
+        boundaries; state stays checkpointed and resumable.
         """
-        elapsed = 0.0
-        while elapsed < duration_s:
-            step = min(self.chunk_s, duration_s - elapsed)
-            resolved = self.tick(step)
-            elapsed += step
-            if on_tick is not None:
-                on_tick(resolved, elapsed)
+        if not self.watched:
+            raise ValueError("no environments watched")
+        if duration_s <= 0:
+            return self.incidents()
+        fleet = list(self.watched.values())
+        target_s = self.advanced_s + duration_s
+        started_s = self.advanced_s
+        self._stop_requested.clear()
+        scheduler = Scheduler(pool=self._pool())
+        scheduler.run(
+            self._run_async(scheduler, fleet, target_s, started_s, on_tick, on_event)
+        )
         return self.incidents()
 
-    # -- persistence -----------------------------------------------------
-    def checkpoint(self) -> None:
-        """Freeze resumable state into ``state_dir`` (no-op without one).
+    def stop(self) -> None:
+        """Request a graceful early stop of :meth:`run` (thread-safe).
 
-        Written atomically (tmp + rename) after every tick, alongside the
-        incident journal the managers already appended to, so a kill at any
-        point leaves a consistent pair: a checkpoint as of the last complete
-        tick plus a journal holding at least those transitions.
+        Environment tasks finish their current iteration (including an
+        in-flight diagnosis), a final checkpoint is flushed, and ``run``
+        returns.  The supervisor remains consistent and resumable."""
+        self._stop_requested.set()
+
+    async def _run_async(
+        self,
+        scheduler: Scheduler,
+        fleet: list[WatchedEnvironment],
+        target_s: float,
+        started_s: float,
+        on_tick,
+        on_event,
+    ) -> None:
+        advance_gate = asyncio.Semaphore(self._workers(len(fleet)))
+        diagnosis_gate = (
+            asyncio.Semaphore(self.max_inflight_diagnoses)
+            if self.max_inflight_diagnoses is not None
+            else None
+        )
+        if self.state_dir is not None:
+            # Every checkpoint must cover the whole fleet, including members
+            # that have not completed an iteration yet this run.
+            for watched in fleet:
+                self._env_snapshots[watched.name] = self._snapshot_env(watched)
+        flusher = (
+            scheduler.spawn(
+                self._flush_loop(scheduler, on_event), name="checkpoint-flusher"
+            )
+            if self.state_dir is not None
+            else None
+        )
+        try:
+            tasks = [
+                scheduler.spawn(
+                    self._drive(
+                        scheduler,
+                        watched,
+                        target_s,
+                        started_s,
+                        advance_gate,
+                        diagnosis_gate,
+                        on_tick,
+                        on_event,
+                    ),
+                    name=f"drive-{watched.name}",
+                )
+                for watched in fleet
+            ]
+            # A failing environment must not leave siblings advancing on
+            # pool threads while we snapshot below: flag a stop so every
+            # task winds down at its next iteration boundary, then await
+            # them all — the fleet is guaranteed quiescent afterwards.
+            failures: list[BaseException] = []
+            for task in asyncio.as_completed(tasks):
+                try:
+                    await task
+                except Exception as exc:  # noqa: BLE001 — re-raised below
+                    self._stop_requested.set()
+                    failures.append(exc)
+            if failures:
+                raise failures[0]
+        finally:
+            if flusher is not None:
+                flusher.cancel()
+                await asyncio.gather(flusher, return_exceptions=True)
+            if self.state_dir is not None:
+                # Final write persists the stored iteration-BOUNDARY
+                # snapshots, never a fresh re-snapshot: after a failed or
+                # cancelled advance an environment's live detector state is
+                # mid-chunk (torn against its boundary clock), and resuming
+                # from it would double-count the re-simulated samples.  The
+                # boundary snapshots are consistent by construction.
+                self._checkpoint_dirty = False
+                self._write_checkpoint()
+        self._emit(
+            on_event,
+            {
+                "type": "fleet_done",
+                "advanced_s": self.advanced_s,
+                "skew_s": self.clocks.skew,
+                "incidents": len(self.incidents()),
+                "stopped": self._stop_requested.is_set(),
+            },
+        )
+
+    async def _drive(
+        self,
+        scheduler: Scheduler,
+        watched: WatchedEnvironment,
+        target_s: float,
+        started_s: float,
+        advance_gate: asyncio.Semaphore,
+        diagnosis_gate: asyncio.Semaphore | None,
+        on_tick,
+        on_event,
+    ) -> None:
+        """One environment's supervision loop: its own clock, no barrier."""
+        while (
+            watched.advanced_s < target_s - 1e-9
+            and not self._stop_requested.is_set()
+        ):
+            step = min(self.chunk_s, target_s - watched.advanced_s)
+            async with advance_gate:
+                detections = await scheduler.call(watched.advance, step)
+            watched.advanced_s += step
+            opened = self._fold_detections(watched, detections)
+            for incident in opened:
+                self._emit(
+                    on_event,
+                    {
+                        "type": "incident_opened",
+                        "env": watched.name,
+                        "incident_id": incident.incident_id,
+                        "severity": incident.severity.value,
+                        "opened_at": incident.opened_at,
+                    },
+                )
+            resolved: list[Incident] = []
+            due = self._begin_diagnosis_wave(watched)
+            if due is not None:
+                incidents, request = due
+                self._emit(
+                    on_event,
+                    {
+                        "type": "diagnosis_started",
+                        "env": watched.name,
+                        "incident_ids": [i.incident_id for i in incidents],
+                        "clock": watched.env.clock,
+                    },
+                )
+                report = await self._diagnose_async(
+                    scheduler, request, diagnosis_gate
+                )
+                resolved = self._resolve_wave(watched, incidents, report)
+                for incident in resolved:
+                    self._emit(
+                        on_event,
+                        {
+                            "type": "incident_resolved",
+                            "env": watched.name,
+                            "incident_id": incident.incident_id,
+                            "severity": incident.severity.value,
+                            "top_cause": incident.top_cause_id,
+                            "clock": watched.env.clock,
+                        },
+                    )
+            self.ticks += 1
+            if self.state_dir is not None:
+                self._env_snapshots[watched.name] = self._snapshot_env(watched)
+                self._checkpoint_dirty = True
+            fleet_floor = self.advanced_s  # one O(fleet) scan per iteration
+            self._emit(
+                on_event,
+                {
+                    "type": "advanced",
+                    "env": watched.name,
+                    "clock": watched.env.clock,
+                    "advanced_s": watched.advanced_s,
+                    "fleet_advanced_s": fleet_floor,
+                    "detections": len(detections),
+                    "resolved": len(resolved),
+                },
+            )
+            if on_tick is not None:
+                on_tick(resolved, fleet_floor - started_s)
+            # Yield even on quiet iterations so a large fleet interleaves
+            # fairly instead of one member monopolising the loop.
+            await asyncio.sleep(0)
+        self._emit(
+            on_event,
+            {"type": "env_done", "env": watched.name, "clock": watched.env.clock},
+        )
+
+    async def _diagnose_async(
+        self,
+        scheduler: Scheduler,
+        request: DiagnosisRequest,
+        diagnosis_gate: asyncio.Semaphore | None,
+    ):
+        """Submit one diagnosis to the runtime; await only this env's report."""
+        async with diagnosis_gate if diagnosis_gate is not None else nullcontext():
+            future = self.pipeline.submit_many([request], pool=scheduler.pool)[0]
+            return await asyncio.wrap_future(future)
+
+    @staticmethod
+    def _emit(on_event, event: FleetEvent) -> None:
+        if on_event is not None:
+            on_event(event)
+
+    # -- persistence -----------------------------------------------------
+    def _snapshot_env(self, watched: WatchedEnvironment) -> dict:
+        """Freeze one environment's resumable state (call at a quiesce
+        point: between that environment's iterations)."""
+        return {
+            "query_name": watched.query_name,
+            "clock": watched.env.clock,
+            "advanced_s": watched.advanced_s,
+            "bank": watched.bank.state_dict(),
+            "run_detector": watched.run_detector.state_dict(),
+            "manager": watched.manager.state_dict(),
+        }
+
+    def _write_checkpoint(self) -> None:
+        """Persist the latest snapshots (atomic tmp + rename).
+
+        The incident journal is flushed first, so a kill at any point leaves
+        a consistent pair: a checkpoint as of each environment's last
+        snapshotted iteration plus a journal holding at least those
+        transitions (duplicates from the resumed re-simulation fold
+        idempotently).
         """
         if self.state_dir is None:
             return
+        snapshots = dict(self._env_snapshots)
+        clocks = {name: snap["advanced_s"] for name, snap in snapshots.items()}
         state = {
-            "version": 1,
+            "version": 2,
             "meta": self.checkpoint_meta,
             "ticks": self.ticks,
             "chunk_s": self.chunk_s,
-            "advanced_s": self.advanced_s,
-            "environments": {
-                name: {
-                    "query_name": w.query_name,
-                    "clock": w.env.clock,
-                    "bank": w.bank.state_dict(),
-                    "run_detector": w.run_detector.state_dict(),
-                    "manager": w.manager.state_dict(),
-                }
-                for name, w in self.watched.items()
-            },
+            "advanced_s": min(clocks.values(), default=0.0),
+            "clocks": clocks,
+            "environments": snapshots,
         }
         if self.incident_store is not None:
             self.incident_store.flush()
         atomic_write_json(self.state_dir / CHECKPOINT_FILE, state)
+
+    async def _flush_loop(self, scheduler: Scheduler, on_event) -> None:
+        """The dirty-flag batched checkpoint flusher.
+
+        Wakes every ``checkpoint_interval_s`` wall seconds; writes only when
+        an iteration marked the state dirty, so the hot advance path never
+        pays for serialisation or I/O.  The write itself (serialising every
+        snapshot + the atomic file replace) is bridged onto the worker pool
+        — the coordination loop keeps dispatching environments while the
+        checkpoint lands.  Snapshots are safe to serialise off-thread:
+        iteration boundaries replace a member's entry wholesale and never
+        mutate a stored snapshot.  A transient write failure (disk full,
+        EACCES on the tmp file) must not kill periodic checkpointing for
+        the rest of a long watch: the state is re-marked dirty and the
+        write retries next interval, with the error surfaced on the event
+        stream.  No write on cancellation: the run's quiesce checkpoint
+        immediately follows."""
+        while True:
+            await asyncio.sleep(self.checkpoint_interval_s)
+            if self._checkpoint_dirty:
+                self._checkpoint_dirty = False
+                try:
+                    await scheduler.call(self._write_checkpoint)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — retried next wake
+                    self._checkpoint_dirty = True
+                    self._emit(
+                        on_event,
+                        {"type": "checkpoint_error", "error": str(exc)},
+                    )
+                else:
+                    self._emit(
+                        on_event,
+                        {"type": "checkpoint", "advanced_s": self.advanced_s},
+                    )
+
+    def checkpoint(self) -> None:
+        """Snapshot every environment now and write the checkpoint.
+
+        Safe whenever no environment is mid-advance: the barriered
+        :meth:`tick` calls it after each tick (PR-3 semantics preserved);
+        the barrier-free path batches writes through the flusher instead and
+        calls this once at quiesce.  No-op without a state dir.
+        """
+        if self.state_dir is None:
+            return
+        for watched in self.watched.values():
+            self._env_snapshots[watched.name] = self._snapshot_env(watched)
+        self._checkpoint_dirty = False
+        self._write_checkpoint()
 
     def has_checkpoint(self) -> bool:
         return (
@@ -344,16 +742,18 @@ class FleetSupervisor:
 
     def resume(self) -> float:
         """Resume from the state dir's checkpoint; returns simulated seconds
-        already covered.
+        the whole fleet is guaranteed to have covered.
 
         Call after registering the *same* fleet (names, scenarios, seeds)
         that produced the checkpoint.  Environments are deterministic, so
-        they are rebuilt by fast-forwarding the simulation to the
-        checkpointed duration — detectors stay attached (run labelling and
-        baselines evolve exactly as in the uninterrupted run) but the
-        detections drained during the fast-forward are discarded: the
-        checkpointed manager state already accounts for them.  Detector and
-        manager state are then restored from the checkpoint, after which
+        they are rebuilt by fast-forwarding the simulation — each to *its
+        own* checkpointed clock (version-2 checkpoints carry a per-
+        environment clock vector; a version-1 checkpoint's single duration
+        is treated as a uniform vector).  Detectors stay attached during the
+        fast-forward (run labelling and baselines evolve exactly as in the
+        uninterrupted run) but the detections drained along the way are
+        discarded: the checkpointed manager state already accounts for them.
+        Detector and manager state are then restored, after which
         :meth:`tick` / :meth:`run` continue as if the process never died.
         """
         if not self.has_checkpoint():
@@ -386,24 +786,34 @@ class FleetSupervisor:
                     f" but the checkpoint recorded {env_state['query_name']!r}"
                 )
 
-        advanced = state["advanced_s"]
+        # v1 checkpoints froze the fleet at one barrier; v2 carries the
+        # per-environment clock vector an overlapped run produces.
+        uniform = state["advanced_s"]
+        clocks = {
+            name: env_state.get("advanced_s", uniform)
+            for name, env_state in saved.items()
+        }
         fleet = list(self.watched.values())
-        if advanced > 0:
-            workers = self.max_workers or min(8, len(fleet))
-            if workers > 1 and len(fleet) > 1:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    list(pool.map(lambda w: w.advance(advanced), fleet))
-            else:
-                for w in fleet:
-                    w.advance(advanced)  # drains (discards) tap detections
+        workers = self._workers(len(fleet))
+
+        def fast_forward(watched: WatchedEnvironment) -> None:
+            cover = clocks[watched.name]
+            if cover > 0:
+                watched.advance(cover)  # drains (discards) tap detections
+
+        if workers > 1 and len(fleet) > 1:
+            self._pool().map_bounded(fast_forward, fleet, limit=workers)
+        else:
+            for watched in fleet:
+                fast_forward(watched)
         for name, env_state in saved.items():
             watched = self.watched[name]
             watched.bank.load_state(env_state["bank"])
             watched.run_detector.load_state(env_state["run_detector"])
             watched.manager.restore(env_state["manager"])
+            watched.advanced_s = clocks[name]
         self.ticks = state["ticks"]
-        self.advanced_s = advanced
-        return advanced
+        return self.advanced_s
 
     # -- reporting -------------------------------------------------------
     def incidents(self) -> list[Incident]:
@@ -421,6 +831,8 @@ class FleetSupervisor:
             "ticks": self.ticks,
             "chunk_s": self.chunk_s,
             "advanced_s": self.advanced_s,
+            "clocks": self.clocks.to_dict(),
+            "skew_s": self.clocks.skew,
             "fleet": self.status_rows(),
             "incidents": [i.to_dict() for i in self.incidents()],
         }

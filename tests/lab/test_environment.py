@@ -194,3 +194,41 @@ class TestAdvanceClock:
         env.run(3600.0)
         env.run(3600.0, start_s=3600.0)  # seed-style two-phase run
         assert env.clock == 7200.0
+
+    def test_advance_chunks_yields_at_boundaries_and_matches_one_shot(self):
+        """The cooperative generator: same timeline as a single advance,
+        control returned after every (clamped) chunk."""
+        chunked = self._env()
+        clocks = list(chunked.advance_chunks(3900.0, 1800.0))
+        assert clocks == [1800.0, 3600.0, 3900.0]  # final chunk clamped
+        one_shot = self._env()
+        one_shot.advance(3900.0)
+        runs_a = [(r.run_id, r.duration) for r in chunked.stores.runs.runs()]
+        runs_b = [(r.run_id, r.duration) for r in one_shot.stores.runs.runs()]
+        assert runs_a == runs_b and chunked.clock == one_shot.clock
+        with pytest.raises(ValueError):
+            list(self._env().advance_chunks(100.0, 0.0))
+
+    def test_advance_is_serialised_across_threads(self):
+        """Re-entrancy guard: concurrent advance() calls queue on the
+        per-environment lock instead of interleaving simulation ticks."""
+        import threading
+
+        env = self._env()
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    env.advance(600.0)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # 4 workers x 5 chunks x 600 s, every tick simulated exactly once
+        assert env.clock == 4 * 5 * 600.0

@@ -1,0 +1,236 @@
+"""Unit tests for the execution substrate: pools, scheduler, queues, clocks."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    ClockVector,
+    Scheduler,
+    TaskQueue,
+    TaskTimeout,
+    WorkerPool,
+    reset_shared_pool,
+    shared_pool,
+)
+
+
+class TestWorkerPool:
+    def test_submit_returns_future(self):
+        with WorkerPool(2) as pool:
+            assert pool.submit(lambda: 41 + 1).result() == 42
+
+    def test_map_bounded_preserves_order(self):
+        with WorkerPool(4) as pool:
+            out = pool.map_bounded(lambda x: x * x, range(20), limit=3)
+        assert out == [x * x for x in range(20)]
+
+    def test_map_bounded_limits_in_flight(self):
+        active = 0
+        peak = 0
+        lock = threading.Lock()
+
+        def job(_):
+            nonlocal active, peak
+            with lock:
+                active += 1
+                peak = max(peak, active)
+            time.sleep(0.01)
+            with lock:
+                active -= 1
+
+        with WorkerPool(8) as pool:
+            pool.map_bounded(job, range(24), limit=3)
+        assert peak <= 3
+
+    def test_map_bounded_empty_and_zero_limit(self):
+        """limit=0 (the empty-fleet sizing bug) clamps to 1, never raises."""
+        with WorkerPool(2) as pool:
+            assert pool.map_bounded(lambda x: x, [], limit=0) == []
+            assert pool.map_bounded(lambda x: x + 1, [1, 2], limit=0) == [2, 3]
+
+    def test_map_bounded_propagates_errors(self):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("x was 3")
+            return x
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="x was 3"):
+                pool.map_bounded(boom, range(6))
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_shared_pool_is_process_wide_and_resettable(self):
+        a = shared_pool()
+        assert shared_pool() is a
+        reset_shared_pool()
+        b = shared_pool()
+        assert b is not a and not b.closed
+
+
+class TestScheduler:
+    def test_run_returns_coroutine_result(self):
+        async def main():
+            return "done"
+
+        assert Scheduler().run(main()) == "done"
+
+    def test_call_bridges_blocking_work(self):
+        scheduler = Scheduler()
+
+        async def main():
+            return await scheduler.call(sum, [1, 2, 3])
+
+        assert scheduler.run(main()) == 6
+
+    def test_call_propagates_exception(self):
+        scheduler = Scheduler()
+
+        def boom():
+            raise KeyError("nope")
+
+        async def main():
+            await scheduler.call(boom)
+
+        with pytest.raises(KeyError):
+            scheduler.run(main())
+
+    def test_call_timeout_raises_task_timeout(self):
+        scheduler = Scheduler()
+
+        async def main():
+            await scheduler.call(time.sleep, 5.0, timeout=0.05)
+
+        start = time.perf_counter()
+        with pytest.raises(TaskTimeout):
+            scheduler.run(main())
+        assert time.perf_counter() - start < 2.0  # did not wait the 5 s out
+
+    def test_tasks_interleave_while_pool_work_runs(self):
+        """Coordination stays responsive while blocking work is in flight."""
+        scheduler = Scheduler()
+        ticks = []
+
+        async def ticker():
+            for i in range(5):
+                ticks.append(i)
+                await asyncio.sleep(0.005)
+
+        async def main():
+            t = scheduler.spawn(ticker())
+            await scheduler.call(time.sleep, 0.05)
+            await t
+
+        scheduler.run(main())
+        assert ticks == list(range(5))
+
+    def test_spawn_and_gather(self):
+        scheduler = Scheduler()
+
+        async def double(x):
+            await asyncio.sleep(0)
+            return x * 2
+
+        async def main():
+            return await scheduler.gather(*(double(i) for i in range(4)))
+
+        assert scheduler.run(main()) == [0, 2, 4, 6]
+
+
+class TestTaskQueue:
+    def test_backpressure_suspends_producer(self):
+        """put() must not buffer past maxsize: the producer waits for drain."""
+        scheduler = Scheduler()
+        in_queue_high_water = []
+
+        async def main():
+            gate = asyncio.Event()
+
+            async def handler(item):
+                await gate.wait()
+
+            queue = TaskQueue(handler, workers=1, maxsize=2).start()
+            # worker takes one item; two more fill the buffer
+            for i in range(3):
+                await queue.put(i)
+            producer = asyncio.get_running_loop().create_task(queue.put(99))
+            await asyncio.sleep(0.02)
+            assert not producer.done()  # suspended: queue is full
+            in_queue_high_water.append(len(queue))
+            gate.set()
+            await producer
+            await queue.close()
+            return queue.processed
+
+        assert scheduler.run(main()) == 4
+        assert in_queue_high_water == [2]
+
+    def test_handler_error_reraised_on_close(self):
+        scheduler = Scheduler()
+
+        async def main():
+            async def handler(item):
+                if item == "bad":
+                    raise ValueError("poisoned item")
+
+            queue = TaskQueue(handler, workers=2, maxsize=4).start()
+            await queue.put("ok")
+            await queue.put("bad")
+            await queue.put("ok")
+            with pytest.raises(ValueError, match="poisoned"):
+                await queue.close()
+            return queue.processed
+
+        assert scheduler.run(main()) == 2  # the two good items still ran
+
+    def test_invalid_sizes_rejected(self):
+        async def handler(item):
+            pass
+
+        with pytest.raises(ValueError):
+            TaskQueue(handler, workers=0)
+        with pytest.raises(ValueError):
+            TaskQueue(handler, maxsize=0)
+
+
+class TestClockVector:
+    def test_advance_and_aggregates(self):
+        clocks = ClockVector()
+        clocks.advance("a", 100.0)
+        clocks.advance("b", 250.0)
+        assert clocks.min_clock == 100.0
+        assert clocks.max_clock == 250.0
+        assert clocks.skew == 150.0
+        assert clocks["a"] == 100.0 and clocks.get("c") == 0.0
+
+    def test_monotonicity_enforced(self):
+        clocks = ClockVector({"a": 10.0})
+        clocks.advance("a", 10.0)  # staying put is fine
+        with pytest.raises(ValueError, match="backwards"):
+            clocks.advance("a", 5.0)
+        with pytest.raises(ValueError, match="negative"):
+            clocks.advance("b", -1.0)
+
+    def test_merge_is_elementwise_max(self):
+        clocks = ClockVector({"a": 10.0, "b": 20.0})
+        clocks.merge({"a": 15.0, "b": 5.0, "c": 7.0})
+        assert clocks == {"a": 15.0, "b": 20.0, "c": 7.0}
+
+    def test_round_trip_and_empty(self):
+        clocks = ClockVector({"b": 2.0, "a": 1.0})
+        assert ClockVector.from_dict(clocks.to_dict()) == clocks
+        empty = ClockVector()
+        assert empty.min_clock == 0.0 and empty.skew == 0.0
