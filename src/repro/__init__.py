@@ -85,6 +85,7 @@ from .stream import (
     Detection,
     DetectorBank,
     EwmaDriftDetector,
+    FleetEventLog,
     FleetSupervisor,
     Incident,
     IncidentManager,
@@ -95,6 +96,19 @@ from .stream import (
     ThresholdSloDetector,
     WatchedEnvironment,
 )
+from .correlate import (
+    CorrelationEngine,
+    FleetDiagnosis,
+    FleetIncident,
+    FleetIncidentState,
+    FleetIncidentStore,
+    SharedFabric,
+    SharedFabricBuilder,
+    diagnose_fleet_incident,
+    fabric_coincidental_independent_faults,
+    fabric_shared_pool_saturation,
+    fabric_shared_switch_degradation,
+)
 from .runtime import ClockVector, Scheduler, TaskQueue, WorkerPool, shared_pool
 from .storage import (
     JsonlBackend,
@@ -104,7 +118,7 @@ from .storage import (
     TelemetryStore,
 )
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "__version__",
@@ -148,8 +162,20 @@ __all__ = [
     "IncidentState",
     "IncidentStore",
     "Severity",
+    "FleetEventLog",
     "FleetSupervisor",
     "WatchedEnvironment",
+    "CorrelationEngine",
+    "FleetDiagnosis",
+    "FleetIncident",
+    "FleetIncidentState",
+    "FleetIncidentStore",
+    "SharedFabric",
+    "SharedFabricBuilder",
+    "diagnose_fleet_incident",
+    "fabric_shared_pool_saturation",
+    "fabric_shared_switch_degradation",
+    "fabric_coincidental_independent_faults",
     "StorageBackend",
     "MemoryBackend",
     "JsonlBackend",

@@ -10,7 +10,9 @@ Usage (``repro`` console script, or module form)::
     python -m repro.cli watch --hours 8
     python -m repro.cli watch flapping-san-misconfiguration --json
     python -m repro.cli watch --hours 8 --state-dir ./state   # durable + resumable
+    python -m repro.cli watch shared-pool-saturation --hours 8 --state-dir ./state
     python -m repro.cli incidents --state-dir ./state
+    python -m repro.cli correlate --state-dir ./state
 
 ``run`` simulates one scenario, diagnoses it, and prints the report (plus the
 Figure-3/6/7 screens with ``--screens``).  ``sweep`` evaluates every Table-1
@@ -28,6 +30,14 @@ final state with ``--json``).  With
 ``--state-dir`` the incident history and detector state are journalled
 durably and a killed run resumes from its last checkpoint; ``incidents``
 queries that history afterwards — across any number of restarts.
+
+Naming a *fleet scenario* (``shared-pool-saturation``,
+``shared-switch-degradation``, ``coincidental-independent-faults``) expands
+it into its member environments and enables the cross-environment
+correlator: correlated incident opens across environments sharing a SAN
+component merge into one fleet incident with a shared-root-cause drill-down
+report (``repro.correlate``); ``correlate`` queries the durable
+fleet-incident history of a state dir.
 """
 
 from __future__ import annotations
@@ -42,6 +52,13 @@ from .core.evaluation import evaluate_bundle
 from .core.pipeline import DiagnosisRequest, default_pipeline, diagnosable_queries
 from .core.report import render_apg_browser, render_apg_overview, render_query_table
 from .core.serialize import report_to_dict
+from .correlate import (
+    CorrelationEngine,
+    FleetIncidentStore,
+    fabric_coincidental_independent_faults,
+    fabric_shared_pool_saturation,
+    fabric_shared_switch_degradation,
+)
 from .lab import (
     all_table1_scenarios,
     scenario_buffer_pool,
@@ -49,11 +66,13 @@ from .lab import (
     scenario_cpu_saturation,
     scenario_data_property_change,
     scenario_flapping_san_misconfiguration,
+    scenario_healthy,
     scenario_lock_contention,
     scenario_plan_regression,
     scenario_raid_rebuild,
     scenario_san_misconfiguration,
     scenario_staggered_dual_faults,
+    scenario_switch_degradation,
     scenario_two_external_workloads,
 )
 from .stream import FleetSupervisor
@@ -73,6 +92,17 @@ SCENARIOS = {
     "raid-rebuild": scenario_raid_rebuild,
     "flapping-san-misconfiguration": scenario_flapping_san_misconfiguration,
     "staggered-dual-faults": scenario_staggered_dual_faults,
+    "healthy-baseline": scenario_healthy,
+    "switch-degradation": scenario_switch_degradation,
+}
+
+#: Fleet scenarios: shared fabrics of many environments.  Naming one in
+#: ``repro watch`` expands it into its member environments and enables the
+#: cross-environment correlator automatically.
+FLEET_SCENARIOS = {
+    "shared-pool-saturation": fabric_shared_pool_saturation,
+    "shared-switch-degradation": fabric_shared_switch_degradation,
+    "coincidental-independent-faults": fabric_coincidental_independent_faults,
 }
 
 
@@ -127,7 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="scenario",
         help=(
             "scenario names to watch (default: a four-environment fleet "
-            "including a flapping fault)"
+            "including a flapping fault); fleet-scenario names "
+            f"({', '.join(sorted(FLEET_SCENARIOS))}) expand into their member "
+            "environments and enable the cross-environment correlator"
         ),
     )
     watch.add_argument("--hours", type=float, default=8.0, help="simulated hours")
@@ -164,6 +196,49 @@ def build_parser() -> argparse.ArgumentParser:
             "where it was killed (--hours is the total simulated duration)"
         ),
     )
+    watch.add_argument(
+        "--correlation-window-minutes", type=float, default=60.0, metavar="M",
+        help=(
+            "co-occurrence window of the cross-environment correlator "
+            "(fleet scenarios only)"
+        ),
+    )
+    watch.add_argument(
+        "--min-members", type=int, default=3, metavar="K",
+        help="minimum co-firing environments before incidents merge into a "
+        "fleet incident",
+    )
+    watch.add_argument(
+        "--max-skew-minutes", type=float, default=None, metavar="M",
+        help=(
+            "bound the fleet clock skew: a member never runs more than this "
+            "far ahead of the slowest member (caps fleet-incident emit "
+            "latency; must be at least one chunk)"
+        ),
+    )
+
+    correlate = sub.add_parser(
+        "correlate",
+        help="query the durable fleet-incident history of a state dir",
+    )
+    correlate.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="state dir a fleet-scenario `repro watch --state-dir DIR` wrote",
+    )
+    correlate.add_argument(
+        "--component", default=None, help="only fleet incidents of this shared component"
+    )
+    correlate.add_argument(
+        "--status", default=None, choices=["open", "resolved"],
+        help="only fleet incidents currently in this state",
+    )
+    correlate.add_argument(
+        "--since-hours", type=float, default=None,
+        help="only fleet incidents opened at or after this simulated hour",
+    )
+    correlate.add_argument(
+        "--json", action="store_true", help="emit the tickets as a JSON array"
+    )
 
     incidents = sub.add_parser(
         "incidents", help="query the durable incident history of a state dir"
@@ -192,6 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_list() -> int:
     for name in sorted(SCENARIOS):
         print(name)
+    for name in sorted(FLEET_SCENARIOS):
+        print(f"{name}  [fleet]")
     return 0
 
 
@@ -212,7 +289,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         leaf = apg.plan.leaves()[0].op_id
         print()
         print(render_apg_browser(apg, leaf))
-    report = Diads.from_bundle(bundle).diagnose(bundle.query_name)
+    try:
+        report = Diads.from_bundle(bundle).diagnose(bundle.query_name)
+    except ValueError as exc:
+        # e.g. healthy-baseline: nothing degraded, nothing to diagnose
+        print(f"nothing to diagnose: {exc}", file=sys.stderr)
+        return 1
     print()
     print(report.render())
     top = report.top_cause
@@ -308,7 +390,9 @@ DEFAULT_WATCH_FLEET = (
 
 def cmd_watch(args: argparse.Namespace) -> int:
     names = args.scenarios or list(DEFAULT_WATCH_FLEET)
-    unknown = [n for n in names if n not in SCENARIOS]
+    unknown = [
+        n for n in names if n not in SCENARIOS and n not in FLEET_SCENARIOS
+    ]
     if unknown:
         print(f"unknown scenarios: {', '.join(unknown)}", file=sys.stderr)
         return 2
@@ -317,21 +401,86 @@ def cmd_watch(args: argparse.Namespace) -> int:
         print(f"duplicate scenarios: {', '.join(duplicates)}", file=sys.stderr)
         return 2
 
-    supervisor = FleetSupervisor(
-        chunk_s=args.chunk_minutes * 60.0,
-        max_workers=args.max_workers,
-        cooldown_s=args.cooldown_minutes * 60.0,
-        state_dir=args.state_dir,
-        max_inflight_diagnoses=args.max_inflight_diagnoses,
-        checkpoint_meta={
-            "scenarios": list(names),
-            "hours": args.hours,
-            "seed": args.seed,
-            "chunk_minutes": args.chunk_minutes,
-            "cooldown_minutes": args.cooldown_minutes,
-        },
-    )
+    # Fleet scenarios expand into their member environments and enable the
+    # cross-environment correlator, keyed by the merged membership map.
+    fabrics = []
     for name in names:
+        if name in FLEET_SCENARIOS:
+            kwargs = {"hours": args.hours}
+            if args.seed is not None:
+                kwargs["seed"] = args.seed
+            fabrics.append(FLEET_SCENARIOS[name](**kwargs))
+    correlator = None
+    if fabrics:
+        # Same-named components in different fleet scenarios are DIFFERENT
+        # physical components (each fabric is its own set of simulators);
+        # merging them would correlate unrelated environments.
+        membership: dict[str, tuple[str, ...]] = {}
+        for fabric in fabrics:
+            for component, members in fabric.membership().items():
+                if component in membership:
+                    print(
+                        f"fleet scenarios conflict: shared component "
+                        f"{component!r} is declared by more than one fleet "
+                        "scenario (same-named components in different "
+                        "fabrics are physically distinct) — watch them in "
+                        "separate runs / state dirs",
+                        file=sys.stderr,
+                    )
+                    return 2
+                membership[component] = tuple(members)
+        try:
+            correlator = CorrelationEngine(
+                membership,
+                window_s=args.correlation_window_minutes * 60.0,
+                min_members=args.min_members,
+                store=(
+                    FleetIncidentStore.open(args.state_dir)
+                    if args.state_dir is not None
+                    else None
+                ),
+            )
+        except ValueError as exc:
+            print(f"invalid correlation configuration: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        supervisor = FleetSupervisor(
+            chunk_s=args.chunk_minutes * 60.0,
+            max_workers=args.max_workers,
+            cooldown_s=args.cooldown_minutes * 60.0,
+            state_dir=args.state_dir,
+            max_inflight_diagnoses=args.max_inflight_diagnoses,
+            correlator=correlator,
+            max_skew_s=(
+                args.max_skew_minutes * 60.0
+                if args.max_skew_minutes is not None
+                else None
+            ),
+            checkpoint_meta={
+                "scenarios": list(names),
+                "hours": args.hours,
+                "seed": args.seed,
+                "chunk_minutes": args.chunk_minutes,
+                "cooldown_minutes": args.cooldown_minutes,
+                **(
+                    {
+                        "correlation_window_minutes": args.correlation_window_minutes,
+                        "min_members": args.min_members,
+                    }
+                    if correlator is not None
+                    else {}
+                ),
+            },
+        )
+    except ValueError as exc:
+        print(f"invalid watch configuration: {exc}", file=sys.stderr)
+        return 2
+    for fabric in fabrics:
+        fabric.watch_all(supervisor)
+    for name in names:
+        if name in FLEET_SCENARIOS:
+            continue
         kwargs = {"hours": args.hours}
         if args.seed is not None:
             kwargs["seed"] = args.seed
@@ -416,10 +565,16 @@ def cmd_watch(args: argparse.Namespace) -> int:
         if not sys.stdout.isatty():
             print()
             print(supervisor.render_table())
-        print(
+        summary = (
             f"\n{len(supervisor.incidents())} incident(s), {len(diagnosed)} "
             f"diagnosed across {len(supervisor.watched)} environment(s)"
         )
+        if correlator is not None:
+            summary += (
+                f"; {len(correlator.fleet_incidents())} fleet incident(s) "
+                "correlated"
+            )
+        print(summary)
     return 0 if diagnosed else 1
 
 
@@ -462,6 +617,45 @@ def cmd_incidents(args: argparse.Namespace) -> int:
         store.close()
 
 
+def cmd_correlate(args: argparse.Namespace) -> int:
+    import os
+
+    if not os.path.isdir(args.state_dir):
+        print(f"no state dir at {args.state_dir}", file=sys.stderr)
+        return 2
+    store = FleetIncidentStore.open(args.state_dir)
+    try:
+        since = args.since_hours * 3600.0 if args.since_hours is not None else None
+        tickets = store.history(
+            component=args.component, state=args.status, since=since
+        )
+        if args.json:
+            print(json.dumps(tickets, indent=2))
+            return 0
+        if not tickets:
+            print("no fleet incidents recorded")
+            return 0
+        header = (
+            f"{'fleet incident':<24} {'component':<12} {'opened(h)':>9} "
+            f"{'state':<9} {'conf':>5} {'members':>7} top cause"
+        )
+        print(header)
+        print("-" * len(header))
+        from .correlate import ticket_top_cause
+
+        for ticket in tickets:
+            print(
+                f"{ticket['fleet_id']:<24} {ticket['component_id']:<12} "
+                f"{ticket['opened_at'] / 3600.0:>9.1f} {ticket['state']:<9} "
+                f"{ticket['confidence']:>5.2f} {len(ticket['members']):>7} "
+                f"{ticket_top_cause(ticket) or '-'}"
+            )
+        print(f"\n{len(tickets)} fleet incident(s)")
+        return 0
+    finally:
+        store.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -476,6 +670,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_watch(args)
     if args.command == "incidents":
         return cmd_incidents(args)
+    if args.command == "correlate":
+        return cmd_correlate(args)
     return 2  # pragma: no cover
 
 

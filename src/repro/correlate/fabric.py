@@ -1,0 +1,409 @@
+"""Shared fabrics: fleets of environments over common SAN infrastructure.
+
+The paper's testbed "is part of a production SAN environment, with the
+interconnecting fabric and storage controllers being shared by other
+applications".  A :class:`SharedFabric` makes that sharing a first-class,
+fleet-level object: it builds multiple :class:`~repro.lab.Environment`\\ s
+whose testbeds reference common SAN components (same pool, same switch, same
+host), and a fault injected **on a shared component propagates to every
+attached environment** — which is exactly the co-occurrence signature the
+correlation engine groups on.
+
+Each member environment remains its own deterministic simulation (per-member
+seed, clock, detectors); what is shared is *identity*: the fabric declares
+which component ids name the same physical pool/switch across members, and
+shared-fault injection replays the component's fault into every attached
+member's simulator.  The membership map (:meth:`SharedFabric.membership`)
+is what a :class:`~repro.correlate.CorrelationEngine` keys its candidate
+groups by, and what the drill-down ranks against.
+
+Three canonical fleet scenarios ship here:
+
+* :func:`fabric_shared_pool_saturation` — a misconfigured volume lands on a
+  pool shared by 6 of 8 members; one :class:`FleetIncident` with the pool as
+  top-ranked cause is the correct outcome;
+* :func:`fabric_shared_switch_degradation` — the core fabric switch degrades
+  under every member at once; no per-member symptoms database entry exists,
+  so only the fleet-level view names the switch;
+* :func:`fabric_coincidental_independent_faults` — the control: members
+  share infrastructure but suffer *independent*, well-separated faults, and
+  the engine must merge **nothing**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
+
+from ..lab.faults import FaultInjector
+from ..lab.scenarios import Scenario, scenario_healthy
+from .engine import CorrelationEngine, FleetIncidentStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..stream.supervisor import FleetSupervisor, WatchedEnvironment
+
+__all__ = [
+    "SharedComponentSpec",
+    "SharedFault",
+    "SharedFabric",
+    "SharedFabricBuilder",
+    "fabric_shared_pool_saturation",
+    "fabric_shared_switch_degradation",
+    "fabric_coincidental_independent_faults",
+]
+
+#: A shared-fault application: called as ``apply(injector, at)`` against each
+#: attached member's fault injector.
+FaultApply = Callable[[FaultInjector, float], None]
+
+
+@dataclass(frozen=True)
+class SharedComponentSpec:
+    """One physically-shared SAN component and the members attached to it."""
+
+    component_id: str
+    kind: str  # "pool" | "switch" | "host" | "subsystem"
+    members: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SharedFault:
+    """A fault on a shared component, replayed into every attached member."""
+
+    component_id: str
+    at: float
+    apply: FaultApply
+    ground_truth: tuple[str, ...] = ()
+    description: str = ""
+
+
+@dataclass
+class SharedFabric:
+    """A built fleet: member scenarios + the shared-component map."""
+
+    name: str
+    description: str
+    members: dict[str, Scenario]
+    shared: dict[str, SharedComponentSpec]
+    faults: tuple[SharedFault, ...] = ()
+
+    def membership(self) -> dict[str, tuple[str, ...]]:
+        """Shared component id → attached member names (the engine's key)."""
+        return {cid: spec.members for cid, spec in self.shared.items()}
+
+    def attached(self, component_id: str) -> tuple[str, ...]:
+        return self.shared[component_id].members
+
+    def components_of(self, member: str) -> tuple[str, ...]:
+        return tuple(
+            cid for cid, spec in sorted(self.shared.items()) if member in spec.members
+        )
+
+    def watch_all(self, supervisor: "FleetSupervisor") -> "list[WatchedEnvironment]":
+        """Put every member under supervision (names are member names)."""
+        return [
+            supervisor.watch_scenario(scenario, name=name)
+            for name, scenario in self.members.items()
+        ]
+
+    def correlator(
+        self,
+        *,
+        window_s: float = 3600.0,
+        min_members: int = 3,
+        min_confidence: float = 0.3,
+        store: FleetIncidentStore | None = None,
+        state_dir=None,
+    ) -> CorrelationEngine:
+        """A correlation engine keyed by this fabric's membership."""
+        if store is None and state_dir is not None:
+            store = FleetIncidentStore.open(state_dir)
+        return CorrelationEngine(
+            self.membership(),
+            window_s=window_s,
+            min_members=min_members,
+            min_confidence=min_confidence,
+            store=store,
+        )
+
+
+class SharedFabricBuilder:
+    """Assemble a :class:`SharedFabric`: members, shared components, faults.
+
+    ::
+
+        b = SharedFabricBuilder("shared-pool-saturation")
+        for i in range(8):
+            b.member(f"env-{i}", scenario_healthy(hours=8.0, seed=100 + i))
+        b.share("P1", "pool", *[f"env-{i}" for i in range(6)])
+        b.inject(
+            "P1",
+            at=4 * 3600.0,
+            apply=lambda inj, t: inj.san_misconfiguration(at=t, pool_id="P1"),
+            ground_truth=("volume-contention-san-misconfig",),
+        )
+        fabric = b.build()
+
+    ``build()`` wraps each attached member's scenario so its environment
+    receives every shared fault of the components it is attached to, and
+    patches the member's :class:`~repro.lab.ScenarioInfo` (ground truth +
+    fault time) so fleet-table verification still works per member.
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._members: dict[str, Scenario] = {}
+        self._shared: dict[str, SharedComponentSpec] = {}
+        self._faults: list[SharedFault] = []
+
+    def member(self, name: str, scenario: Scenario) -> "SharedFabricBuilder":
+        if name in self._members:
+            raise ValueError(f"member {name!r} already added")
+        self._members[name] = scenario
+        return self
+
+    def share(
+        self, component_id: str, kind: str, *members: str
+    ) -> "SharedFabricBuilder":
+        unknown = sorted(set(members) - set(self._members))
+        if unknown:
+            raise ValueError(f"share({component_id!r}) names unknown members {unknown}")
+        if not members:
+            raise ValueError(f"share({component_id!r}) needs at least one member")
+        self._shared[component_id] = SharedComponentSpec(
+            component_id=component_id, kind=kind, members=tuple(members)
+        )
+        return self
+
+    def inject(
+        self,
+        component_id: str,
+        at: float,
+        apply: FaultApply,
+        *,
+        ground_truth: tuple[str, ...] = (),
+        description: str = "",
+    ) -> "SharedFabricBuilder":
+        if component_id not in self._shared:
+            raise ValueError(
+                f"inject({component_id!r}) targets a component never share()d"
+            )
+        self._faults.append(
+            SharedFault(
+                component_id=component_id,
+                at=at,
+                apply=apply,
+                ground_truth=ground_truth,
+                description=description,
+            )
+        )
+        return self
+
+    def build(self) -> SharedFabric:
+        members: dict[str, Scenario] = {}
+        for name, scenario in self._members.items():
+            faults = tuple(
+                fault
+                for fault in self._faults
+                if name in self._shared[fault.component_id].members
+            )
+            members[name] = self._wrap(name, scenario, faults)
+        return SharedFabric(
+            name=self.name,
+            description=self.description,
+            members=members,
+            shared=dict(self._shared),
+            faults=tuple(self._faults),
+        )
+
+    @staticmethod
+    def _wrap(
+        name: str, scenario: Scenario, faults: tuple[SharedFault, ...]
+    ) -> Scenario:
+        if not faults:
+            return replace(scenario, info=replace(scenario.info, name=name))
+        base_build = scenario.build
+
+        def build():
+            env = base_build()
+            injector = FaultInjector(env)
+            for fault in faults:
+                fault.apply(injector, fault.at)
+            return env
+
+        ground_truth = tuple(
+            dict.fromkeys(
+                scenario.info.ground_truth
+                + tuple(c for fault in faults for c in fault.ground_truth)
+            )
+        )
+        fault_time = min(
+            [scenario.info.fault_time] + [fault.at for fault in faults]
+        )
+        return replace(
+            scenario,
+            build=build,
+            info=replace(
+                scenario.info,
+                name=name,
+                ground_truth=ground_truth,
+                fault_time=fault_time,
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Canonical fleet scenarios
+# ---------------------------------------------------------------------------
+def fabric_shared_pool_saturation(
+    hours: float = 8.0,
+    seed: int = 101,
+    n_envs: int = 8,
+    attached: int = 6,
+    write_iops: float = 300.0,
+) -> SharedFabric:
+    """A misconfigured volume lands on a pool shared by ``attached`` of
+    ``n_envs`` members; the whole attached cohort degrades together.
+
+    The correct fleet outcome: **one** fleet incident grouping all affected
+    members, with the shared pool as the top-ranked cause — not
+    ``attached`` independent tickets.  The core switch is also declared
+    shared (by everyone), so the drill-down has to out-rank it: two
+    attached-but-healthy members are evidence against the switch.
+    """
+    if not 2 <= attached <= n_envs:
+        raise ValueError("attached must be in [2, n_envs]")
+    fault_t = hours * 3600.0 / 2.0
+    names = [f"pool-env-{i:02d}" for i in range(n_envs)]
+    builder = SharedFabricBuilder(
+        "shared-pool-saturation",
+        description=(
+            f"misconfigured volume V' lands on pool P1 shared by {attached} of "
+            f"{n_envs} environments"
+        ),
+    )
+    for i, name in enumerate(names):
+        builder.member(name, scenario_healthy(hours=hours, seed=seed + i))
+    builder.share("P1", "pool", *names[:attached])
+    builder.share("fcsw-core", "switch", *names)
+    builder.inject(
+        "P1",
+        at=fault_t,
+        apply=lambda injector, t: injector.san_misconfiguration(
+            at=t, pool_id="P1", write_iops=write_iops, read_iops=60.0
+        ),
+        ground_truth=("volume-contention-san-misconfig",),
+        description="misconfigured volume V' created on the shared pool",
+    )
+    return builder.build()
+
+
+def fabric_shared_switch_degradation(
+    hours: float = 8.0,
+    seed: int = 211,
+    n_envs: int = 6,
+    extra_latency_ms: float = 3.0,
+) -> SharedFabric:
+    """The core fabric switch degrades under every member at once.
+
+    No member has a symptoms-database entry for a switch problem — the
+    per-member pipeline comes back empty-handed.  Only the fleet view can
+    name the cause: every attached member slows simultaneously, and the
+    switch's error frames co-move with every member's run durations.  Pool
+    P2 is declared shared too (it is on some operators' paths but its
+    metrics never move), so the ranking has to earn the switch's top spot.
+    """
+    fault_t = hours * 3600.0 / 2.0
+    names = [f"switch-env-{i:02d}" for i in range(n_envs)]
+    builder = SharedFabricBuilder(
+        "shared-switch-degradation",
+        description=(
+            f"core switch fcsw-core degrades; all {n_envs} environments pay "
+            "the extra fabric transit latency"
+        ),
+    )
+    for i, name in enumerate(names):
+        builder.member(name, scenario_healthy(hours=hours, seed=seed + i))
+    builder.share("fcsw-core", "switch", *names)
+    builder.share("P2", "pool", *names)
+    builder.inject(
+        "fcsw-core",
+        at=fault_t,
+        apply=lambda injector, t: injector.switch_degradation(
+            at=t, switch_id="fcsw-core", extra_latency_ms=extra_latency_ms
+        ),
+        description="congestion/CRC storm on the shared core switch",
+    )
+    return builder.build()
+
+
+def fabric_coincidental_independent_faults(
+    hours: float = 10.0, seed: int = 307, n_envs: int = 4
+) -> SharedFabric:
+    """The control: shared infrastructure, *independent* staggered faults.
+
+    Members share a pool and the switch, but their faults are local (a lock
+    escalation, a data-property change, a CPU hog) and separated by far more
+    than any correlation window.  Each opens its own incident at its own
+    time; the engine must merge **zero** groups — co-location alone is not
+    correlation.
+    """
+    if n_envs < 4:
+        raise ValueError("the control fabric needs at least 4 members")
+    end_t = hours * 3600.0
+    names = [f"coincidental-env-{i:02d}" for i in range(n_envs)]
+    builder = SharedFabricBuilder(
+        "coincidental-independent-faults",
+        description=(
+            "independent staggered local faults on environments sharing a "
+            "pool and switch; nothing may be merged"
+        ),
+    )
+
+    def local(scenario: Scenario, at: float, apply: FaultApply, *gt: str) -> Scenario:
+        base_build = scenario.build
+
+        def build():
+            env = base_build()
+            apply(FaultInjector(env), at)
+            return env
+
+        return replace(
+            scenario,
+            build=build,
+            info=replace(scenario.info, ground_truth=tuple(gt), fault_time=at),
+        )
+
+    local_faults: list[tuple[float, FaultApply, tuple[str, ...]]] = [
+        (
+            0.25 * end_t,
+            lambda inj, t: inj.lock_contention(
+                at=t, table="supplier", mean_wait_s=2.5, until=end_t
+            ),
+            ("lock-contention",),
+        ),
+        (
+            0.55 * end_t,
+            lambda inj, t: inj.data_property_change(
+                at=t, table="partsupp", multiplier=1.5
+            ),
+            ("data-property-change",),
+        ),
+        (
+            0.85 * end_t,
+            lambda inj, t: inj.cpu_saturation(
+                at=t, until=end_t, cpu_multiplier=4.0, server_pct=75.0
+            ),
+            ("cpu-saturation",),
+        ),
+    ]
+    for i, name in enumerate(names):
+        scenario = scenario_healthy(hours=hours, seed=seed + i)
+        if i < len(local_faults):
+            at, apply, gt = local_faults[i]
+            scenario = local(scenario, at, apply, *gt)
+        builder.member(name, scenario)
+    builder.share("P2", "pool", *names)
+    builder.share("fcsw-core", "switch", *names)
+    return builder.build()

@@ -14,11 +14,13 @@ from .scenarios import (
     scenario_cpu_saturation,
     scenario_data_property_change,
     scenario_flapping_san_misconfiguration,
+    scenario_healthy,
     scenario_lock_contention,
     scenario_plan_regression,
     scenario_raid_rebuild,
     scenario_san_misconfiguration,
     scenario_staggered_dual_faults,
+    scenario_switch_degradation,
     scenario_two_external_workloads,
 )
 
@@ -44,4 +46,6 @@ __all__ = [
     "scenario_raid_rebuild",
     "scenario_flapping_san_misconfiguration",
     "scenario_staggered_dual_faults",
+    "scenario_healthy",
+    "scenario_switch_degradation",
 ]

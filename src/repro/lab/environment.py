@@ -348,6 +348,17 @@ class Environment:
         """Current simulation time (0.0 before the first advance)."""
         return self._clock if self._clock is not None else 0.0
 
+    @property
+    def advance_lock(self) -> threading.RLock:
+        """The lock serialising :meth:`advance` calls.
+
+        Readers that must see a *quiescent* environment — e.g. the fleet
+        drill-down reading a sibling member's stores and topology while that
+        member may be mid-chunk on a pool thread — hold it around their
+        reads; the member's next chunk simply queues behind them.
+        """
+        return self._advance_lock
+
     def bundle(self) -> DiagnosisBundle:
         return DiagnosisBundle(
             stores=self.stores,

@@ -280,6 +280,44 @@ class FaultInjector:
         self.env.schedule(at, apply)
 
     # ------------------------------------------------------------------
+    def switch_degradation(
+        self,
+        at: float,
+        switch_id: str = "fcsw-core",
+        extra_latency_ms: float = 3.0,
+        until: float = float("inf"),
+        error_frames: float = 25.0,
+    ) -> None:
+        """Fabric-switch degradation: every I/O through the fabric slows.
+
+        Models congestion / CRC storms on a shared fabric element.  In a
+        shared fabric this is the fault whose blast radius is *every*
+        environment whose I/O transits the switch — the shared-switch
+        correlation scenario injects it once per attached member.
+        """
+
+        def start(env: Environment, t: float) -> None:
+            env.iosim.degrade_switch(
+                switch_id, extra_latency_ms, error_frames=error_frames
+            )
+            env.log_san_event(
+                SanEvent(
+                    t,
+                    SanEventKind.SWITCH_DEGRADED,
+                    switch_id,
+                    {"extra_latency_ms": extra_latency_ms},
+                )
+            )
+
+        def stop(env: Environment, t: float) -> None:
+            env.iosim.restore_switch(switch_id)
+            env.log_san_event(SanEvent(t, SanEventKind.SWITCH_RESTORED, switch_id, {}))
+
+        self.env.schedule(at, start)
+        if until != float("inf"):
+            self.env.schedule(until, stop)
+
+    # ------------------------------------------------------------------
     def raid_rebuild(
         self, at: float, disk_id: str, duration_s: float, capacity_factor: float = 0.5
     ) -> None:

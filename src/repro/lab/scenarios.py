@@ -43,6 +43,8 @@ __all__ = [
     "scenario_raid_rebuild",
     "scenario_flapping_san_misconfiguration",
     "scenario_staggered_dual_faults",
+    "scenario_healthy",
+    "scenario_switch_degradation",
     "all_table1_scenarios",
 ]
 
@@ -620,6 +622,76 @@ def scenario_staggered_dual_faults(
         ),
         build=build,
         duration_s=end_t,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fleet-correlation building blocks (repro.correlate): a healthy member and a
+# shared-fabric switch fault.  Shared fabrics compose these per member; the
+# fabric builder layers shared-component faults on top of the healthy base.
+# ---------------------------------------------------------------------------
+def scenario_healthy(hours: float = 8.0, seed: int = 53) -> Scenario:
+    """A fault-free environment: the periodic query against the quiet testbed.
+
+    The base member of a shared fabric — shared-component faults are layered
+    on top by :class:`repro.correlate.SharedFabricBuilder` — and the control
+    member that must never open an incident.
+    """
+
+    def build() -> Environment:
+        return _base_env(seed)
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=12,
+            name="healthy-baseline",
+            description="No fault injected; the query runs against the quiet testbed",
+            ground_truth=(),
+            critical_modules=(),
+            fault_time=float("inf"),
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
+    )
+
+
+def scenario_switch_degradation(
+    hours: float = 8.0,
+    seed: int = 47,
+    switch_id: str = "fcsw-core",
+    extra_latency_ms: float = 3.0,
+) -> Scenario:
+    """A fabric-switch degradation slowing every I/O that transits it.
+
+    There is no database-level symptom and no volume-creation event — the
+    only configuration-free signal is the switch's error frames plus the
+    uniform latency shift on every volume behind the fabric.  One environment
+    alone cannot tell this from generic SAN contention; a shared fabric of
+    environments all degrading at once can (:mod:`repro.correlate`).
+    """
+    fault_t = _fault_time(hours)
+
+    def build() -> Environment:
+        env = _base_env(seed)
+        FaultInjector(env).switch_degradation(
+            at=fault_t, switch_id=switch_id, extra_latency_ms=extra_latency_ms
+        )
+        return env
+
+    return Scenario(
+        info=ScenarioInfo(
+            scenario_id=13,
+            name="switch-degradation",
+            description=(
+                f"Fabric switch {switch_id} degrades; every volume behind the "
+                "fabric pays the extra transit latency"
+            ),
+            ground_truth=(),
+            critical_modules=(),
+            fault_time=fault_t,
+        ),
+        build=build,
+        duration_s=hours * 3600.0,
     )
 
 

@@ -133,6 +133,8 @@ class IoSimulator:
         self._topology = topology
         #: disks currently rebuilding: id -> capacity multiplier (< 1)
         self._rebuild_slowdown: dict[str, float] = {}
+        #: degraded fabric switches: id -> (extra transit ms, error frames)
+        self._switch_degradation: dict[str, tuple[float, float]] = {}
 
     @property
     def topology(self) -> SanTopology:
@@ -152,6 +154,28 @@ class IoSimulator:
     @property
     def rebuilding_disks(self) -> set[str]:
         return set(self._rebuild_slowdown)
+
+    def degrade_switch(
+        self, switch_id: str, extra_latency_ms: float, error_frames: float = 25.0
+    ) -> None:
+        """Mark a fabric switch as degraded: every I/O transiting the fabric
+        pays ``extra_latency_ms`` more, and the switch reports error frames.
+
+        This models port congestion / CRC storms on a shared fabric element —
+        the fault a shared-switch correlation scenario injects once and every
+        environment attached to the fabric feels.
+        """
+        if extra_latency_ms < 0:
+            raise ValueError("extra_latency_ms must be non-negative")
+        self._topology.get(switch_id)  # validate id
+        self._switch_degradation[switch_id] = (extra_latency_ms, error_frames)
+
+    def restore_switch(self, switch_id: str) -> None:
+        self._switch_degradation.pop(switch_id, None)
+
+    @property
+    def degraded_switches(self) -> set[str]:
+        return set(self._switch_degradation)
 
     # -- core model ------------------------------------------------------
     def simulate(self, loads: Mapping[str, VolumeLoad]) -> SanPerfSample:
@@ -219,6 +243,11 @@ class IoSimulator:
             sample.set(did, "rebuilding", 1.0 if did in self._rebuild_slowdown else 0.0)
 
         # 3. Volume metrics (front-end + back-end) and response times.
+        # A degraded switch adds transit time to every volume response (the
+        # paper's testbed has a single fabric; all I/O crosses it).
+        fabric_extra_ms = sum(
+            extra for extra, _frames in self._switch_degradation.values()
+        )
         for volume in topo.volumes:
             vid = volume.component_id
             load = loads.get(vid, VolumeLoad())
@@ -235,11 +264,13 @@ class IoSimulator:
             )
             read_time = (
                 FABRIC_LATENCY_MS
+                + fabric_extra_ms
                 + hit * subsystem.cache_latency_ms
                 + (1.0 - hit) * avg_disk_latency
             )
             write_time = (
                 FABRIC_LATENCY_MS
+                + fabric_extra_ms
                 + subsystem.write_cache_absorption * subsystem.cache_latency_ms
                 + (1.0 - subsystem.write_cache_absorption) * avg_disk_latency
             )
@@ -298,9 +329,10 @@ class IoSimulator:
 
         for switch in topo.switches:
             swid = switch.component_id
+            _extra, frames = self._switch_degradation.get(swid, (0.0, 0.0))
             sample.set(swid, "bytesTransmitted", total_bytes / max(len(topo.switches), 1))
             sample.set(swid, "bytesReceived", total_bytes / max(len(topo.switches), 1))
-            sample.set(swid, "errorFrames", 0.0)
+            sample.set(swid, "errorFrames", frames)
             sample.set(swid, "linkFailures", 0.0)
 
         for component in topo:

@@ -29,6 +29,7 @@ from .detectors import (
     ThresholdSloDetector,
     default_detector_factory,
 )
+from .eventlog import FleetEventLog
 from .incidents import Incident, IncidentManager, IncidentState, IncidentStore, Severity
 from .supervisor import FleetEvent, FleetSupervisor, WatchedEnvironment
 
@@ -46,6 +47,7 @@ __all__ = [
     "IncidentState",
     "IncidentStore",
     "Severity",
+    "FleetEventLog",
     "FleetSupervisor",
     "FleetEvent",
     "WatchedEnvironment",

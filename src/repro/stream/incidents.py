@@ -26,10 +26,10 @@ from __future__ import annotations
 
 import copy
 import enum
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..storage.journal import JournalStore
 from .detectors import Detection
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -170,6 +170,9 @@ class IncidentManager:
     journalled through it, making the incident history durable.
     """
 
+    #: Cooldown-map size above which observe() sweeps out expired entries.
+    PRUNE_THRESHOLD = 32
+
     def __init__(
         self,
         env_name: str,
@@ -195,6 +198,20 @@ class IncidentManager:
             live.absorb(detection)
             self._journal("absorb", live, detection.time)
             return None
+        # Prune expired cooldown entries (simulated time is monotone per
+        # environment, so an entry at or below this detection's time can
+        # never suppress anything again).  Without this, a long-lived fleet
+        # with many detection targets leaks one entry per target forever and
+        # bloats every resume checkpoint.  The sweep is size-gated so the
+        # hot detection path stays O(1) amortised: expired entries are
+        # harmless (the suppression check below ignores them), only their
+        # memory matters.
+        if len(self._cooldown_until) > self.PRUNE_THRESHOLD:
+            self._cooldown_until = {
+                k: until
+                for k, until in self._cooldown_until.items()
+                if until > detection.time
+            }
         if detection.time < self._cooldown_until.get(key, -1.0):
             self.suppressed += 1
             return None
@@ -272,7 +289,7 @@ class IncidentManager:
         return len(self.incidents)
 
 
-class IncidentStore:
+class IncidentStore(JournalStore):
     """Durable, queryable incident history over a pluggable backend.
 
     Each lifecycle transition is journalled as one *delta* record keyed by
@@ -294,29 +311,13 @@ class IncidentStore:
     KEYSPACE = "incidents"
 
     def __init__(self, backend: "StorageBackend") -> None:
-        self.backend = backend
-        self._latest: dict[str, dict] = {}
         self._transitions = 0
-        if getattr(backend, "durable", False):
-            self.replay()
-
-    @classmethod
-    def open(cls, state_dir: str | os.PathLike) -> "IncidentStore":
-        """Open (or create) the journal under ``state_dir/incidents``."""
-        from pathlib import Path
-
-        from ..storage.jsonl import JsonlBackend
-
-        return cls(JsonlBackend(Path(state_dir) / "incidents"))
+        super().__init__(backend)
 
     def replay(self) -> int:
         """Fold the journal into the latest-ticket view (on open)."""
-        count = 0
-        for rec in self.backend.scan(self.KEYSPACE):
-            self._fold(rec)
-            count += 1
-        self._transitions = count
-        return count
+        self._transitions = super().replay()
+        return self._transitions
 
     def _fold(self, rec: dict) -> None:
         event = rec["event"]
@@ -342,6 +343,10 @@ class IncidentStore:
             ticket["state"] = IncidentState.RESOLVED.value
             ticket["resolved_at"] = rec["resolved_at"]
             ticket["report"] = rec["report"]
+            if "detections" in rec:  # absent in pre-0.5 journals
+                ticket["detections"] = copy.deepcopy(rec["detections"])
+                ticket["deduped"] = rec["deduped"]
+                ticket["severity"] = rec["severity"]
 
     # -- writing ---------------------------------------------------------
     def record(self, event: str, incident: Incident, time: float) -> None:
@@ -362,17 +367,16 @@ class IncidentStore:
                 rec["report"] = report_to_dict(incident.report)
             else:
                 rec["report"] = incident.report_data
+            # Authoritative snapshot of the final detection set: a fleet
+            # short-circuit may have re-routed detections absorbed after the
+            # resolve instant, so the folded ticket must not keep them.
+            rec["detections"] = [d.to_dict() for d in incident.detections]
+            rec["deduped"] = incident.deduped
+            rec["severity"] = incident.severity.value
         else:
             raise ValueError(f"unknown incident event {event!r}")
-        self.backend.append(self.KEYSPACE, rec)
-        self._fold(rec)
+        self._append(rec)
         self._transitions += 1
-
-    def flush(self) -> None:
-        self.backend.flush()
-
-    def close(self) -> None:
-        self.backend.close()
 
     # -- queries ---------------------------------------------------------
     def history(
@@ -389,24 +393,14 @@ class IncidentStore:
         """
         wanted = state.value if isinstance(state, IncidentState) else state
         out = [
-            copy.deepcopy(ticket)  # callers must not reach the folded state
-            for ticket in self._latest.values()
+            ticket
+            for ticket in self._tickets()
             if (env is None or ticket["env"] == env)
             and (wanted is None or ticket["state"] == wanted)
             and (since is None or ticket["opened_at"] >= since)
         ]
         return sorted(out, key=lambda t: (t["opened_at"], t["incident_id"]))
 
-    def transitions(self, incident_id: str | None = None) -> list[dict]:
-        """The raw journal (optionally one incident's), in append order."""
-        return [
-            rec
-            for rec in self.backend.scan(self.KEYSPACE, key=incident_id)
-        ]
-
     def incidents(self) -> list[Incident]:
         """History rehydrated into :class:`Incident` objects."""
         return [Incident.from_dict(t) for t in self.history()]
-
-    def __len__(self) -> int:
-        return len(self._latest)

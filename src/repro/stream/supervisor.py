@@ -57,6 +57,7 @@ from .detectors import (
     ResponseTimeSloDetector,
     default_detector_factory,
 )
+from .eventlog import FleetEventLog
 from .incidents import Incident, IncidentManager, IncidentState, IncidentStore
 
 __all__ = ["WatchedEnvironment", "FleetSupervisor", "FleetEvent"]
@@ -197,6 +198,8 @@ class FleetSupervisor:
         max_inflight_diagnoses: int | None = None,
         checkpoint_interval_s: float = 2.0,
         pool: WorkerPool | None = None,
+        correlator=None,
+        max_skew_s: float | None = None,
     ) -> None:
         if chunk_s <= 0:
             raise ValueError("chunk_s must be positive")
@@ -204,6 +207,11 @@ class FleetSupervisor:
             raise ValueError("max_inflight_diagnoses must be at least 1")
         if checkpoint_interval_s <= 0:
             raise ValueError("checkpoint_interval_s must be positive")
+        if max_skew_s is not None and max_skew_s < chunk_s:
+            raise ValueError(
+                "max_skew_s must be at least chunk_s (a member cannot advance "
+                "by less than one chunk)"
+            )
         self.pipeline = pipeline or default_pipeline()
         self.chunk_s = chunk_s
         self.max_workers = max_workers
@@ -231,6 +239,33 @@ class FleetSupervisor:
         self.incident_store: IncidentStore | None = (
             IncidentStore.open(self.state_dir) if self.state_dir is not None else None
         )
+        #: Durable fleet event log (None without a state dir): every event of
+        #: the ``run(on_event=...)`` stream is journalled so dashboards and
+        #: the out-of-process correlator can tail the state dir.  Delivery
+        #: across a kill/resume is at-least-once (see FleetEventLog).
+        self.event_log: FleetEventLog | None = (
+            FleetEventLog.open(self.state_dir) if self.state_dir is not None else None
+        )
+        #: Opt-in cross-environment correlator (a
+        #: :class:`repro.correlate.CorrelationEngine`).  When set, incident
+        #: opens/resolves and per-member progress are streamed into it; a
+        #: member incident grouped into a fleet incident is resolved with the
+        #: fleet-level drill-down report instead of paying its own pipeline
+        #: run, and incidents of attached environments are *held* (stay OPEN)
+        #: while siblings may still co-fire.  Trade-off: with a correlator,
+        #: the wall-clock moment an attached member notices a fleet decision
+        #: depends on fleet progress, so per-member diagnosis timing is no
+        #: longer independent of the rest of the fleet — the fleet-incident
+        #: history itself stays deterministic (watermark-ordered).
+        self.correlator = correlator
+        #: Bound on fleet clock skew (simulated seconds) in the barrier-free
+        #: loop: a member whose next chunk would put it more than
+        #: ``max_skew_s`` ahead of the slowest member waits for the fleet
+        #: floor to catch up.  None (default): unbounded, PR-4 behaviour.
+        #: Bounding skew caps the correlator's group-emit latency (its
+        #: watermark is the fleet floor) at the cost of letting a straggler
+        #: eventually gate the whole fleet.
+        self.max_skew_s = max_skew_s
         #: Latest per-environment snapshot, refreshed at iteration
         #: boundaries; what the batched flusher persists.
         self._env_snapshots: dict[str, dict] = {}
@@ -239,6 +274,11 @@ class FleetSupervisor:
         #: finish their current iteration, a final checkpoint is written,
         #: and :meth:`run` returns early (the run stays resumable).
         self._stop_requested = threading.Event()
+        #: Serialises checkpoint writes: a flusher write cancelled mid-await
+        #: may still be running on its pool thread when the quiesce write
+        #: starts, and both share one tmp-file name — unserialised, the
+        #: loser's atomic rename finds its tmp already consumed.
+        self._checkpoint_write_lock = threading.Lock()
 
     # -- sizing ----------------------------------------------------------
     def _workers(self, fleet_size: int) -> int:
@@ -318,7 +358,191 @@ class FleetSupervisor:
             incident = watched.manager.observe(detection)
             if incident is not None:
                 opened.append(incident)
+        for incident in opened:
+            self._drill_down(
+                self._correlate(
+                    {
+                        "type": "incident_opened",
+                        "env": watched.name,
+                        "incident_id": incident.incident_id,
+                        "opened_at": incident.opened_at,
+                    }
+                )
+            )
         return opened
+
+    # -- cross-environment correlation -----------------------------------
+    def _correlate(self, event: FleetEvent) -> list:
+        """Feed the correlator; returns fleet incidents ready for drill-down.
+
+        Only progress (``advanced``) feeds can surface ready groups — opens
+        and resolves are merely buffered — so most call sites get an empty
+        list.  The barriered :meth:`tick` runs the drill-down synchronously
+        (:meth:`_drill_down`); the barrier-free :meth:`_drive` bridges it
+        onto the worker pool so the cross-bundle analysis (and the sibling
+        advance locks it takes) never stalls the coordination loop.
+        """
+        if self.correlator is None:
+            return []
+        return self.correlator.observe(event)
+
+    def _drill_down(self, groups) -> None:
+        for group in groups:
+            self._on_fleet_incident(group)
+
+    def _on_fleet_incident(self, group) -> None:
+        """Snapshot member bundles and attach the fleet-level report."""
+        from ..correlate.diagnosis import diagnose_fleet_incident
+
+        bundles = {}
+        queries = {}
+        locks = {}
+        for env in group.member_envs:
+            watched = self.watched.get(env)
+            if watched is None:
+                continue
+            bundles[env] = watched.env.bundle()
+            queries[env] = watched.query_name
+            # A sibling member may be mid-chunk on a pool thread while its
+            # evidence is read: hold its advance lock per member.
+            lock = getattr(watched.env, "advance_lock", None)
+            if lock is not None:
+                locks[env] = lock
+        diagnosis = diagnose_fleet_incident(
+            group,
+            bundles,
+            queries,
+            self.correlator.membership,
+            # The engine surfaces a group once the watermark passed
+            # opened_at + drilldown_delay_s — the cutoff must not read
+            # beyond what every member clock has provably covered.
+            until=group.opened_at + self.correlator.drilldown_delay_s,
+            locks=locks,
+        )
+        self.correlator.attach_report(group.fleet_id, diagnosis.to_report_data())
+
+    def _final_correlation_sweep(
+        self, fleet: list[WatchedEnvironment], on_event
+    ) -> None:
+        """Short-circuit sweep once the fleet is quiescent.
+
+        A grouping decided by the *final* watermark advance can postdate a
+        fast member's last iteration — that member would never run another
+        short-circuit pass, leaving its grouped incidents open purely by
+        wall-clock accident.  At quiesce the watermark is final and every
+        grouping is decided, so one sweep resolves whatever a fleet report
+        covers (at the group's deterministic open time), drains the
+        engine's buffered resolutions, and refreshes the affected members'
+        checkpoint snapshots.
+
+        Skipped after an early :meth:`stop`: the fleet floor is then NOT
+        final — draining the engine past it would consume fast members'
+        buffered opens that slow members' (not yet re-emitted) opens should
+        have grouped with, diverging from the uninterrupted history on
+        resume.  A stopped run simply leaves the tail for its successor.
+        """
+        if self.correlator is None or self._stop_requested.is_set():
+            return
+        # Two rounds: the first drains resolutions and drills any group the
+        # final watermark surfaced; the second short-circuits the member
+        # incidents that drill-down just covered.
+        for _round in range(2):
+            for watched in fleet:
+                resolved = self._apply_fleet_short_circuit(watched, on_event)
+                if resolved and self.state_dir is not None:
+                    self._env_snapshots[watched.name] = self._snapshot_env(watched)
+            # Resolutions fed above sit at or below the final watermark;
+            # drain them so fleet incidents complete their own lifecycle.
+            self._drill_down(self.correlator.finalize())
+
+    def _apply_fleet_short_circuit(
+        self, watched: WatchedEnvironment, on_event=None
+    ) -> list[Incident]:
+        """Resolve member incidents whose shared cause a fleet report names.
+
+        A grouped incident never pays its own pipeline run: it is resolved
+        with the fleet-level report, at the *group's* open time (a
+        deterministic simulated time), and the engine is told so the fleet
+        incident can complete its own lifecycle.  Every transition is also
+        emitted (and therefore journalled in the fleet event log) with its
+        deterministic simulated time, so an out-of-process correlator
+        tailing the log reconstructs the identical history.
+        """
+        if self.correlator is None:
+            return []
+        resolved: list[Incident] = []
+        for incident in watched.manager.open_incidents():
+            ticket = self.correlator.short_circuit(incident.incident_id)
+            if ticket is None:
+                continue
+            _fleet_id, group_opened_at, report_data = ticket
+            resolve_at = max(incident.opened_at, group_opened_at)
+            # Detections absorbed after the (deterministic, simulated)
+            # resolve instant belong to the post-resolution world: this
+            # member only *noticed* the fleet decision at some wall-clock
+            # moment, and everything it absorbed in between must be
+            # re-routed through the manager so cooldown suppression — and
+            # any successor incident — lands at simulated times independent
+            # of that wall-clock lag.
+            late = sorted(
+                (d for d in incident.detections if d.time > resolve_at),
+                key=lambda d: d.time,
+            )
+            if late:
+                incident.detections = [
+                    d for d in incident.detections if d.time <= resolve_at
+                ]
+                incident.deduped -= len(late)
+            incident.report_data = report_data
+            watched.manager.resolve(incident, resolve_at)
+            self._drill_down(
+                self._correlate(
+                    {
+                        "type": "incident_resolved",
+                        "env": watched.name,
+                        "incident_id": incident.incident_id,
+                        "resolved_at": incident.resolved_at,
+                    }
+                )
+            )
+            self._emit(
+                on_event,
+                {
+                    "type": "incident_resolved",
+                    "env": watched.name,
+                    "incident_id": incident.incident_id,
+                    "severity": incident.severity.value,
+                    "top_cause": incident.top_cause_id,
+                    "fleet": True,
+                    "resolved_at": incident.resolved_at,
+                    "clock": watched.env.clock,
+                },
+            )
+            resolved.append(incident)
+            for detection in late:
+                reopened = watched.manager.observe(detection)
+                if reopened is not None:
+                    self._drill_down(
+                        self._correlate(
+                            {
+                                "type": "incident_opened",
+                                "env": watched.name,
+                                "incident_id": reopened.incident_id,
+                                "opened_at": reopened.opened_at,
+                            }
+                        )
+                    )
+                    self._emit(
+                        on_event,
+                        {
+                            "type": "incident_opened",
+                            "env": watched.name,
+                            "incident_id": reopened.incident_id,
+                            "severity": reopened.severity.value,
+                            "opened_at": reopened.opened_at,
+                        },
+                    )
+        return resolved
 
     def _begin_diagnosis_wave(
         self, watched: WatchedEnvironment
@@ -332,6 +556,19 @@ class FleetSupervisor:
         until labelled runs exist on both sides.
         """
         open_incidents = watched.manager.open_incidents()
+        if self.correlator is not None:
+            # Only *independent* incidents pay a per-member pipeline run:
+            # grouped ones are short-circuited with the fleet report, and
+            # incidents whose siblings may still co-fire stay OPEN (held)
+            # until the correlator's watermark passes their window.
+            open_incidents = [
+                incident
+                for incident in open_incidents
+                if self.correlator.disposition(
+                    incident.incident_id, watched.name, incident.opened_at
+                )
+                == "independent"
+            ]
         if not open_incidents or not watched.diagnosable():
             return None
         clock = watched.env.clock
@@ -351,6 +588,16 @@ class FleetSupervisor:
         clock = watched.env.clock
         for incident in incidents:
             watched.manager.resolve(incident, clock, report)
+            self._drill_down(
+                self._correlate(
+                    {
+                        "type": "incident_resolved",
+                        "env": watched.name,
+                        "incident_id": incident.incident_id,
+                        "resolved_at": clock,
+                    }
+                )
+            )
         return incidents
 
     # -- the barriered compatibility loop --------------------------------
@@ -388,23 +635,39 @@ class FleetSupervisor:
 
         # Phase 3 — fleet-wide diagnosis wave (the barrier this method is
         # named for): submit every due environment's request as a batch and
-        # wait for all reports.
+        # wait for all reports.  Incidents a fleet report already covers are
+        # short-circuited instead of entering the wave.
         wave: list[tuple[WatchedEnvironment, list[Incident]]] = []
         requests: list[DiagnosisRequest] = []
+        resolved: list[Incident] = []
         for watched in fleet:
+            resolved.extend(self._apply_fleet_short_circuit(watched))
             due = self._begin_diagnosis_wave(watched)
             if due is None:
                 continue
             incidents, request = due
             wave.append((watched, incidents))
             requests.append(request)
-        resolved: list[Incident] = []
         if wave:
             reports = self.pipeline.diagnose_many(
                 requests, max_workers=workers, pool=self._pool()
             )
             for (watched, incidents), report in zip(wave, reports):
                 resolved.extend(self._resolve_wave(watched, incidents, report))
+        # Progress is fed to the correlator last, mirroring the barrier-free
+        # loop: the watermark only moves once this tick's opens and resolves
+        # are buffered, so both execution paths process the identical
+        # simulated-time sequence.
+        for watched in fleet:
+            self._drill_down(
+                self._correlate(
+                    {
+                        "type": "advanced",
+                        "env": watched.name,
+                        "advanced_s": watched.advanced_s,
+                    }
+                )
+            )
         self.ticks += 1
         self.checkpoint()
         return resolved
@@ -516,6 +779,7 @@ class FleetSupervisor:
                     failures.append(exc)
             if failures:
                 raise failures[0]
+            self._final_correlation_sweep(fleet, on_event)
         finally:
             if flusher is not None:
                 flusher.cancel()
@@ -557,6 +821,18 @@ class FleetSupervisor:
             and not self._stop_requested.is_set()
         ):
             step = min(self.chunk_s, target_s - watched.advanced_s)
+            if self.max_skew_s is not None:
+                # Skew gate: don't start a chunk that would put this member
+                # more than max_skew_s ahead of the fleet floor.  Pure wall
+                # pacing — simulated histories are unaffected.
+                while (
+                    not self._stop_requested.is_set()
+                    and watched.advanced_s + step - self.advanced_s
+                    > self.max_skew_s + 1e-9
+                ):
+                    await asyncio.sleep(0.002)
+                if self._stop_requested.is_set():
+                    break
             async with advance_gate:
                 detections = await scheduler.call(watched.advance, step)
             watched.advanced_s += step
@@ -572,7 +848,9 @@ class FleetSupervisor:
                         "opened_at": incident.opened_at,
                     },
                 )
-            resolved: list[Incident] = []
+            resolved: list[Incident] = list(
+                self._apply_fleet_short_circuit(watched, on_event)
+            )
             due = self._begin_diagnosis_wave(watched)
             if due is not None:
                 incidents, request = due
@@ -588,8 +866,9 @@ class FleetSupervisor:
                 report = await self._diagnose_async(
                     scheduler, request, diagnosis_gate
                 )
-                resolved = self._resolve_wave(watched, incidents, report)
-                for incident in resolved:
+                wave_resolved = self._resolve_wave(watched, incidents, report)
+                resolved.extend(wave_resolved)
+                for incident in wave_resolved:
                     self._emit(
                         on_event,
                         {
@@ -598,10 +877,29 @@ class FleetSupervisor:
                             "incident_id": incident.incident_id,
                             "severity": incident.severity.value,
                             "top_cause": incident.top_cause_id,
+                            "resolved_at": incident.resolved_at,
                             "clock": watched.env.clock,
                         },
                     )
             self.ticks += 1
+            # Progress feeds the correlator last (after this iteration's
+            # opens and resolves are buffered) and before the snapshot stash,
+            # so the engine's watermark state is never behind a checkpointed
+            # environment snapshot.  Any drill-down this surfaces is bridged
+            # onto the worker pool: the cross-bundle analysis (and the
+            # sibling advance locks it takes) must not stall the
+            # coordination loop the whole fleet shares.  Re-attaching after
+            # a kill is safe (report journalling is idempotent), so the
+            # snapshot-ordering invariant is unaffected by awaiting here.
+            ready = self._correlate(
+                {
+                    "type": "advanced",
+                    "env": watched.name,
+                    "advanced_s": watched.advanced_s,
+                }
+            )
+            for group in ready:
+                await scheduler.call(self._on_fleet_incident, group)
             if self.state_dir is not None:
                 self._env_snapshots[watched.name] = self._snapshot_env(watched)
                 self._checkpoint_dirty = True
@@ -639,8 +937,14 @@ class FleetSupervisor:
             future = self.pipeline.submit_many([request], pool=scheduler.pool)[0]
             return await asyncio.wrap_future(future)
 
-    @staticmethod
-    def _emit(on_event, event: FleetEvent) -> None:
+    def _emit(self, on_event, event: FleetEvent) -> None:
+        """Deliver one fleet event: durable journal first, then the callback.
+
+        With a state dir every event is journalled through the fleet event
+        log (keyspace ``fleet_events``), so external consumers can tail the
+        state dir without living in-process."""
+        if self.event_log is not None:
+            self.event_log.append(event)
         if on_event is not None:
             on_event(event)
 
@@ -668,6 +972,10 @@ class FleetSupervisor:
         """
         if self.state_dir is None:
             return
+        with self._checkpoint_write_lock:
+            self._write_checkpoint_locked()
+
+    def _write_checkpoint_locked(self) -> None:
         snapshots = dict(self._env_snapshots)
         clocks = {name: snap["advanced_s"] for name, snap in snapshots.items()}
         state = {
@@ -679,8 +987,17 @@ class FleetSupervisor:
             "clocks": clocks,
             "environments": snapshots,
         }
+        if self.correlator is not None:
+            # Captured AFTER the environment snapshots: the engine must never
+            # be behind them (events a resumed environment re-emits fold
+            # idempotently; events the engine never saw would be lost).
+            state["correlator"] = self.correlator.state_dict()
         if self.incident_store is not None:
             self.incident_store.flush()
+        if self.event_log is not None:
+            self.event_log.flush()
+        if self.correlator is not None and self.correlator.store is not None:
+            self.correlator.store.flush()
         atomic_write_json(self.state_dir / CHECKPOINT_FILE, state)
 
     async def _flush_loop(self, scheduler: Scheduler, on_event) -> None:
@@ -812,6 +1129,8 @@ class FleetSupervisor:
             watched.run_detector.load_state(env_state["run_detector"])
             watched.manager.restore(env_state["manager"])
             watched.advanced_s = clocks[name]
+        if self.correlator is not None and state.get("correlator") is not None:
+            self.correlator.load_state(state["correlator"])
         self.ticks = state["ticks"]
         return self.advanced_s
 
@@ -823,11 +1142,21 @@ class FleetSupervisor:
         return sorted(out, key=lambda i: (i.opened_at, i.incident_id))
 
     def status_rows(self) -> list[dict]:
-        return [w.status() for w in self.watched.values()]
+        rows = [w.status() for w in self.watched.values()]
+        if self.correlator is not None:
+            for row in rows:
+                row["group"] = self.correlator.group_for_env(row["env"])
+        return rows
+
+    def fleet_incident_rows(self) -> list[dict]:
+        """Fleet-incident rollup tickets (empty without a correlator)."""
+        if self.correlator is None:
+            return []
+        return self.correlator.to_dict()
 
     def to_dict(self) -> dict:
         """JSON-friendly fleet state (``repro watch --json``)."""
-        return {
+        out = {
             "ticks": self.ticks,
             "chunk_s": self.chunk_s,
             "advanced_s": self.advanced_s,
@@ -836,12 +1165,21 @@ class FleetSupervisor:
             "fleet": self.status_rows(),
             "incidents": [i.to_dict() for i in self.incidents()],
         }
+        if self.correlator is not None:
+            out["fleet_incidents"] = self.fleet_incident_rows()
+        return out
 
     def render_table(self) -> str:
-        """The live fleet table ``repro watch`` prints each refresh."""
+        """The live fleet table ``repro watch`` prints each refresh.
+
+        With a correlator, each member row carries the id of the fleet
+        incident it was grouped into, and a rollup section lists one row per
+        fleet incident (members, confidence, state, top shared cause)."""
+        grouped = self.correlator is not None
+        group_col = f" {'group':<18}" if grouped else ""
         header = (
             f"{'env':<32} {'t(h)':>5} {'runs':>4} {'inc':>3} {'open':>4} "
-            f"{'state':<11} {'sev':<8} top cause"
+            f"{'state':<11} {'sev':<8}{group_col} top cause"
         )
         lines = [header, "-" * len(header)]
         for row in self.status_rows():
@@ -850,9 +1188,27 @@ class FleetSupervisor:
                 if row["verified"] is None
                 else ("  [=truth]" if row["verified"] else "  [MISMATCH]")
             )
+            group = f" {row.get('group') or '-':<18}" if grouped else ""
             lines.append(
                 f"{row['env']:<32} {row['clock'] / 3600.0:>5.1f} {row['runs']:>4} "
                 f"{row['incidents']:>3} {row['open']:>4} {row['state']:<11} "
-                f"{row['severity']:<8} {row['top_cause'] or '-'}{verified}"
+                f"{row['severity']:<8}{group} {row['top_cause'] or '-'}{verified}"
             )
+        rollup = self.fleet_incident_rows()
+        if rollup:
+            lines.append("")
+            lines.append(
+                f"{'fleet incident':<24} {'component':<12} {'members':>7} "
+                f"{'conf':>5} {'state':<9} top cause"
+            )
+            lines.append("-" * len(lines[-1]))
+            from ..correlate.engine import ticket_top_cause
+
+            for ticket in rollup:
+                top = ticket_top_cause(ticket) or "-"
+                lines.append(
+                    f"{ticket['fleet_id']:<24} {ticket['component_id']:<12} "
+                    f"{len(ticket['members']):>7} {ticket['confidence']:>5.2f} "
+                    f"{ticket['state']:<9} {top}"
+                )
         return "\n".join(lines)

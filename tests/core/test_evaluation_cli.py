@@ -94,4 +94,13 @@ class TestCli:
         assert "Query executions" in out
 
     def test_scenario_registry_complete(self):
-        assert len(SCENARIOS) == 12
+        assert len(SCENARIOS) == 14
+
+    def test_fleet_scenario_registry_complete(self):
+        from repro.cli import FLEET_SCENARIOS
+
+        assert sorted(FLEET_SCENARIOS) == [
+            "coincidental-independent-faults",
+            "shared-pool-saturation",
+            "shared-switch-degradation",
+        ]

@@ -1,0 +1,110 @@
+"""Shared-fabric builder: membership, shared-fault propagation, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.correlate import (
+    SharedFabricBuilder,
+    fabric_coincidental_independent_faults,
+    fabric_shared_pool_saturation,
+    fabric_shared_switch_degradation,
+)
+from repro.lab.scenarios import scenario_healthy
+
+
+class TestBuilder:
+    def test_share_unknown_member_rejected(self):
+        builder = SharedFabricBuilder("f")
+        builder.member("a", scenario_healthy(hours=1.0))
+        with pytest.raises(ValueError, match="unknown members"):
+            builder.share("P1", "pool", "a", "nope")
+
+    def test_inject_unshared_component_rejected(self):
+        builder = SharedFabricBuilder("f")
+        builder.member("a", scenario_healthy(hours=1.0))
+        with pytest.raises(ValueError, match="never share"):
+            builder.inject("P1", at=100.0, apply=lambda inj, t: None)
+
+    def test_duplicate_member_rejected(self):
+        builder = SharedFabricBuilder("f")
+        builder.member("a", scenario_healthy(hours=1.0))
+        with pytest.raises(ValueError, match="already added"):
+            builder.member("a", scenario_healthy(hours=1.0))
+
+
+class TestSharedPoolFabric:
+    def test_membership_shape(self):
+        fabric = fabric_shared_pool_saturation(hours=2.0, n_envs=8, attached=6)
+        assert len(fabric.members) == 8
+        membership = fabric.membership()
+        assert len(membership["P1"]) == 6
+        assert len(membership["fcsw-core"]) == 8
+        member = membership["P1"][0]
+        assert fabric.components_of(member) == ("P1", "fcsw-core")
+        unattached = [m for m in fabric.members if m not in membership["P1"]]
+        assert all(fabric.components_of(m) == ("fcsw-core",) for m in unattached)
+
+    def test_shared_fault_propagates_to_attached_members_only(self):
+        """Injecting on the shared pool replays the fault into every attached
+        member's simulation — and only theirs."""
+        fabric = fabric_shared_pool_saturation(hours=1.0, n_envs=3, attached=2)
+        attached = fabric.membership()["P1"]
+        for name, scenario in fabric.members.items():
+            env = scenario.build()
+            env.advance(1.0 * 3600.0)  # past the fault at hours/2
+            if name in attached:
+                assert "Vprime" in env.testbed.topology
+                assert scenario.info.ground_truth == (
+                    "volume-contention-san-misconfig",
+                )
+                assert scenario.info.fault_time == 1800.0
+            else:
+                assert "Vprime" not in env.testbed.topology
+                assert scenario.info.ground_truth == ()
+
+    def test_member_info_renamed(self):
+        fabric = fabric_shared_pool_saturation(hours=2.0, n_envs=3, attached=2)
+        for name, scenario in fabric.members.items():
+            assert scenario.info.name == name
+
+
+class TestSwitchFabric:
+    def test_switch_degradation_reaches_every_member(self):
+        fabric = fabric_shared_switch_degradation(hours=1.0, n_envs=2)
+        for scenario in fabric.members.values():
+            env = scenario.build()
+            env.advance(1.0 * 3600.0)
+            assert "fcsw-core" in env.iosim.degraded_switches
+            assert env.stores.events.of_kind("switch_degraded")
+
+    def test_switch_latency_is_felt_by_volumes(self):
+        fabric = fabric_shared_switch_degradation(
+            hours=1.0, n_envs=2, extra_latency_ms=5.0
+        )
+        scenario = next(iter(fabric.members.values()))
+        env = scenario.build()
+        env.advance(1.0 * 3600.0)
+        series = env.stores.metrics.series("V1", "readTime")
+        before = [s.value for s in series if s.time < 1500.0]
+        after = [s.value for s in series if s.time >= 2100.0]
+        assert sum(after) / len(after) > sum(before) / len(before) + 3.0
+
+
+class TestControlFabric:
+    def test_faults_are_staggered_beyond_any_window(self):
+        fabric = fabric_coincidental_independent_faults(hours=10.0)
+        fault_times = sorted(
+            s.info.fault_time
+            for s in fabric.members.values()
+            if s.info.fault_time != float("inf")
+        )
+        assert len(fault_times) == 3
+        gaps = [b - a for a, b in zip(fault_times, fault_times[1:])]
+        assert min(gaps) > 2 * 3600.0
+
+    def test_correlator_convenience(self):
+        fabric = fabric_coincidental_independent_faults(hours=10.0)
+        engine = fabric.correlator(window_s=1800.0, min_members=3)
+        assert engine.membership == fabric.membership()
+        assert engine.window_s == 1800.0

@@ -144,3 +144,54 @@ class TestSerialization:
         import json
 
         json.dumps(payload)  # must be JSON-serialisable
+
+
+class TestCooldownPruning:
+    def test_expired_cooldown_entries_are_pruned_on_observe(self):
+        """Regression: per-target cooldown entries were never pruned after
+        expiry, so a long-lived fleet with many detection targets leaked one
+        entry per target forever and bloated every resume checkpoint.  The
+        sweep is size-gated (PRUNE_THRESHOLD) to keep the hot detection
+        path O(1) amortised."""
+        mgr = IncidentManager("env-a", cooldown_s=600.0)
+        # A many-target flapping run: 500 distinct targets, each opening and
+        # resolving one incident, spaced so every cooldown expires long
+        # before the run ends.
+        for i in range(500):
+            t = 10_000.0 * i
+            incident = mgr.observe(det(t, target=f"V{i}/readTime"))
+            assert incident is not None
+            mgr.resolve(incident, t + 10.0)
+        # Without pruning this held 500 entries; the sweep keeps it bounded.
+        assert (
+            len(mgr.state_dict()["cooldown_until"])
+            <= IncidentManager.PRUNE_THRESHOLD + 1
+        )
+        assert len(mgr.incidents) == 500
+
+    def test_live_cooldowns_survive_the_sweep(self):
+        """Pruning never drops a cooldown that can still suppress."""
+        mgr = IncidentManager("env-a", cooldown_s=10_000_000.0)
+        threshold = IncidentManager.PRUNE_THRESHOLD
+        for i in range(threshold + 10):
+            incident = mgr.observe(det(100.0 + i, target=f"T{i}"))
+            mgr.resolve(incident, 200.0 + i)  # cooldowns live ~forever
+        # sweeps ran (size exceeded the threshold) but nothing was expired
+        assert len(mgr.state_dict()["cooldown_until"]) == threshold + 10
+        assert mgr.observe(det(5000.0, target="T0")) is None
+        assert mgr.suppressed == 1
+
+    def test_flapping_many_targets_keeps_state_bounded(self):
+        mgr = IncidentManager("env-a", cooldown_s=300.0)
+        n_targets = 2 * IncidentManager.PRUNE_THRESHOLD
+        for flap in range(300):
+            t = 1000.0 * flap
+            incident = mgr.observe(det(t, target=f"T{flap % n_targets}"))
+            assert incident is not None, flap
+            mgr.resolve(incident, t + 5.0)
+        assert (
+            len(mgr.state_dict()["cooldown_until"])
+            <= IncidentManager.PRUNE_THRESHOLD + 1
+        )
+        # after expiry the same targets open fresh incidents again
+        assert mgr.observe(det(10_000_000.0, target="T0")) is not None
