@@ -86,8 +86,12 @@ class Diads:
                 ]
                 pipeline = DiagnosisPipeline(resolved, registry=registry)
         self.pipeline = pipeline
+        # guarded-by: _cache_lock
         self._reports: dict[tuple, DiagnosisReport] = {}
         self._cache_lock = threading.Lock()
+        from ..devtools.sanitize import instrument_guarded
+
+        instrument_guarded(self)  # no-op unless REPRO_SANITIZE=1
 
     @property
     def symptoms_db(self) -> SymptomsDatabase | None:

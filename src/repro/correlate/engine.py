@@ -64,6 +64,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..storage.journal import JournalStore
+from ..storage.keyspaces import FLEET_INCIDENTS
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..stream.eventlog import FleetEventLog
@@ -168,7 +169,7 @@ class FleetIncidentStore(JournalStore):
     re-journals cannot change a ticket.
     """
 
-    KEYSPACE = "fleet_incidents"
+    KEYSPACE = FLEET_INCIDENTS
 
     def _fold(self, rec: dict) -> None:
         event = rec["event"]

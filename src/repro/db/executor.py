@@ -158,7 +158,9 @@ class Executor:
         """
         if cpu_multiplier <= 0:
             raise ValueError("cpu_multiplier must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback: callers that do not thread an RNG through (the
+        # environment always does) still get reproducible noise.
+        rng = rng if rng is not None else np.random.default_rng(0)
         mults = dict(data_multipliers or {})
         run = QueryRun(run_id=run_id, query_name=query_name, plan=plan, start_time=at_time)
 

@@ -61,7 +61,9 @@ class LockManager:
         active = [c for c in self.active_contentions(time) if c.table == table]
         if not active:
             return 0.0
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback so wait-time sampling reproduces when no RNG is
+        # threaded through (the executor normally supplies one).
+        rng = rng if rng is not None else np.random.default_rng(0)
         return float(sum(rng.exponential(c.mean_wait_ms) for c in active))
 
     def locks_held(self, time: float) -> int:

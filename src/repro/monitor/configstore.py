@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
+from ..storage.keyspaces import CONFIG
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.backend import StorageBackend
 
@@ -67,7 +69,7 @@ class ConfigStore:
     def __init__(
         self,
         backend: "StorageBackend | None" = None,
-        keyspace: str = "config",
+        keyspace: str = CONFIG,
     ) -> None:
         self._snapshots: dict[str, list[tuple[float, dict[str, Any]]]] = {}
         self.backend = backend

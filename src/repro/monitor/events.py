@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
 from ..san.events import SanEvent
+from ..storage.keyspaces import EVENTS
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.backend import StorageBackend
@@ -70,7 +71,7 @@ class EventLog:
     def __init__(
         self,
         backend: "StorageBackend | None" = None,
-        keyspace: str = "events",
+        keyspace: str = EVENTS,
     ) -> None:
         self._events: list[EventRecord] = []
         self.backend = backend

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..db.executor import QueryRun
+from ..storage.keyspaces import RUNS
 from ..storage.serializers import run_from_dict, run_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,7 +32,7 @@ class RunStore:
     def __init__(
         self,
         backend: "StorageBackend | None" = None,
-        keyspace: str = "runs",
+        keyspace: str = RUNS,
     ) -> None:
         self._runs: dict[str, QueryRun] = {}
         self.backend = backend

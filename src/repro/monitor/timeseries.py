@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from ..storage.keyspaces import METRICS
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.backend import StorageBackend
 
@@ -56,7 +58,9 @@ class MetricStore:
     interval_s: float = 300.0
     noise_sigma: float = 0.05
     seed: int = 0
+    # guarded-by: _cache_lock
     _raw: dict[tuple[str, str], list[Sample]] = field(default_factory=dict, repr=False)
+    # guarded-by: _cache_lock
     _cache: dict[tuple[str, str], list[Sample]] = field(default_factory=dict, repr=False)
     #: Guards lazy _cache fills *and* the append path: concurrent diagnoses
     #: (diagnose_many) read the store from worker threads while series()
@@ -70,7 +74,7 @@ class MetricStore:
     #: observations through (duck-typed so the monitor layer stays import-
     #: cycle free).  None keeps the historical fully-in-memory behaviour.
     backend: "StorageBackend | None" = field(default=None, compare=False)
-    keyspace: str = "metrics"
+    keyspace: str = METRICS
     _replaying: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -78,6 +82,9 @@ class MetricStore:
             raise ValueError("interval_s must be positive")
         if self.noise_sigma < 0:
             raise ValueError("noise_sigma must be non-negative")
+        from ..devtools.sanitize import instrument_guarded
+
+        instrument_guarded(self)  # no-op unless REPRO_SANITIZE=1
 
     # -- ingestion -------------------------------------------------------
     def record(self, time: float, component_id: str, metric: str, value: float) -> None:

@@ -29,6 +29,26 @@ def _default_workers() -> int:
     return min(32, (os.cpu_count() or 4) + 4)
 
 
+def _scoped_task(fn: Callable[..., R]) -> Callable[..., R]:
+    """Wrap a submitted callable in a sanitizer task scope.
+
+    Under ``REPRO_SANITIZE=1`` every pool task runs inside
+    :func:`repro.devtools.sanitize.task_scope`, so lock violations are
+    attributed to the task that hit them and a task returning with a lock
+    still held is flagged as a leak before it can deadlock a later task on
+    the same pool thread.
+    """
+    from ..devtools import sanitize
+
+    label = getattr(fn, "__qualname__", None) or repr(fn)
+
+    def task(*args: Any, **kwargs: Any) -> R:
+        with sanitize.task_scope(label):
+            return fn(*args, **kwargs)
+
+    return task
+
+
 class WorkerPool:
     """A long-lived thread pool with bounded fan-out helpers.
 
@@ -58,6 +78,10 @@ class WorkerPool:
     def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any) -> "Future[R]":
         if self._closed:
             raise RuntimeError("worker pool is shut down")
+        from ..devtools import sanitize  # dev-only layer; keep off the import path
+
+        if sanitize.is_enabled():
+            fn = _scoped_task(fn)
         return self._executor.submit(fn, *args, **kwargs)
 
     def map_bounded(

@@ -26,6 +26,7 @@ Implementing a third-party backend is a matter of satisfying the protocol —
 see the "storage backend how-to" section of the README.
 """
 
+from . import keyspaces
 from .backend import (
     MemoryBackend,
     Record,
@@ -57,6 +58,7 @@ from .serializers import (
 )
 
 __all__ = [
+    "keyspaces",
     "StorageBackend",
     "Record",
     "record",

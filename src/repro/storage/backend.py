@@ -136,9 +136,13 @@ class MemoryBackend:
     durable = False
 
     def __init__(self) -> None:
+        # guarded-by: _lock
         self._keyspaces: dict[str, list[Record]] = {}
         self._lock = threading.Lock()
         self._closed = False
+        from ..devtools.sanitize import instrument_guarded
+
+        instrument_guarded(self)  # no-op unless REPRO_SANITIZE=1
 
     def append(self, keyspace: str, record: Record) -> None:
         self._check_open()

@@ -16,6 +16,8 @@ import copy
 import os
 from typing import TYPE_CHECKING
 
+from . import keyspaces
+
 if TYPE_CHECKING:  # pragma: no cover
     from .backend import Record, StorageBackend
 
@@ -33,7 +35,7 @@ class JournalStore:
     skip/overwrite.
     """
 
-    KEYSPACE = "journal"
+    KEYSPACE = keyspaces.JOURNAL
 
     def __init__(self, backend: "StorageBackend") -> None:
         self.backend = backend

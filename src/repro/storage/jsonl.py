@@ -85,14 +85,20 @@ class JsonlBackend:
         self.root = Path(root)
         self.fsync = fsync
         self.root.mkdir(parents=True, exist_ok=True)
+        # guarded-by: _lock
         self._files: dict[str, object] = {}
+        # guarded-by: _lock
         self._index: dict[str, _KeyspaceIndex] = {}
         self._lock = threading.RLock()
         self._closed = False
         #: True once this instance appended; read-only opens (e.g. `repro
         #: incidents` against a live watch) must not rewrite the manifest.
+        # guarded-by: _lock
         self._dirty = False
         self._replay_all()
+        from ..devtools.sanitize import instrument_guarded
+
+        instrument_guarded(self)  # no-op unless REPRO_SANITIZE=1
 
     # -- open/replay -----------------------------------------------------
     def _replay_all(self) -> None:
@@ -121,7 +127,8 @@ class JsonlBackend:
                 except ValueError:
                     break  # corrupt tail: everything before it is intact
                 index.note(record, len(line))
-        self._index[keyspace] = index
+        with self._lock:
+            self._index[keyspace] = index
 
     # -- protocol --------------------------------------------------------
     def append(self, keyspace: str, record: Record) -> None:
@@ -216,23 +223,26 @@ class JsonlBackend:
         return self.root / f"{keyspace}{_SUFFIX}"
 
     def _file_for(self, keyspace: str):
-        fh = self._files.get(keyspace)
-        if fh is None:
-            path = self._segment_path(keyspace)
-            index = self._index.get(keyspace)
-            # First write to this segment: drop a torn tail left by a
-            # crashed predecessor so the append starts on a line boundary.
-            # Only the writer does this — replay/scan never mutate.
-            if (
-                index is not None
-                and path.exists()
-                and path.stat().st_size > index.committed_bytes
-            ):
-                with path.open("r+b") as tail:
-                    tail.truncate(index.committed_bytes)
-            fh = path.open("ab")
-            self._files[keyspace] = fh
-        return fh
+        # Self-locking (the RLock is reentrant under append_many's hold) so
+        # the _files mutation is guarded no matter who calls.
+        with self._lock:
+            fh = self._files.get(keyspace)
+            if fh is None:
+                path = self._segment_path(keyspace)
+                index = self._index.get(keyspace)
+                # First write to this segment: drop a torn tail left by a
+                # crashed predecessor so the append starts on a line boundary.
+                # Only the writer does this — replay/scan never mutate.
+                if (
+                    index is not None
+                    and path.exists()
+                    and path.stat().st_size > index.committed_bytes
+                ):
+                    with path.open("r+b") as tail:
+                        tail.truncate(index.committed_bytes)
+                fh = path.open("ab")
+                self._files[keyspace] = fh
+            return fh
 
     def _flush_file(self, keyspace: str) -> None:
         fh = self._files.get(keyspace)

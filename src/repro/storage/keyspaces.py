@@ -1,0 +1,84 @@
+"""Central registry of backend keyspace names.
+
+Every keyspace a :class:`~repro.storage.StorageBackend` holds is named
+here, once.  The point is not the constants themselves but the invariant
+they make checkable: a keyspace string that appears as a literal anywhere
+else in the tree is a bug waiting to happen — two subsystems silently
+sharing (or silently *not* sharing) a journal because someone retyped a
+name.  ``repro lint`` enforces this (checker ``keyspace-literal``): class
+``KEYSPACE`` attributes, ``keyspace=`` parameters and call-site keywords
+must reference this module, never a string literal.
+
+Adding a keyspace is therefore a two-line change: define the constant and
+list it in :data:`ALL_KEYSPACES`; :func:`validate` keeps the two in sync
+and rejects names the JSONL backend could not use as a segment filename.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "METRICS",
+    "RUNS",
+    "CONFIG",
+    "EVENTS",
+    "INCIDENTS",
+    "FLEET_INCIDENTS",
+    "FLEET_EVENTS",
+    "JOURNAL",
+    "ALL_KEYSPACES",
+    "validate",
+]
+
+#: Raw metric observations journalled by :class:`repro.monitor.MetricStore`.
+METRICS = "metrics"
+
+#: Query runs + satisfactory/unsatisfactory labels
+#: (:class:`repro.monitor.RunStore`).
+RUNS = "runs"
+
+#: Configuration snapshots (:class:`repro.monitor.ConfigStore`).
+CONFIG = "config"
+
+#: System/SAN events (:class:`repro.monitor.EventLog`).
+EVENTS = "events"
+
+#: Per-environment incident lifecycle journal
+#: (:class:`repro.stream.IncidentStore`).
+INCIDENTS = "incidents"
+
+#: Fleet-incident lifecycle journal
+#: (:class:`repro.correlate.FleetIncidentStore`).
+FLEET_INCIDENTS = "fleet_incidents"
+
+#: Durable fleet supervisor event stream
+#: (:class:`repro.stream.FleetEventLog`).
+FLEET_EVENTS = "fleet_events"
+
+#: Default keyspace of the abstract :class:`repro.storage.journal.JournalStore`
+#: scaffolding (every concrete journal overrides it with one of the above).
+JOURNAL = "journal"
+
+#: Every registered keyspace, in declaration order.
+ALL_KEYSPACES: tuple[str, ...] = (
+    METRICS,
+    RUNS,
+    CONFIG,
+    EVENTS,
+    INCIDENTS,
+    FLEET_INCIDENTS,
+    FLEET_EVENTS,
+    JOURNAL,
+)
+
+
+def validate(name: str) -> str:
+    """Return ``name`` if it is a registered keyspace; raise otherwise.
+
+    Call sites that accept a keyspace from configuration (rather than
+    referencing a constant directly) funnel through this so typos fail
+    loudly instead of creating a parallel, never-read journal.
+    """
+    if name not in ALL_KEYSPACES:
+        known = ", ".join(ALL_KEYSPACES)
+        raise ValueError(f"unknown keyspace {name!r} (registered: {known})")
+    return name

@@ -71,7 +71,9 @@ class SqliteBackend:
         self.commit_every = commit_every
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
+        # guarded-by: _lock
         self._closed = False
+        # guarded-by: _lock
         self._uncommitted = 0
         # One shared connection: the backend serialises access itself, and a
         # single writer connection keeps WAL checkpointing predictable.
@@ -80,6 +82,9 @@ class SqliteBackend:
         self._conn.execute(f"PRAGMA synchronous={'FULL' if fsync else 'NORMAL'}")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+        from ..devtools.sanitize import instrument_guarded
+
+        instrument_guarded(self)  # no-op unless REPRO_SANITIZE=1
 
     # -- protocol --------------------------------------------------------
     def append(self, keyspace: str, record: Record) -> None:

@@ -27,6 +27,8 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Iterator
 
+from ..storage.keyspaces import FLEET_EVENTS
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.backend import StorageBackend
 
@@ -39,7 +41,7 @@ _TIME_FIELDS = ("clock", "opened_at", "advanced_s")
 class FleetEventLog:
     """Append-only journal of fleet supervisor events over a backend."""
 
-    KEYSPACE = "fleet_events"
+    KEYSPACE = FLEET_EVENTS
 
     def __init__(self, backend: "StorageBackend") -> None:
         self.backend = backend
@@ -57,7 +59,7 @@ class FleetEventLog:
 
         from ..storage.jsonl import JsonlBackend
 
-        return cls(JsonlBackend(Path(state_dir) / "fleet_events"))
+        return cls(JsonlBackend(Path(state_dir) / cls.KEYSPACE))
 
     # -- writing ---------------------------------------------------------
     def append(self, event: dict) -> dict:

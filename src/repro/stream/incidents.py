@@ -18,8 +18,8 @@ Durability: an :class:`IncidentStore` journals every lifecycle transition
 :class:`repro.storage.StorageBackend`, so incident history survives process
 restarts and is queryable across them (``repro incidents``).  A manager
 wired to a store journals automatically; :meth:`IncidentManager.state_dict`
-/ :meth:`~IncidentManager.restore` freeze and thaw the live dedup/cooldown
-state for supervisor resume checkpoints.
+/ :meth:`~IncidentManager.load_state` freeze and thaw the live
+dedup/cooldown state for supervisor resume checkpoints.
 """
 
 from __future__ import annotations
@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..storage.journal import JournalStore
+from ..storage.keyspaces import INCIDENTS
 from .detectors import Detection
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -262,7 +263,7 @@ class IncidentManager:
             "counter": self._counter,
         }
 
-    def restore(self, state: dict) -> None:
+    def load_state(self, state: dict) -> None:
         """Thaw a :meth:`state_dict` snapshot (journalling suppressed —
         the journal already holds these transitions)."""
         self.incidents = [Incident.from_dict(d) for d in state.get("incidents", [])]
@@ -275,6 +276,10 @@ class IncidentManager:
         }
         self.suppressed = state.get("suppressed", 0)
         self._counter = state.get("counter", len(self.incidents))
+
+    #: Pre-0.6 name for :meth:`load_state`, kept for subclassers; the
+    #: canonical pair is ``state_dict``/``load_state`` (lint-enforced).
+    restore = load_state
 
     def open_incidents(self) -> list[Incident]:
         return [i for i in self.incidents if i.state is IncidentState.OPEN]
@@ -308,7 +313,7 @@ class IncidentStore(JournalStore):
     events overwrite with equal values).
     """
 
-    KEYSPACE = "incidents"
+    KEYSPACE = INCIDENTS
 
     def __init__(self, backend: "StorageBackend") -> None:
         self._transitions = 0

@@ -1127,7 +1127,7 @@ class FleetSupervisor:
             watched = self.watched[name]
             watched.bank.load_state(env_state["bank"])
             watched.run_detector.load_state(env_state["run_detector"])
-            watched.manager.restore(env_state["manager"])
+            watched.manager.load_state(env_state["manager"])
             watched.advanced_s = clocks[name]
         if self.correlator is not None and state.get("correlator") is not None:
             self.correlator.load_state(state["correlator"])

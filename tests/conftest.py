@@ -6,6 +6,8 @@ session-scoped; tests must treat them as read-only.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -25,6 +27,25 @@ from repro.san.builder import build_testbed
 #: hours → 10 satisfactory + 10 unsatisfactory runs, enough for "few tens of
 #: samples" KDE behaviour while keeping the suite fast.
 FIXTURE_HOURS = 10.0
+
+
+if os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false"):
+    from repro.devtools import sanitize as _sanitize
+
+    @pytest.fixture(autouse=True)
+    def _sanitizer_clean():
+        """Fail any test during which the runtime sanitizer records a violation.
+
+        Active only under ``REPRO_SANITIZE=1`` (the CI sanitizer job); turns
+        lock-order inversions, lock leaks, and unguarded mutations into named
+        test failures instead of schedule-dependent flakes.
+        """
+        before = len(_sanitize.violations())
+        yield
+        fresh = _sanitize.violations()[before:]
+        assert not fresh, "sanitizer violations recorded:\n" + "\n".join(
+            v.render() for v in fresh
+        )
 
 
 @pytest.fixture
