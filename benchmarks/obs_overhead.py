@@ -1,0 +1,97 @@
+"""Observability overhead gate: tracing + metrics must cost <= 5% throughput.
+
+Reuses the ``supervisor_throughput`` harness (64-environment stub fleet,
+heavy-tailed diagnosis latency, barrier-free runtime) and measures
+fleet-advance throughput twice: observability off (the default) and fully
+on — spans journalling into an in-memory sink plus the metrics registry,
+exactly what ``repro watch --stats`` enables.  The gate fails when the
+enabled run delivers less than 95% of the disabled run's chunks/s.
+
+Wall-clock benchmarks are noisy on shared CI workers, so the comparison is
+best-of-two: each mode is measured up to twice and the gate passes if any
+enabled/disabled pairing clears the bar.
+
+Results land in ``benchmarks/results/`` as ``obs_overhead.txt`` and
+``BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import supervisor_throughput as harness
+
+from repro.obs import clock as obs_clock
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.storage import MemoryBackend
+
+#: Minimum enabled/disabled throughput ratio (<= 5% overhead).
+MIN_RATIO = 0.95
+
+ATTEMPTS = 2
+
+
+def _measure(enabled: bool) -> dict:
+    """One async-runtime throughput window with observability on or off."""
+    if enabled:
+        obs_clock.enable()
+        obs_trace.tracer().reset()
+        obs_metrics.registry().reset()
+        obs_trace.tracer().set_sink(MemoryBackend())
+    else:
+        obs_clock.disable()
+    try:
+        row = harness._measure_async()
+    finally:
+        obs_trace.tracer().set_sink(None)
+        obs_trace.tracer().reset()
+        obs_metrics.registry().reset()
+        obs_clock.reset()
+    row["obs"] = "enabled" if enabled else "disabled"
+    return row
+
+
+def test_bench_obs_overhead(record_result):
+    attempts = []
+    ratio = 0.0
+    for _ in range(ATTEMPTS):
+        disabled = _measure(enabled=False)
+        enabled = _measure(enabled=True)
+        attempts.append((disabled, enabled))
+        ratio = max(
+            ratio, enabled["chunks_per_s"] / disabled["chunks_per_s"]
+        )
+        if ratio >= MIN_RATIO:
+            break
+
+    lines = [
+        "Observability overhead: async-runtime throughput, obs off vs on",
+        "-" * 70,
+        f"{'obs':<10}{'chunks':>8}{'wall s':>9}{'chunks/s':>11}{'incidents':>11}",
+        "-" * 70,
+    ]
+    for disabled, enabled in attempts:
+        for row in (disabled, enabled):
+            lines.append(
+                f"{row['obs']:<10}{row['chunks']:>8}{row['wall_s']:>9.2f}"
+                f"{row['chunks_per_s']:>11.1f}{row['incidents']:>11}"
+            )
+    lines.append("")
+    lines.append(
+        f"best enabled/disabled ratio: {ratio:.3f}  (gate: >= {MIN_RATIO})"
+    )
+    record_result(
+        "obs_overhead",
+        "\n".join(lines),
+        data={
+            "attempts": [
+                {"disabled": d, "enabled": e} for d, e in attempts
+            ],
+            "best_ratio": ratio,
+            "min_ratio": MIN_RATIO,
+        },
+    )
+
+    assert ratio >= MIN_RATIO, (
+        f"observability costs {(1.0 - ratio):.1%} of fleet throughput "
+        f"(gate allows <= {(1.0 - MIN_RATIO):.0%})"
+    )

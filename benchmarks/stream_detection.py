@@ -43,6 +43,7 @@ def test_bench_detection_latency(record_result):
         f"{'diagnosed@':>12}{'incidents':>10}",
         "-" * 86,
     ]
+    rows = []
     for watched in supervisor.watched.values():
         fault_t = watched.info.fault_time
         incidents = watched.manager.incidents
@@ -63,7 +64,17 @@ def test_bench_detection_latency(record_result):
         assert first_det is not None and first_det >= fault_t
         # Detection within two monitoring chunks of the fault.
         assert first_det - fault_t <= 2.0 * supervisor.chunk_s
-    record_result("stream_detection_latency", "\n".join(lines))
+        rows.append(
+            {
+                "scenario": watched.name,
+                "fault_at_s": fault_t,
+                "first_detection_s": first_det,
+                "detection_latency_s": first_det - fault_t,
+                "first_diagnosed_s": first_diag,
+                "incidents": len(incidents),
+            }
+        )
+    record_result("stream_detection_latency", "\n".join(lines), data=rows)
 
 
 def test_bench_supervisor_throughput(record_result):
@@ -74,6 +85,7 @@ def test_bench_supervisor_throughput(record_result):
         f"{'incidents':>11}{'diagnosed':>11}",
         "-" * 78,
     ]
+    rows = []
     for n_envs, workers in ((1, 1), (2, 2), (4, 4)):
         supervisor, wall = _run_fleet(FLEET[:n_envs], max_workers=workers)
         incidents = supervisor.incidents()
@@ -84,4 +96,14 @@ def test_bench_supervisor_throughput(record_result):
             f"{len(incidents):>11}{len(diagnosed):>11}"
         )
         assert diagnosed, f"{n_envs}-env fleet diagnosed nothing"
-    record_result("stream_supervisor_throughput", "\n".join(lines))
+        rows.append(
+            {
+                "envs": n_envs,
+                "workers": workers,
+                "wall_s": wall,
+                "sim_hours_per_wall_s": sim_hours / wall,
+                "incidents": len(incidents),
+                "diagnosed": len(diagnosed),
+            }
+        )
+    record_result("stream_supervisor_throughput", "\n".join(lines), data=rows)

@@ -1,0 +1,85 @@
+"""Observability in-process — trace a watch, then read the journal back.
+
+``repro.obs`` records what the runtime *spends* without touching what it
+*computes*: spans carry both the simulated instant they belong to and the
+wall time they took, metrics count what an operator would watch live, and
+everything lands write-only under ``state_dir/obs/`` — next to (never
+inside) the checkpoint, so resume stays byte-for-byte identical with
+observability on.
+
+This script enables observability, runs a small fleet with a state dir,
+then reads the sidecar back through the export API: a per-span duration
+table, the per-tick critical path, and the latest metrics snapshot.  The
+same data backs ``repro trace`` / ``repro metrics``, and
+``repro trace --chrome out.json`` renders it in Perfetto.
+
+Run:  python examples/traced_watch.py
+CLI:  python -m repro.cli watch --hours 6 --state-dir ./state --stats
+      python -m repro.cli trace --state-dir ./state --critical-path
+      python -m repro.cli metrics --state-dir ./state
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import FleetSupervisor
+from repro.lab.scenarios import (
+    scenario_flapping_san_misconfiguration,
+    scenario_lock_contention,
+)
+from repro.obs import (
+    critical_path,
+    disable,
+    enable,
+    load_metric_snapshots,
+    load_spans,
+    metrics,
+    span,
+    summarize,
+)
+
+HOURS = 6.0
+STATE = Path(tempfile.mkdtemp(prefix="repro-traced-watch-"))
+
+# Observability is off by default and zero-cost when off.  `repro watch
+# --stats` flips the same switch; REPRO_OBS=1 works for any entry point.
+enable()
+
+# --- a traced watch ---------------------------------------------------------
+# Instrumenting your own code is one context manager: the span nests under
+# whatever is currently open (across Scheduler.call and pool threads) and
+# journals its simulated time + wall duration when it closes.
+with span("example.setup"):
+    supervisor = FleetSupervisor(chunk_s=1800.0, cooldown_s=7200.0, state_dir=STATE)
+    supervisor.watch_scenario(scenario_flapping_san_misconfiguration(hours=HOURS))
+    supervisor.watch_scenario(scenario_lock_contention(hours=HOURS))
+    metrics.inc("example.fleets_started")
+
+supervisor.run(HOURS * 3600.0)
+print(f"watched {len(supervisor.watched)} environment(s) for {HOURS:g} simulated "
+      f"hours -> {len(supervisor.incidents())} incident(s)")
+
+# --- read the sidecar back --------------------------------------------------
+spans = load_spans(STATE)
+print(f"\n{len(spans)} span(s) journalled under {STATE / 'obs'}")
+
+print("\nwhere the wall time went (top 5 span names):")
+for name, row in list(summarize(spans).items())[:5]:
+    print(f"  {name:<22} x{row['count']:<5} total {row['total_s'] * 1e3:8.1f} ms"
+          f"   p95 {row['p95_ms']:6.2f} ms")
+
+report = critical_path(spans)
+print(f"\ncritical path: {report['roots']} iteration(s), "
+      f"{report['coverage']:.0%} of tick wall time attributed to named phases")
+for name, seconds in list(report["by_name"].items())[:4]:
+    print(f"  {name:<12} {seconds * 1e3:8.1f} ms")
+
+snapshots = load_metric_snapshots(STATE)
+latest = snapshots[-1]["metrics"]
+print(f"\n{len(snapshots)} metrics snapshot(s); latest counters:")
+for name, value in sorted(latest["counters"].items()):
+    print(f"  {name:<28} {value:g}")
+
+disable()
+shutil.rmtree(STATE, ignore_errors=True)

@@ -117,8 +117,9 @@ from .storage import (
     StorageBackend,
     TelemetryStore,
 )
+from . import obs
 
-__version__ = "0.5.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "__version__",
@@ -186,4 +187,5 @@ __all__ = [
     "Scheduler",
     "TaskQueue",
     "ClockVector",
+    "obs",
 ]

@@ -11,8 +11,11 @@ Usage (``repro`` console script, or module form)::
     python -m repro.cli watch flapping-san-misconfiguration --json
     python -m repro.cli watch --hours 8 --state-dir ./state   # durable + resumable
     python -m repro.cli watch shared-pool-saturation --hours 8 --state-dir ./state
+    python -m repro.cli watch --hours 8 --state-dir ./state --stats
     python -m repro.cli incidents --state-dir ./state
     python -m repro.cli correlate --state-dir ./state
+    python -m repro.cli trace --state-dir ./state --critical-path
+    python -m repro.cli metrics --state-dir ./state scheduler
 
 ``run`` simulates one scenario, diagnoses it, and prints the report (plus the
 Figure-3/6/7 screens with ``--screens``).  ``sweep`` evaluates every Table-1
@@ -38,6 +41,14 @@ correlator: correlated incident opens across environments sharing a SAN
 component merge into one fleet incident with a shared-root-cause drill-down
 report (``repro.correlate``); ``correlate`` queries the durable
 fleet-incident history of a state dir.
+
+``watch --stats`` turns on observability (``repro.obs``): a live panel of
+worker-pool and fleet metrics under the table, and — with ``--state-dir``
+— a write-only trace/metrics sidecar under ``DIR/obs/`` that never feeds
+the resume path.  ``trace`` reads it back as a per-span table, Chrome
+trace-event JSON (``--chrome out.json``, loadable in Perfetto), or a
+per-tick critical-path attribution (``--critical-path``); ``metrics``
+queries the periodic registry snapshots.
 """
 
 from __future__ import annotations
@@ -185,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="incident cooldown after resolution (per detection target)",
     )
     watch.add_argument(
+        "--stats", action="store_true",
+        help=(
+            "enable observability (repro.obs): live pool/fleet metrics under "
+            "the table, and with --state-dir a trace + metrics sidecar for "
+            "`repro trace` / `repro metrics`"
+        ),
+    )
+    watch.add_argument(
         "--json", action="store_true",
         help="emit the final fleet state + incidents as JSON (no live table)",
     )
@@ -238,6 +257,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     correlate.add_argument(
         "--json", action="store_true", help="emit the tickets as a JSON array"
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect the trace sidecar an observability-enabled watch wrote",
+    )
+    trace.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help=(
+            "state dir of a `repro watch --stats --state-dir DIR` run "
+            "(or one run under REPRO_OBS=1)"
+        ),
+    )
+    trace.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help=(
+            "write Chrome trace-event JSON to FILE (load it in Perfetto or "
+            "chrome://tracing) instead of printing the span table"
+        ),
+    )
+    trace.add_argument(
+        "--critical-path", action="store_true",
+        help=(
+            "attribute each iteration/tick's wall time to its child phases "
+            "and rank the slowest (instead of the span table)"
+        ),
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the table / critical-path report as JSON",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="query the metrics sidecar an observability-enabled watch wrote",
+    )
+    metrics.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help=(
+            "state dir of a `repro watch --stats --state-dir DIR` run "
+            "(or one run under REPRO_OBS=1)"
+        ),
+    )
+    metrics.add_argument(
+        "name", nargs="?", default=None,
+        help="only metrics whose dotted name contains this substring",
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="emit every snapshot as a JSON array (default: latest only)",
     )
 
     lint = sub.add_parser(
@@ -419,6 +488,13 @@ def cmd_watch(args: argparse.Namespace) -> int:
         print(f"duplicate scenarios: {', '.join(duplicates)}", file=sys.stderr)
         return 2
 
+    if args.stats:
+        # Opt in before the supervisor is built: its obs sidecar backend is
+        # created at construction time only when observability is enabled.
+        from .obs import enable as obs_enable
+
+        obs_enable()
+
     # Fleet scenarios expand into their member environments and enable the
     # cross-environment correlator, keyed by the merged membership map.
     fabrics = []
@@ -519,24 +595,56 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
     live = not args.json and sys.stdout.isatty()
     redraws = 0
+    last_height = 0
     last_draw = 0.0
     resolved_total = 0
 
+    def stats_lines() -> list[str]:
+        # The --stats panel: live pool counters + key fleet metrics.  Fixed
+        # line count so the in-place redraw height stays stable; trailing
+        # spaces blank out a previous, longer frame.
+        from .obs import metrics as obs_metrics
+
+        pool = supervisor.pool_stats()
+        snap = obs_metrics.registry().snapshot()
+        counters, gauges = snap["counters"], snap["gauges"]
+        latency = snap["histograms"].get("scheduler.task_latency_s")
+        p95 = f"{latency['p95_ms']:.0f}ms" if latency else "-"
+        return [
+            (
+                f"pool: {pool['active']}/{pool['max_workers']} active  "
+                f"queued {pool['queued']}  done {pool['completed']}  "
+                f"failed {pool['failed']}  "
+                f"util {pool['utilisation'] * 100.0:.0f}%   "
+            ),
+            (
+                f"obs:  iterations "
+                f"{int(counters.get('supervisor.iterations', 0.0))}  "
+                f"detector fires {int(counters.get('detectors.fires', 0.0))}  "
+                f"diagnoses in flight "
+                f"{int(gauges.get('diagnoses.in_flight', 0.0))}  "
+                f"task p95 {p95}   "
+            ),
+        ]
+
     def redraw() -> None:
-        # Redraw in place: move up over the previous table and reprint.
-        nonlocal redraws
-        table = supervisor.render_table()
-        height = table.count("\n") + 2
-        if redraws:
-            print(f"\x1b[{height}A", end="")
-        redraws += 1
+        # Redraw in place: compose the whole frame first, so the cursor-up
+        # distance is the *previous* frame's exact height.
+        nonlocal redraws, last_height
         clocks = supervisor.clocks
-        print(table)
-        print(
+        lines = [supervisor.render_table()]
+        if args.stats:
+            lines.extend(stats_lines())
+        lines.append(
             f"t>={clocks.min_clock / 3600.0:.1f}h (skew {clocks.skew / 60.0:.0f}m)  "
-            f"incidents resolved: {resolved_total}   ",
-            flush=True,
+            f"incidents resolved: {resolved_total}   "
         )
+        frame = "\n".join(lines)
+        if redraws:
+            print(f"\x1b[{last_height}A", end="")
+        redraws += 1
+        last_height = frame.count("\n") + 1
+        print(frame, flush=True)
 
     def on_event(event: dict) -> None:
         # The supervisor streams per-environment events (no global tick):
@@ -581,7 +689,15 @@ def cmd_watch(args: argparse.Namespace) -> int:
         if i.report is not None or i.report_data is not None
     ]
     if args.json:
-        print(json.dumps(supervisor.to_dict(), indent=2))
+        payload = supervisor.to_dict()
+        if args.stats:
+            # Observability is additive: the checkpoint-equivalent state in
+            # to_dict() stays byte-identical; pool/metrics ride alongside.
+            from .obs import metrics as obs_metrics
+
+            payload["pool"] = supervisor.pool_stats()
+            payload["metrics"] = obs_metrics.registry().snapshot()
+        print(json.dumps(payload, indent=2))
     else:
         if not sys.stdout.isatty():
             print()
@@ -596,7 +712,164 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 "correlated"
             )
         print(summary)
+        if args.stats:
+            pool = supervisor.pool_stats()
+            print(
+                f"pool: {pool['submitted']} task(s) submitted, "
+                f"{pool['completed']} completed, {pool['failed']} failed "
+                f"({pool['max_workers']} worker(s))"
+            )
+            if args.state_dir is not None:
+                print(
+                    f"observability sidecar written: `repro trace --state-dir "
+                    f"{args.state_dir}` / `repro metrics --state-dir "
+                    f"{args.state_dir}`"
+                )
     return 0 if diagnosed else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs import critical_path, summarize
+    from .obs.export import load_spans, write_chrome_trace
+
+    if not os.path.isdir(args.state_dir):
+        print(f"no state dir at {args.state_dir}", file=sys.stderr)
+        return 2
+    spans = load_spans(args.state_dir)
+    if not spans:
+        print(
+            "no trace data recorded — run `repro watch --stats --state-dir "
+            f"{args.state_dir}` (or set REPRO_OBS=1) first",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.chrome:
+        events = write_chrome_trace(spans, args.chrome)
+        print(
+            f"{len(spans)} span(s) -> {args.chrome} ({events} trace events; "
+            "load in Perfetto or chrome://tracing)"
+        )
+        return 0
+
+    if args.critical_path:
+        report = critical_path(spans)
+        if args.json:
+            print(json.dumps(report, indent=2))
+            return 0
+        print(
+            f"{report['roots']} root span(s), "
+            f"{report['total_wall_s'] * 1000.0:.1f}ms total wall, "
+            f"{report['coverage'] * 100.0:.1f}% attributed to named phases"
+        )
+        if report["by_name"]:
+            print("\nattribution (fleet-wide, clipped to roots):")
+            for name, seconds in report["by_name"].items():
+                print(f"  {name:<24} {seconds * 1000.0:>10.1f}ms")
+        if report["slowest"]:
+            print("\nslowest roots:")
+            for root in report["slowest"]:
+                where = f" [{root['env']}]" if root.get("env") else ""
+                chain = " -> ".join(
+                    f"{p['name']} {p['wall_ms']:.1f}ms" for p in root["phases"]
+                )
+                print(
+                    f"  {root['name']}{where} t={root['sim_t']:.0f}s "
+                    f"{root['wall_ms']:.1f}ms "
+                    f"({root['coverage'] * 100.0:.0f}% covered)"
+                )
+                if chain:
+                    print(f"    {chain}")
+        return 0
+
+    summary = summarize(spans)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    header = (
+        f"{'span':<24} {'count':>7} {'total(s)':>9} {'mean(ms)':>9} "
+        f"{'p50(ms)':>8} {'p95(ms)':>8} {'max(ms)':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, row in summary.items():
+        print(
+            f"{name:<24} {row['count']:>7} {row['total_s']:>9.3f} "
+            f"{row['mean_ms']:>9.2f} {row['p50_ms']:>8.2f} "
+            f"{row['p95_ms']:>8.2f} {row['max_ms']:>8.2f}"
+        )
+    print(f"\n{len(spans)} span(s) across {len(summary)} name(s)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs.export import load_metric_snapshots
+
+    if not os.path.isdir(args.state_dir):
+        print(f"no state dir at {args.state_dir}", file=sys.stderr)
+        return 2
+    snapshots = load_metric_snapshots(args.state_dir)
+    if not snapshots:
+        print(
+            "no metrics recorded — run `repro watch --stats --state-dir "
+            f"{args.state_dir}` (or set REPRO_OBS=1) first",
+            file=sys.stderr,
+        )
+        return 1
+
+    def keep(name: str) -> bool:
+        return args.name is None or args.name in name
+
+    if args.json:
+        filtered = []
+        for snap in snapshots:
+            metrics = snap.get("metrics", {})
+            filtered.append(
+                {
+                    "t": snap.get("t"),
+                    "metrics": {
+                        kind: {
+                            name: value
+                            for name, value in metrics.get(kind, {}).items()
+                            if keep(name)
+                        }
+                        for kind in ("counters", "gauges", "histograms")
+                    },
+                }
+            )
+        print(json.dumps(filtered, indent=2))
+        return 0
+
+    latest = snapshots[-1]
+    metrics = latest.get("metrics", {})
+    print(
+        f"latest snapshot at t={latest.get('t', 0.0) / 3600.0:.1f}h "
+        f"({len(snapshots)} snapshot(s) recorded)"
+    )
+    shown = 0
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        if keep(name):
+            print(f"  counter    {name:<32} {value:g}")
+            shown += 1
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        if keep(name):
+            print(f"  gauge      {name:<32} {value:g}")
+            shown += 1
+    for name, row in sorted(metrics.get("histograms", {}).items()):
+        if keep(name):
+            print(
+                f"  histogram  {name:<32} count {row['count']} "
+                f"mean {row['mean_ms']:.2f}ms p95 {row['p95_ms']:.2f}ms "
+                f"max {row['max_ms']:.2f}ms"
+            )
+            shown += 1
+    if not shown:
+        print(f"  (no metric matches {args.name!r})")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -704,6 +977,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_batch(args)
     if args.command == "watch":
         return cmd_watch(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "metrics":
+        return cmd_metrics(args)
     if args.command == "lint":
         return cmd_lint(args)
     if args.command == "incidents":

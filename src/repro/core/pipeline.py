@@ -28,6 +28,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..lab.environment import DiagnosisBundle
 from ..lab.scenarios import ScenarioBundle
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from ..runtime import WorkerPool, shared_pool
 from .modules.base import DiagnosisContext, ModuleResult
 from .registry import DiagnosisModule, ModuleRegistry, default_registry
@@ -363,7 +365,8 @@ class DiagnosisPipeline:
                 provider = self._provider_of[blocker]
                 skipped[name] = f"upstream {blocker} unavailable ({skipped[provider]})"
                 continue
-            module.run(ctx)
+            with span("pipeline.module", module=name):
+                module.run(ctx)
         return skipped
 
     def report(
@@ -400,8 +403,14 @@ class DiagnosisPipeline:
             threshold=threshold,
             correlation_threshold=correlation_threshold,
         )
-        skipped = self.execute(ctx)
-        return self.report(ctx, skipped)
+        obs_metrics.add_gauge("pipeline.in_flight", 1)
+        try:
+            with span("diagnose", query=query_name):
+                skipped = self.execute(ctx)
+                return self.report(ctx, skipped)
+        finally:
+            obs_metrics.add_gauge("pipeline.in_flight", -1)
+            obs_metrics.inc("pipeline.diagnoses")
 
     def diagnose_many(
         self,

@@ -63,6 +63,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from ..storage.journal import JournalStore
 from ..storage.keyspaces import FLEET_INCIDENTS
 
@@ -335,6 +337,12 @@ class CorrelationEngine:
                 self._buffer_event(
                     event, "resolve", event.get("resolved_at", event.get("clock"))
                 )
+            obs_metrics.set_gauge("correlate.buffer_depth", len(self._buffer))
+            if self._clocks:
+                obs_metrics.set_gauge(
+                    "correlate.watermark_lag_s",
+                    max(self._clocks.values()) - self._watermark,
+                )
             ready, self._ready = self._ready, []
             return ready
 
@@ -381,7 +389,9 @@ class CorrelationEngine:
         watermark = min(self._clocks.values())
         if watermark > self._watermark:
             self._watermark = watermark
-            self._process()
+            obs_metrics.inc("correlate.watermark_advances")
+            with span("correlate.watermark", sim_t=watermark):
+                self._process()
 
     def _buffer_event(self, event: dict, kind: str, time: float | None) -> None:
         env = event.get("env")

@@ -1,6 +1,6 @@
 """``repro lint`` — AST-based enforcement of the repo's correctness invariants.
 
-Six checkers, each guarding a convention the determinism and durability
+Seven checkers, each guarding a convention the determinism and durability
 guarantees depend on:
 
 ``determinism``
@@ -8,8 +8,11 @@ guarantees depend on:
     unseeded randomness (``np.random.default_rng()`` with no seed, the
     stdlib ``random`` module's global RNG) in simulation-facing packages
     (``lab``, ``db``, ``san``, ``stream``, ``correlate``, ``monitor``,
-    ``stats``) or the CLI.  One stray wall-clock read makes a "deterministic"
-    replay diverge only under load — the worst kind of flake.
+    ``stats``, ``obs``) or the CLI.  One stray wall-clock read makes a
+    "deterministic" replay diverge only under load — the worst kind of
+    flake.  The single exemption is ``obs/clock.py`` — the observability
+    subsystem's allowlisted monotonic clock; everything else (including the
+    rest of ``repro.obs``) measures wall durations through it.
 ``executor-discipline``
     No raw ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` /
     ``threading.Thread`` construction outside ``runtime/pools.py``.  All
@@ -29,6 +32,14 @@ guarantees depend on:
     A field annotated ``# guarded-by: <lock>`` is only mutated inside a
     ``with self.<lock>:`` block.  The annotation also drives the runtime
     sanitizer (:func:`repro.devtools.sanitize.instrument_guarded`).
+``obs-discipline``
+    Outside ``repro/obs/``, spans are used as context managers only (a
+    manually opened span that never closes holds the trace context for the
+    rest of the task and misparents everything after it), and
+    ``wall_clock()`` — the observability clock — is never called directly:
+    instrumented code measures wall durations through ``span()`` /
+    ``timed()``, which keeps the determinism allowlist at exactly one
+    module.
 
 Suppression: append ``# repro-lint: disable=<check>[,<check>…]`` (or
 ``disable=all``) to the offending line, with a comment saying *why*; a
@@ -66,11 +77,15 @@ __all__ = [
 #: ``cli.py`` is included by filename (it hosts the wall-pacing gate, the
 #: one *allowlisted* wall-clock read in the tree).
 SIMULATION_PACKAGES = frozenset(
-    {"lab", "db", "san", "stream", "correlate", "monitor", "stats"}
+    {"lab", "db", "san", "stream", "correlate", "monitor", "stats", "obs"}
 )
 
 #: The one module allowed to construct executors/threads.
 EXECUTOR_HOME = ("runtime", "pools.py")
+
+#: The one module allowed to read a monotonic wall clock: the observability
+#: subsystem's allowlisted clock (every span/timer funnels through it).
+WALL_CLOCK_HOME = ("obs", "clock.py")
 
 _PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
 
@@ -272,6 +287,8 @@ class DeterminismChecker(Checker):
     name = "determinism"
 
     def applies(self, ctx: FileContext) -> bool:
+        if ctx.parts[-2:] == WALL_CLOCK_HOME:
+            return False  # the allowlisted observability clock
         return (
             bool(SIMULATION_PACKAGES.intersection(ctx.parts))
             or ctx.parts[-1] == "cli.py"
@@ -691,6 +708,49 @@ class GuardedFieldsChecker(Checker):
                 )
 
 
+class ObsDisciplineChecker(Checker):
+    """Spans are context managers; wall-clock reads stay inside repro/obs."""
+
+    name = "obs-discipline"
+
+    def applies(self, ctx: FileContext) -> bool:
+        # The obs package itself is exempt: the tracer's factory methods
+        # construct spans without entering them, and clock.py *is* the wall
+        # clock.  (Determinism still polices obs internals.)
+        return "obs" not in ctx.parts
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        with_items: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted(node.func)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf == "wall_clock":
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"direct observability wall-clock read {name}() outside "
+                    "repro/obs/; measure wall durations through span() or "
+                    "metrics.timed() instead",
+                )
+            elif leaf == "span" and id(node) not in with_items:
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"{name}() opened outside a `with` statement; a span "
+                    "that is never closed holds the trace context and "
+                    "misparents every later span — use "
+                    "`with span(...):`",
+                )
+
+
 #: Registered checkers, in report order.
 CHECKERS: tuple[Checker, ...] = (
     DeterminismChecker(),
@@ -699,6 +759,7 @@ CHECKERS: tuple[Checker, ...] = (
     SerializerPairingChecker(),
     KeyspaceLiteralChecker(),
     GuardedFieldsChecker(),
+    ObsDisciplineChecker(),
 )
 
 CHECKER_NAMES = tuple(checker.name for checker in CHECKERS)

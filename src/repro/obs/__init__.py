@@ -1,0 +1,79 @@
+"""repro.obs — self-observability: tracing, metrics, and profiling.
+
+The system that diagnoses simulated storage fleets from low-level
+telemetry now collects its own: simulation-aware spans
+(:mod:`~repro.obs.trace`), a process-wide metrics registry
+(:mod:`~repro.obs.metrics`), and benchmark profiling hooks
+(:mod:`~repro.obs.profile`), all journalled as **sidecar** data that the
+checkpoint/resume path never reads.
+
+Off by default and zero-cost when off: every helper checks
+:func:`is_enabled` and returns a shared no-op.  Turn it on with
+``repro watch --stats``, ``REPRO_OBS=1``, or ``REPRO_PROFILE=1``.
+
+Instrumenting code::
+
+    from ..obs import span, metrics as obs_metrics
+
+    with span("advance", env=name, sim_t=clock_s):
+        ...
+    obs_metrics.inc("detectors.fires", len(detections))
+
+Wall-clock reads live *only* in :mod:`repro.obs.clock`; the
+``obs-discipline`` lint checker rejects them anywhere else.
+"""
+
+from . import clock, export, metrics, profile, trace
+from .clock import disable, enable, is_enabled, wall_clock
+from .export import (
+    OBS_DIR,
+    chrome_trace,
+    critical_path,
+    load_metric_snapshots,
+    load_spans,
+    summarize,
+)
+from .metrics import (
+    MetricsRegistry,
+    add_gauge,
+    inc,
+    observe,
+    registry,
+    set_gauge,
+    timed,
+)
+from .profile import profile_payload, profiling_enabled
+from .trace import Span, Tracer, current_span, span, tracer, wrap_task
+
+__all__ = [
+    "clock",
+    "trace",
+    "metrics",
+    "profile",
+    "export",
+    "wall_clock",
+    "is_enabled",
+    "enable",
+    "disable",
+    "span",
+    "current_span",
+    "wrap_task",
+    "tracer",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "registry",
+    "inc",
+    "set_gauge",
+    "add_gauge",
+    "observe",
+    "timed",
+    "profile_payload",
+    "profiling_enabled",
+    "OBS_DIR",
+    "load_spans",
+    "load_metric_snapshots",
+    "summarize",
+    "chrome_trace",
+    "critical_path",
+]

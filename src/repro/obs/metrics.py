@@ -1,0 +1,334 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The numeric side of ``repro.obs``: where spans answer "where did this tick's
+wall time go", metrics answer "how deep is the pool queue, how many
+diagnoses are in flight, how fast are storage appends" — cheap instruments
+updated from hot paths and *snapshotted* periodically into the sidecar
+``obs_metrics`` keyspace (and rendered live by ``repro watch --stats``).
+
+Three instrument kinds, all lock-guarded per the PR-6 discipline
+(``# guarded-by`` annotations, enforced statically by ``repro lint`` and
+dynamically by the sanitizer):
+
+* :class:`Counter` — monotonically increasing totals (tasks completed,
+  detector fires, bytes written);
+* :class:`Gauge` — last-write-wins levels (queue depth, watermark lag,
+  in-flight diagnoses, via ``add()`` for up/down tracking);
+* :class:`Histogram` — fixed exponential latency buckets with count/sum/
+  min/max and bucket-estimated percentiles (scheduler task latency,
+  storage op latency).
+
+Call sites use the module-level helpers (:func:`inc`, :func:`set_gauge`,
+:func:`add_gauge`, :func:`observe`, :func:`timed`), which check
+:func:`repro.obs.clock.is_enabled` first — one flag test per call when the
+subsystem is off, no instrument allocation, no locking.  Wall-clock reads
+stay inside this module (``timed`` brackets with
+:func:`~repro.obs.clock.wall_clock`), keeping instrumented packages clean
+under the determinism lint.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from .clock import is_enabled, wall_clock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "inc",
+    "set_gauge",
+    "add_gauge",
+    "observe",
+    "timed",
+]
+
+#: Default histogram bucket upper bounds (seconds): half-decade exponential
+#: from 100µs to 10s — spans the range from a MemoryBackend append to a
+#: straggler diagnosis pipeline.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        # guarded-by: _lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins level; ``add()`` supports up/down tracking."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        # guarded-by: _lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (seconds) with summary stats.
+
+    Percentiles are bucket-estimated: the reported quantile is the upper
+    bound of the bucket the rank falls in, clamped to the observed max —
+    coarse but allocation-free and mergeable across snapshots.
+    """
+
+    __slots__ = ("name", "bounds", "_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        self._lock = threading.Lock()
+        # guarded-by: _lock
+        self._counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        # guarded-by: _lock
+        self._count = 0
+        # guarded-by: _lock
+        self._sum = 0.0
+        # guarded-by: _lock
+        self._min = float("inf")
+        # guarded-by: _lock
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+            observed_max = self._max
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for i, bucket in enumerate(counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                bound = self.bounds[i] if i < len(self.bounds) else observed_max
+                return min(bound, observed_max)
+        return observed_max
+
+    def summary(self) -> dict:
+        with self._lock:
+            count = self._count
+            total = self._sum
+            low = self._min if count else 0.0
+            high = self._max
+        return {
+            "count": count,
+            "sum_s": total,
+            "mean_ms": (total / count * 1000.0) if count else 0.0,
+            "min_ms": low * 1000.0,
+            "max_ms": high * 1000.0,
+            "p50_ms": self.percentile(0.50) * 1000.0,
+            "p95_ms": self.percentile(0.95) * 1000.0,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument, get-or-create, one per process.
+
+    Instruments are identified by dotted names (``pool.queue_depth``,
+    ``storage.jsonl.append_s``); the registry is the single source every
+    renderer (``watch --stats``), snapshotter, and query path reads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # guarded-by: _lock
+        self._counters: dict[str, Counter] = {}
+        # guarded-by: _lock
+        self._gauges: dict[str, Gauge] = {}
+        # guarded-by: _lock
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters.setdefault(name, Counter(name))
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms.setdefault(name, Histogram(name, bounds))
+            return instrument
+
+    # -- snapshotting -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able point-in-time view of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def snapshot_to(
+        self, backend: Any, sim_t: float, *, keyspace: str | None = None
+    ) -> dict:
+        """Append one snapshot record (simulated timestamp) to a backend."""
+        if keyspace is None:
+            from ..storage import keyspaces as _keyspaces  # lazy: keep obs import-light
+
+            keyspace = _keyspaces.OBS_METRICS
+        snap = self.snapshot()
+        backend.append(keyspace, {"t": sim_t, "metrics": snap})
+        return snap
+
+    def reset(self) -> None:
+        """Drop every instrument (tests / fresh benchmark legs)."""
+        with self._lock:
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry (one per process, like the tracer)."""
+    return _registry
+
+
+# ---------------------------------------------------------------------------
+# hot-path helpers: one enabled-flag check, then the instrument op
+# ---------------------------------------------------------------------------
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment a counter (no-op while observability is off)."""
+    if not is_enabled():
+        return
+    _registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge level (no-op while observability is off)."""
+    if not is_enabled():
+        return
+    _registry.gauge(name).set(value)
+
+
+def add_gauge(name: str, delta: float) -> None:
+    """Move a gauge up/down (no-op while observability is off)."""
+    if not is_enabled():
+        return
+    _registry.gauge(name).add(delta)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op while observability is off)."""
+    if not is_enabled():
+        return
+    _registry.histogram(name).observe(value)
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = wall_clock()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._histogram.observe(max(0.0, wall_clock() - self._start))
+
+
+def timed(name: str):
+    """Context manager recording the block's wall duration to a histogram.
+
+    The wall-clock reads happen *here*, inside ``repro.obs`` — instrumented
+    packages never touch the clock themselves, which is what keeps them
+    clean under the determinism lint and the ``obs-discipline`` checker.
+    """
+    if not is_enabled():
+        return _NULL_TIMER
+    return _Timer(_registry.histogram(name))

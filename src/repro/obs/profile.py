@@ -1,0 +1,42 @@
+"""Profiling hooks: attach span/metric evidence to benchmark artifacts.
+
+``REPRO_PROFILE=1`` turns the whole observability stack on (the clock
+module treats it as an enable flag) and benchmarks call
+:func:`profile_payload` at the end of a run to capture per-span duration
+histograms plus a metrics snapshot.  The benchmark harness
+(``benchmarks/conftest.py``) embeds the payload in the machine-readable
+``BENCH_*.json`` next to the throughput headline, so a scaling claim
+ships with per-stage evidence ("advance p95 fell, diagnose p95 didn't")
+instead of a single number.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .clock import _PROFILE_FLAG, is_enabled
+from .metrics import registry
+from .trace import tracer
+
+__all__ = ["profiling_enabled", "profile_payload"]
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` asks benchmarks to attach profiles."""
+    return os.environ.get(_PROFILE_FLAG, "") not in ("", "0", "false")
+
+
+def profile_payload() -> dict:
+    """Everything a benchmark wants to embed: span histograms + metrics.
+
+    Shape::
+
+        {"enabled": bool,
+         "spans": {name: {count, total_s, mean_ms, p50_ms, p95_ms, max_ms}},
+         "metrics": {"counters": ..., "gauges": ..., "histograms": ...}}
+    """
+    return {
+        "enabled": is_enabled(),
+        "spans": tracer().aggregate(),
+        "metrics": registry().snapshot(),
+    }

@@ -19,6 +19,8 @@ import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any, Callable, Iterable, TypeVar
 
+from ..obs import trace as obs_trace
+
 __all__ = ["WorkerPool", "shared_pool", "reset_shared_pool"]
 
 T = TypeVar("T")
@@ -73,8 +75,42 @@ class WorkerPool:
             max_workers=self.max_workers, thread_name_prefix=thread_name_prefix
         )
         self._closed = False
+        self._stats_lock = threading.Lock()
+        # guarded-by: _stats_lock
+        self._submitted = 0
+        # guarded-by: _stats_lock
+        self._active = 0
+        # guarded-by: _stats_lock
+        self._completed = 0
+        # guarded-by: _stats_lock
+        self._failed = 0
+        # guarded-by: _stats_lock
+        self._cancelled = 0
 
     # -- submission ------------------------------------------------------
+    def _counted_task(self, fn: Callable[..., R]) -> Callable[..., R]:
+        def task(*args: Any, **kwargs: Any) -> R:
+            with self._stats_lock:
+                self._active += 1
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException:
+                with self._stats_lock:
+                    self._active -= 1
+                    self._failed += 1
+                raise
+            with self._stats_lock:
+                self._active -= 1
+                self._completed += 1
+            return result
+
+        return task
+
+    def _note_done(self, future: "Future[Any]") -> None:
+        if future.cancelled():
+            with self._stats_lock:
+                self._cancelled += 1
+
     def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any) -> "Future[R]":
         if self._closed:
             raise RuntimeError("worker pool is shut down")
@@ -82,7 +118,38 @@ class WorkerPool:
 
         if sanitize.is_enabled():
             fn = _scoped_task(fn)
-        return self._executor.submit(fn, *args, **kwargs)
+        # Carry the caller's open span across the thread hop (no-op when
+        # observability is off), then count the run under the stats lock.
+        fn = self._counted_task(obs_trace.wrap_task(fn))
+        with self._stats_lock:
+            self._submitted += 1
+        future = self._executor.submit(fn, *args, **kwargs)
+        future.add_done_callback(self._note_done)
+        return future
+
+    def stats(self) -> dict:
+        """Point-in-time pool counters: queue depth, utilisation, outcomes.
+
+        ``queued`` is work submitted but not yet running (and not resolved
+        by cancellation); ``utilisation`` is active workers over pool width.
+        """
+        with self._stats_lock:
+            submitted = self._submitted
+            active = self._active
+            completed = self._completed
+            failed = self._failed
+            cancelled = self._cancelled
+        queued = max(0, submitted - active - completed - failed - cancelled)
+        return {
+            "max_workers": self.max_workers,
+            "submitted": submitted,
+            "queued": queued,
+            "active": active,
+            "completed": completed,
+            "failed": failed,
+            "cancelled": cancelled,
+            "utilisation": active / self.max_workers if self.max_workers else 0.0,
+        }
 
     def map_bounded(
         self,

@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Coroutine
 
+from ..obs import metrics as obs_metrics
 from .pools import WorkerPool, shared_pool
 
 __all__ = ["Scheduler", "TaskQueue", "TaskTimeout"]
@@ -99,11 +100,15 @@ class Scheduler:
         future = self.pool.submit(fn, *args)
         wrapped = asyncio.wrap_future(future)
         try:
-            if timeout is not None:
-                return await asyncio.wait_for(wrapped, timeout)
-            return await wrapped
+            # Submit-to-result latency (queueing + execution), as seen by the
+            # awaiting coroutine.  Null timer when observability is off.
+            with obs_metrics.timed("scheduler.task_latency_s"):
+                if timeout is not None:
+                    return await asyncio.wait_for(wrapped, timeout)
+                return await wrapped
         except asyncio.TimeoutError:
             future.cancel()
+            obs_metrics.inc("scheduler.timeouts")
             raise TaskTimeout(
                 f"pool task {getattr(fn, '__name__', fn)!r} exceeded {timeout:g}s"
             ) from None

@@ -38,9 +38,17 @@ import threading
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from ..obs import metrics as obs_metrics
+from ..obs import span
+from . import keyspaces as _keyspaces
 from .backend import KEY_FIELD, Record, TIME_FIELD, atomic_write_json, matches
 
 __all__ = ["JsonlBackend"]
+
+#: Keyspaces the observability sidecar itself writes.  Appends to these get
+#: metrics but never spans — a span finishing *is* an append to ``traces``,
+#: so tracing those appends would recurse.
+_OBS_KEYSPACES = frozenset((_keyspaces.TRACES, _keyspaces.OBS_METRICS))
 
 _MANIFEST = "MANIFEST.json"
 _SUFFIX = ".jsonl"
@@ -137,18 +145,36 @@ class JsonlBackend:
     def append_many(self, keyspace: str, records: Iterable[Record]) -> int:
         self._check_open()
         keyspace = _safe_keyspace(keyspace)
+        if keyspace in _OBS_KEYSPACES:
+            # The sidecar's own writes: metrics only (a finishing span *is*
+            # an append to `traces`; tracing it would recurse).
+            with obs_metrics.timed("storage.jsonl.append_s"):
+                written, nbytes = self._append_locked(keyspace, records)
+        else:
+            with span("storage.append", keyspace=keyspace):
+                with obs_metrics.timed("storage.jsonl.append_s"):
+                    written, nbytes = self._append_locked(keyspace, records)
+        obs_metrics.inc("storage.jsonl.records", written)
+        obs_metrics.inc("storage.jsonl.bytes", nbytes)
+        return written
+
+    def _append_locked(
+        self, keyspace: str, records: Iterable[Record]
+    ) -> tuple[int, int]:
         with self._lock:
             fh = self._file_for(keyspace)
             index = self._index.setdefault(keyspace, _KeyspaceIndex())
             self._dirty = True
             written = 0
+            nbytes = 0
             for record in records:
                 line = json.dumps(record, separators=(",", ":")) + "\n"
                 data = line.encode("utf-8")
                 fh.write(data)
                 index.note(record, len(data))
                 written += 1
-            return written
+                nbytes += len(data)
+            return written, nbytes
 
     def scan(
         self,
@@ -158,6 +184,7 @@ class JsonlBackend:
         start: float | None = None,
         end: float | None = None,
     ) -> Iterator[Record]:
+        obs_metrics.inc("storage.jsonl.scans")
         with self._lock:
             index = self._index.get(keyspace)
             if index is None or index.count == 0:
@@ -187,10 +214,11 @@ class JsonlBackend:
 
     def flush(self) -> None:
         self._check_open()
-        with self._lock:
-            for keyspace in list(self._files):
-                self._flush_file(keyspace)
-            self._write_manifest()
+        with obs_metrics.timed("storage.jsonl.flush_s"):
+            with self._lock:
+                for keyspace in list(self._files):
+                    self._flush_file(keyspace)
+                self._write_manifest()
 
     def close(self) -> None:
         if self._closed:

@@ -25,6 +25,8 @@ __all__ = [
     "FLEET_INCIDENTS",
     "FLEET_EVENTS",
     "JOURNAL",
+    "TRACES",
+    "OBS_METRICS",
     "ALL_KEYSPACES",
     "validate",
 ]
@@ -58,6 +60,14 @@ FLEET_EVENTS = "fleet_events"
 #: scaffolding (every concrete journal overrides it with one of the above).
 JOURNAL = "journal"
 
+#: Finished observability spans (:class:`repro.obs.Tracer`).  Write-only
+#: sidecar data: nothing in the simulation or checkpoint path reads it.
+TRACES = "traces"
+
+#: Periodic metrics-registry snapshots (:meth:`repro.obs.MetricsRegistry.
+#: snapshot_to`).  Sidecar-only, like :data:`TRACES`.
+OBS_METRICS = "obs_metrics"
+
 #: Every registered keyspace, in declaration order.
 ALL_KEYSPACES: tuple[str, ...] = (
     METRICS,
@@ -68,6 +78,8 @@ ALL_KEYSPACES: tuple[str, ...] = (
     FLEET_INCIDENTS,
     FLEET_EVENTS,
     JOURNAL,
+    TRACES,
+    OBS_METRICS,
 )
 
 

@@ -36,6 +36,7 @@ import threading
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from ..obs import metrics as obs_metrics
 from .backend import KEY_FIELD, Record, TIME_FIELD
 
 __all__ = ["SqliteBackend"]
@@ -105,14 +106,16 @@ class SqliteBackend:
         ]
         if not rows:
             return 0
-        with self._lock:
-            self._conn.executemany(
-                "INSERT INTO records (ks, k, t, payload) VALUES (?, ?, ?, ?)", rows
-            )
-            self._uncommitted += len(rows)
-            if self._uncommitted >= self.commit_every:
-                self._conn.commit()
-                self._uncommitted = 0
+        with obs_metrics.timed("storage.sqlite.append_s"):
+            with self._lock:
+                self._conn.executemany(
+                    "INSERT INTO records (ks, k, t, payload) VALUES (?, ?, ?, ?)", rows
+                )
+                self._uncommitted += len(rows)
+                if self._uncommitted >= self.commit_every:
+                    self._conn.commit()
+                    self._uncommitted = 0
+        obs_metrics.inc("storage.sqlite.records", len(rows))
         return len(rows)
 
     def scan(
@@ -140,6 +143,7 @@ class SqliteBackend:
             + " AND ".join(clauses)
             + " ORDER BY seq"
         )
+        obs_metrics.inc("storage.sqlite.scans")
         with self._lock:
             self._check_open()
             rows = self._conn.execute(sql, params).fetchall()

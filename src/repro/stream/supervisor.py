@@ -49,8 +49,13 @@ from ..core.evaluation import evaluate_report
 from ..core.pipeline import DiagnosisPipeline, DiagnosisRequest, default_pipeline
 from ..lab.environment import Environment
 from ..lab.scenarios import Scenario, ScenarioBundle, ScenarioInfo
+from ..obs import OBS_DIR, span
+from ..obs import clock as obs_clock
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..runtime import ClockVector, Scheduler, WorkerPool, shared_pool
 from ..storage.backend import atomic_write_json
+from ..storage.jsonl import JsonlBackend
 from .detectors import (
     Detection,
     DetectorBank,
@@ -279,6 +284,16 @@ class FleetSupervisor:
         #: starts, and both share one tmp-file name — unserialised, the
         #: loser's atomic rename finds its tmp already consumed.
         self._checkpoint_write_lock = threading.Lock()
+        #: Observability sidecar backend (``<state_dir>/obs/``): span
+        #: journal + periodic metrics snapshots.  Strictly write-only from
+        #: the run's perspective — the checkpoint/resume path never opens
+        #: it, so the byte-for-byte incident-history guarantee cannot see
+        #: it.  None without a state dir or with observability off.
+        self.obs_backend: JsonlBackend | None = (
+            JsonlBackend(self.state_dir / OBS_DIR)
+            if self.state_dir is not None and obs_clock.is_enabled()
+            else None
+        )
 
     # -- sizing ----------------------------------------------------------
     def _workers(self, fleet_size: int) -> int:
@@ -291,6 +306,16 @@ class FleetSupervisor:
 
     def _pool(self) -> WorkerPool:
         return self.pool if self.pool is not None else shared_pool()
+
+    def pool_stats(self) -> dict:
+        """Live counters of the worker pool this fleet runs on.
+
+        Whatever :meth:`WorkerPool.stats` reports for the pool in use —
+        the supervisor's own or the process-wide shared one.  Rendering
+        only; never part of :meth:`to_dict` (checkpoint equivalence
+        compares that byte for byte).
+        """
+        return self._pool().stats()
 
     # -- registration ----------------------------------------------------
     def watch(
@@ -354,10 +379,13 @@ class FleetSupervisor:
     ) -> list[Incident]:
         """Feed one chunk's detections to the manager; incidents opened."""
         opened: list[Incident] = []
+        obs_metrics.inc("detectors.fires", len(detections))
         for detection in detections:
             incident = watched.manager.observe(detection)
             if incident is not None:
                 opened.append(incident)
+        if opened:
+            obs_metrics.inc("incidents.opened", len(opened))
         for incident in opened:
             self._drill_down(
                 self._correlate(
@@ -617,59 +645,68 @@ class FleetSupervisor:
         chunk = chunk_s if chunk_s is not None else self.chunk_s
         fleet = list(self.watched.values())
         workers = self._workers(len(fleet))
+        self._attach_obs()
 
-        # Phase 1 — advance all environments concurrently on the shared
-        # pool.  Each environment is touched by exactly one worker at a
-        # time; detections buffer per-env.
-        if workers > 1 and len(fleet) > 1:
-            batches = self._pool().map_bounded(
-                lambda w: w.advance(chunk), fleet, limit=workers
-            )
-        else:
-            batches = [w.advance(chunk) for w in fleet]
+        with span("tick", sim_t=self.advanced_s, chunk_s=chunk):
+            # Phase 1 — advance all environments concurrently on the shared
+            # pool.  Each environment is touched by exactly one worker at a
+            # time; detections buffer per-env.
+            with span("advance"):
+                if workers > 1 and len(fleet) > 1:
+                    batches = self._pool().map_bounded(
+                        lambda w: w.advance(chunk), fleet, limit=workers
+                    )
+                else:
+                    batches = [w.advance(chunk) for w in fleet]
 
-        # Phase 2 — fold detections into incidents (dedup + cooldown).
-        for watched, detections in zip(fleet, batches):
-            watched.advanced_s += chunk
-            self._fold_detections(watched, detections)
+            # Phase 2 — fold detections into incidents (dedup + cooldown).
+            with span("detect"):
+                for watched, detections in zip(fleet, batches):
+                    watched.advanced_s += chunk
+                    self._fold_detections(watched, detections)
 
-        # Phase 3 — fleet-wide diagnosis wave (the barrier this method is
-        # named for): submit every due environment's request as a batch and
-        # wait for all reports.  Incidents a fleet report already covers are
-        # short-circuited instead of entering the wave.
-        wave: list[tuple[WatchedEnvironment, list[Incident]]] = []
-        requests: list[DiagnosisRequest] = []
-        resolved: list[Incident] = []
-        for watched in fleet:
-            resolved.extend(self._apply_fleet_short_circuit(watched))
-            due = self._begin_diagnosis_wave(watched)
-            if due is None:
-                continue
-            incidents, request = due
-            wave.append((watched, incidents))
-            requests.append(request)
-        if wave:
-            reports = self.pipeline.diagnose_many(
-                requests, max_workers=workers, pool=self._pool()
-            )
-            for (watched, incidents), report in zip(wave, reports):
-                resolved.extend(self._resolve_wave(watched, incidents, report))
-        # Progress is fed to the correlator last, mirroring the barrier-free
-        # loop: the watermark only moves once this tick's opens and resolves
-        # are buffered, so both execution paths process the identical
-        # simulated-time sequence.
-        for watched in fleet:
-            self._drill_down(
-                self._correlate(
-                    {
-                        "type": "advanced",
-                        "env": watched.name,
-                        "advanced_s": watched.advanced_s,
-                    }
-                )
-            )
-        self.ticks += 1
-        self.checkpoint()
+            # Phase 3 — fleet-wide diagnosis wave (the barrier this method
+            # is named for): submit every due environment's request as a
+            # batch and wait for all reports.  Incidents a fleet report
+            # already covers are short-circuited instead of entering the
+            # wave.
+            wave: list[tuple[WatchedEnvironment, list[Incident]]] = []
+            requests: list[DiagnosisRequest] = []
+            resolved: list[Incident] = []
+            with span("diagnose"):
+                for watched in fleet:
+                    resolved.extend(self._apply_fleet_short_circuit(watched))
+                    due = self._begin_diagnosis_wave(watched)
+                    if due is None:
+                        continue
+                    incidents, request = due
+                    wave.append((watched, incidents))
+                    requests.append(request)
+                if wave:
+                    reports = self.pipeline.diagnose_many(
+                        requests, max_workers=workers, pool=self._pool()
+                    )
+                    for (watched, incidents), report in zip(wave, reports):
+                        resolved.extend(
+                            self._resolve_wave(watched, incidents, report)
+                        )
+            # Progress is fed to the correlator last, mirroring the barrier-
+            # free loop: the watermark only moves once this tick's opens and
+            # resolves are buffered, so both execution paths process the
+            # identical simulated-time sequence.
+            with span("correlate"):
+                for watched in fleet:
+                    self._drill_down(
+                        self._correlate(
+                            {
+                                "type": "advanced",
+                                "env": watched.name,
+                                "advanced_s": watched.advanced_s,
+                            }
+                        )
+                    )
+            self.ticks += 1
+            self.checkpoint()
         return resolved
 
     # -- the barrier-free loop -------------------------------------------
@@ -708,6 +745,7 @@ class FleetSupervisor:
         target_s = self.advanced_s + duration_s
         started_s = self.advanced_s
         self._stop_requested.clear()
+        self._attach_obs()
         scheduler = Scheduler(pool=self._pool())
         scheduler.run(
             self._run_async(scheduler, fleet, target_s, started_s, on_tick, on_event)
@@ -793,6 +831,13 @@ class FleetSupervisor:
                 # boundary snapshots are consistent by construction.
                 self._checkpoint_dirty = False
                 self._write_checkpoint()
+            # Quiesce the observability sidecar: one last metrics snapshot,
+            # flush the span journal, and detach the process-wide sink so a
+            # later run (or another supervisor) attaches its own.
+            self._snapshot_obs()
+            if self.obs_backend is not None:
+                obs_trace.tracer().set_sink(None)
+                self.obs_backend.flush()
         self._emit(
             on_event,
             {
@@ -820,104 +865,130 @@ class FleetSupervisor:
             watched.advanced_s < target_s - 1e-9
             and not self._stop_requested.is_set()
         ):
-            step = min(self.chunk_s, target_s - watched.advanced_s)
-            if self.max_skew_s is not None:
-                # Skew gate: don't start a chunk that would put this member
-                # more than max_skew_s ahead of the fleet floor.  Pure wall
-                # pacing — simulated histories are unaffected.
-                while (
-                    not self._stop_requested.is_set()
-                    and watched.advanced_s + step - self.advanced_s
-                    > self.max_skew_s + 1e-9
-                ):
-                    await asyncio.sleep(0.002)
-                if self._stop_requested.is_set():
-                    break
-            async with advance_gate:
-                detections = await scheduler.call(watched.advance, step)
-            watched.advanced_s += step
-            opened = self._fold_detections(watched, detections)
-            for incident in opened:
-                self._emit(
-                    on_event,
-                    {
-                        "type": "incident_opened",
-                        "env": watched.name,
-                        "incident_id": incident.incident_id,
-                        "severity": incident.severity.value,
-                        "opened_at": incident.opened_at,
-                    },
-                )
-            resolved: list[Incident] = list(
-                self._apply_fleet_short_circuit(watched, on_event)
-            )
-            due = self._begin_diagnosis_wave(watched)
-            if due is not None:
-                incidents, request = due
-                self._emit(
-                    on_event,
-                    {
-                        "type": "diagnosis_started",
-                        "env": watched.name,
-                        "incident_ids": [i.incident_id for i in incidents],
-                        "clock": watched.env.clock,
-                    },
-                )
-                report = await self._diagnose_async(
-                    scheduler, request, diagnosis_gate
-                )
-                wave_resolved = self._resolve_wave(watched, incidents, report)
-                resolved.extend(wave_resolved)
-                for incident in wave_resolved:
+            with span("iteration", env=watched.name, sim_t=watched.advanced_s):
+                step = min(self.chunk_s, target_s - watched.advanced_s)
+                if self.max_skew_s is not None:
+                    # Skew gate: don't start a chunk that would put this
+                    # member more than max_skew_s ahead of the fleet floor.
+                    # Pure wall pacing — simulated histories are unaffected.
+                    if (
+                        watched.advanced_s + step - self.advanced_s
+                        > self.max_skew_s + 1e-9
+                    ):
+                        with span("wait", phase="skew-gate"):
+                            while (
+                                not self._stop_requested.is_set()
+                                and watched.advanced_s + step - self.advanced_s
+                                > self.max_skew_s + 1e-9
+                            ):
+                                await asyncio.sleep(0.002)
+                    if self._stop_requested.is_set():
+                        break
+                with span("wait", phase="advance-slot"):
+                    await advance_gate.acquire()
+                try:
+                    with span("advance", chunk_s=step):
+                        detections = await scheduler.call(watched.advance, step)
+                finally:
+                    advance_gate.release()
+                watched.advanced_s += step
+                with span("detect", detections=len(detections)):
+                    opened = self._fold_detections(watched, detections)
+                    for incident in opened:
+                        self._emit(
+                            on_event,
+                            {
+                                "type": "incident_opened",
+                                "env": watched.name,
+                                "incident_id": incident.incident_id,
+                                "severity": incident.severity.value,
+                                "opened_at": incident.opened_at,
+                            },
+                        )
+                    resolved: list[Incident] = list(
+                        self._apply_fleet_short_circuit(watched, on_event)
+                    )
+                    due = self._begin_diagnosis_wave(watched)
+                if due is not None:
+                    incidents, request = due
+                    with span("diagnose", incidents=len(incidents)):
+                        self._emit(
+                            on_event,
+                            {
+                                "type": "diagnosis_started",
+                                "env": watched.name,
+                                "incident_ids": [
+                                    i.incident_id for i in incidents
+                                ],
+                                "clock": watched.env.clock,
+                            },
+                        )
+                        report = await self._diagnose_async(
+                            scheduler, request, diagnosis_gate
+                        )
+                        wave_resolved = self._resolve_wave(
+                            watched, incidents, report
+                        )
+                        resolved.extend(wave_resolved)
+                        for incident in wave_resolved:
+                            self._emit(
+                                on_event,
+                                {
+                                    "type": "incident_resolved",
+                                    "env": watched.name,
+                                    "incident_id": incident.incident_id,
+                                    "severity": incident.severity.value,
+                                    "top_cause": incident.top_cause_id,
+                                    "resolved_at": incident.resolved_at,
+                                    "clock": watched.env.clock,
+                                },
+                            )
+                self.ticks += 1
+                # Progress feeds the correlator last (after this iteration's
+                # opens and resolves are buffered) and before the snapshot
+                # stash, so the engine's watermark state is never behind a
+                # checkpointed environment snapshot.  Any drill-down this
+                # surfaces is bridged onto the worker pool: the cross-bundle
+                # analysis (and the sibling advance locks it takes) must not
+                # stall the coordination loop the whole fleet shares.
+                # Re-attaching after a kill is safe (report journalling is
+                # idempotent), so the snapshot-ordering invariant is
+                # unaffected by awaiting here.
+                with span("correlate"):
+                    ready = self._correlate(
+                        {
+                            "type": "advanced",
+                            "env": watched.name,
+                            "advanced_s": watched.advanced_s,
+                        }
+                    )
+                    for group in ready:
+                        await scheduler.call(self._on_fleet_incident, group)
+                if self.state_dir is not None:
+                    with span("snapshot"):
+                        self._env_snapshots[watched.name] = self._snapshot_env(
+                            watched
+                        )
+                        self._checkpoint_dirty = True
+                fleet_floor = self.advanced_s  # one O(fleet) scan/iteration
+                with span("emit"):
                     self._emit(
                         on_event,
                         {
-                            "type": "incident_resolved",
+                            "type": "advanced",
                             "env": watched.name,
-                            "incident_id": incident.incident_id,
-                            "severity": incident.severity.value,
-                            "top_cause": incident.top_cause_id,
-                            "resolved_at": incident.resolved_at,
                             "clock": watched.env.clock,
+                            "advanced_s": watched.advanced_s,
+                            "fleet_advanced_s": fleet_floor,
+                            "detections": len(detections),
+                            "resolved": len(resolved),
                         },
                     )
-            self.ticks += 1
-            # Progress feeds the correlator last (after this iteration's
-            # opens and resolves are buffered) and before the snapshot stash,
-            # so the engine's watermark state is never behind a checkpointed
-            # environment snapshot.  Any drill-down this surfaces is bridged
-            # onto the worker pool: the cross-bundle analysis (and the
-            # sibling advance locks it takes) must not stall the
-            # coordination loop the whole fleet shares.  Re-attaching after
-            # a kill is safe (report journalling is idempotent), so the
-            # snapshot-ordering invariant is unaffected by awaiting here.
-            ready = self._correlate(
-                {
-                    "type": "advanced",
-                    "env": watched.name,
-                    "advanced_s": watched.advanced_s,
-                }
-            )
-            for group in ready:
-                await scheduler.call(self._on_fleet_incident, group)
-            if self.state_dir is not None:
-                self._env_snapshots[watched.name] = self._snapshot_env(watched)
-                self._checkpoint_dirty = True
-            fleet_floor = self.advanced_s  # one O(fleet) scan per iteration
-            self._emit(
-                on_event,
-                {
-                    "type": "advanced",
-                    "env": watched.name,
-                    "clock": watched.env.clock,
-                    "advanced_s": watched.advanced_s,
-                    "fleet_advanced_s": fleet_floor,
-                    "detections": len(detections),
-                    "resolved": len(resolved),
-                },
-            )
-            if on_tick is not None:
-                on_tick(resolved, fleet_floor - started_s)
+                    if on_tick is not None:
+                        on_tick(resolved, fleet_floor - started_s)
+                obs_metrics.inc("supervisor.iterations")
+                if resolved:
+                    obs_metrics.inc("incidents.resolved", len(resolved))
             # Yield even on quiet iterations so a large fleet interleaves
             # fairly instead of one member monopolising the loop.
             await asyncio.sleep(0)
@@ -934,8 +1005,12 @@ class FleetSupervisor:
     ):
         """Submit one diagnosis to the runtime; await only this env's report."""
         async with diagnosis_gate if diagnosis_gate is not None else nullcontext():
-            future = self.pipeline.submit_many([request], pool=scheduler.pool)[0]
-            return await asyncio.wrap_future(future)
+            obs_metrics.add_gauge("diagnoses.in_flight", 1)
+            try:
+                future = self.pipeline.submit_many([request], pool=scheduler.pool)[0]
+                return await asyncio.wrap_future(future)
+            finally:
+                obs_metrics.add_gauge("diagnoses.in_flight", -1)
 
     def _emit(self, on_event, event: FleetEvent) -> None:
         """Deliver one fleet event: durable journal first, then the callback.
@@ -947,6 +1022,28 @@ class FleetSupervisor:
             self.event_log.append(event)
         if on_event is not None:
             on_event(event)
+
+    # -- observability sidecar -------------------------------------------
+    def _attach_obs(self) -> None:
+        """Point the process-wide tracer at this run's sidecar backend."""
+        if self.obs_backend is not None:
+            obs_trace.tracer().set_sink(self.obs_backend)
+
+    def _snapshot_obs(self) -> None:
+        """Persist one metrics snapshot (pool gauges refreshed first).
+
+        Called on the flusher's wall cadence and once at quiesce — never
+        from the per-iteration hot path.  No-op without a sidecar backend
+        or with observability off.
+        """
+        if self.obs_backend is None or not obs_clock.is_enabled():
+            return
+        stats = self._pool().stats()
+        obs_metrics.set_gauge("pool.queued", stats["queued"])
+        obs_metrics.set_gauge("pool.active", stats["active"])
+        obs_metrics.set_gauge("pool.utilisation", stats["utilisation"])
+        obs_metrics.registry().snapshot_to(self.obs_backend, self.advanced_s)
+        self.obs_backend.flush()
 
     # -- persistence -----------------------------------------------------
     def _snapshot_env(self, watched: WatchedEnvironment) -> dict:
@@ -1021,7 +1118,8 @@ class FleetSupervisor:
             if self._checkpoint_dirty:
                 self._checkpoint_dirty = False
                 try:
-                    await scheduler.call(self._write_checkpoint)
+                    with span("checkpoint", sim_t=self.advanced_s):
+                        await scheduler.call(self._write_checkpoint)
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:  # noqa: BLE001 — retried next wake
@@ -1035,6 +1133,9 @@ class FleetSupervisor:
                         on_event,
                         {"type": "checkpoint", "advanced_s": self.advanced_s},
                     )
+            # Periodic metrics snapshot into the sidecar, on the flusher's
+            # wall cadence (not per iteration — the hot loop never pays).
+            await scheduler.call(self._snapshot_obs)
 
     def checkpoint(self) -> None:
         """Snapshot every environment now and write the checkpoint.
@@ -1046,10 +1147,12 @@ class FleetSupervisor:
         """
         if self.state_dir is None:
             return
-        for watched in self.watched.values():
-            self._env_snapshots[watched.name] = self._snapshot_env(watched)
-        self._checkpoint_dirty = False
-        self._write_checkpoint()
+        with span("checkpoint", sim_t=self.advanced_s):
+            for watched in self.watched.values():
+                self._env_snapshots[watched.name] = self._snapshot_env(watched)
+            self._checkpoint_dirty = False
+            self._write_checkpoint()
+        self._snapshot_obs()
 
     def has_checkpoint(self) -> bool:
         return (

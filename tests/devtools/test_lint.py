@@ -483,6 +483,91 @@ class TestGuardedFields:
 # ---------------------------------------------------------------------------
 
 
+# ---------------------------------------------------------------------------
+# obs-discipline
+# ---------------------------------------------------------------------------
+
+
+class TestObsDiscipline:
+    def test_wall_clock_call_outside_obs_flagged(self):
+        findings = lint(
+            """
+            from repro.obs.clock import wall_clock
+
+            def measure():
+                return wall_clock()
+            """,
+            path=NONSIM,
+        )
+        assert checks(findings) == ["obs-discipline"]
+        assert "wall_clock" in findings[0].message
+
+    def test_wall_clock_inside_obs_package_exempt(self):
+        findings = lint(
+            """
+            from .clock import wall_clock
+
+            def bracket():
+                return wall_clock()
+            """,
+            path="src/repro/obs/trace.py",
+        )
+        assert findings == []
+
+    def test_span_outside_with_statement_flagged(self):
+        findings = lint(
+            """
+            from repro.obs import span
+
+            def manual():
+                open_span = span("advance")
+                return open_span
+            """,
+            path=NONSIM,
+        )
+        assert checks(findings) == ["obs-discipline"]
+        assert "with span" in findings[0].message
+
+    def test_span_as_with_item_clean(self):
+        findings = lint(
+            """
+            from repro.obs import span
+
+            def bracketed():
+                with span("advance", env="db1"):
+                    pass
+            """,
+            path=NONSIM,
+        )
+        assert findings == []
+
+    def test_span_in_async_with_clean(self):
+        findings = lint(
+            """
+            from repro.obs import span
+
+            async def bracketed():
+                with span("advance") as s:
+                    s.annotate(count=1)
+            """,
+            path=NONSIM,
+        )
+        assert findings == []
+
+    def test_obs_clock_module_exempt_from_determinism(self):
+        # The one sanctioned monotonic read lives in obs/clock.py; the same
+        # call in any other obs module is still a determinism finding.
+        source = """
+        import time
+
+        def wall_clock():
+            return time.perf_counter()
+        """
+        assert lint(source, path="src/repro/obs/clock.py") == []
+        findings = lint(source, path="src/repro/obs/metrics.py")
+        assert "determinism" in checks(findings)
+
+
 class TestPragmas:
     def test_line_pragma_suppresses(self):
         findings = lint(
@@ -610,4 +695,5 @@ class TestRunner:
             "serializer-completeness",
             "keyspace-literal",
             "guarded-fields",
+            "obs-discipline",
         )

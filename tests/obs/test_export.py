@@ -1,0 +1,130 @@
+"""Offline trace analysis: tables, Chrome trace JSON, critical paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import chrome_trace, critical_path, summarize
+from repro.obs.export import load_metric_snapshots, load_spans, write_chrome_trace
+
+
+def _span(
+    name: str,
+    span_id: str,
+    start: float,
+    dur: float,
+    *,
+    parent: str | None = None,
+    env: str | None = None,
+    t: float = 0.0,
+) -> dict:
+    record = {
+        "t": t,
+        "name": name,
+        "span_id": span_id,
+        "trace_id": span_id if parent is None else "s1",
+        "wall_start": start,
+        "wall_dur": dur,
+    }
+    if parent is not None:
+        record["parent_id"] = parent
+    if env is not None:
+        record["k"] = env
+    return record
+
+
+#: One iteration (1.0s) with three children: advance covers [0.1, 0.7],
+#: detect overlaps it on [0.6, 0.8], diagnose covers [0.85, 0.95].  The
+#: union covers 0.80s of the 1.0s root.
+SYNTHETIC = [
+    _span("iteration", "s1", 0.0, 1.0, env="db1", t=1800.0),
+    _span("advance", "s2", 0.1, 0.6, parent="s1", env="db1"),
+    _span("detect", "s3", 0.6, 0.2, parent="s1", env="db1"),
+    _span("diagnose", "s4", 0.85, 0.1, parent="s1", env="db1"),
+]
+
+
+class TestSummarize:
+    def test_per_name_stats_sorted_by_total(self):
+        summary = summarize(SYNTHETIC)
+        assert list(summary) == ["iteration", "advance", "detect", "diagnose"]
+        assert summary["advance"]["count"] == 1
+        assert summary["advance"]["total_s"] == pytest.approx(0.6)
+        assert summary["advance"]["max_ms"] == pytest.approx(600.0)
+
+    def test_empty_input(self):
+        assert summarize([]) == {}
+
+
+class TestChromeTrace:
+    def test_event_shape_and_relative_microseconds(self):
+        payload = chrome_trace(SYNTHETIC)
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in meta} == {"supervisor", "env:db1"}
+        assert len(slices) == len(SYNTHETIC)
+        root = next(e for e in slices if e["name"] == "iteration")
+        assert root["ts"] == 0.0  # relative to the earliest span
+        assert root["dur"] == pytest.approx(1e6)
+        assert root["args"]["sim_t"] == 1800.0
+        child = next(e for e in slices if e["name"] == "advance")
+        assert child["tid"] == root["tid"]  # same env, same track
+        assert child["ts"] == pytest.approx(0.1e6)
+
+    def test_round_trips_through_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(SYNTHETIC, out)
+        payload = json.loads(out.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_empty_input(self):
+        assert chrome_trace([]) == {"traceEvents": []}
+
+
+class TestCriticalPath:
+    def test_interval_union_coverage(self):
+        report = critical_path(SYNTHETIC)
+        assert report["roots"] == 1
+        assert report["total_wall_s"] == pytest.approx(1.0)
+        # advance [0.1,0.7] + detect [0.6,0.8] merge to 0.7; diagnose adds 0.1.
+        assert report["covered_wall_s"] == pytest.approx(0.8)
+        assert report["coverage"] == pytest.approx(0.8)
+        assert report["by_name"]["advance"] == pytest.approx(0.6)
+        assert report["by_name"]["detect"] == pytest.approx(0.2)
+
+    def test_children_clipped_to_root(self):
+        spans = [
+            _span("iteration", "s1", 1.0, 1.0, env="e"),
+            # Starts before the root and ends after it: only [1.0, 2.0] counts.
+            _span("advance", "s2", 0.5, 2.0, parent="s1", env="e"),
+        ]
+        report = critical_path(spans)
+        assert report["covered_wall_s"] == pytest.approx(1.0)
+        assert report["coverage"] == pytest.approx(1.0)
+
+    def test_slowest_roots_ranked_with_phase_chain(self):
+        spans = list(SYNTHETIC) + [
+            _span("iteration", "s9", 5.0, 2.0, env="db2", t=3600.0),
+            _span("advance", "s10", 5.0, 1.9, parent="s9", env="db2"),
+        ]
+        report = critical_path(spans)
+        assert report["roots"] == 2
+        slowest = report["slowest"][0]
+        assert slowest["span_id"] == "s9"
+        assert slowest["env"] == "db2"
+        assert [p["name"] for p in slowest["phases"]] == ["advance"]
+
+    def test_no_roots(self):
+        report = critical_path([_span("advance", "s2", 0.0, 1.0)])
+        assert report["roots"] == 0
+        assert report["coverage"] == 1.0
+
+
+class TestLoaders:
+    def test_missing_sidecar_is_empty(self, tmp_path):
+        assert load_spans(tmp_path) == []
+        assert load_metric_snapshots(tmp_path) == []

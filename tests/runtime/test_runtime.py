@@ -81,6 +81,74 @@ class TestWorkerPool:
         assert b is not a and not b.closed
 
 
+class TestWorkerPoolStats:
+    def test_fresh_pool_reports_zeroes(self):
+        with WorkerPool(2) as pool:
+            assert pool.stats() == {
+                "max_workers": 2,
+                "submitted": 0,
+                "queued": 0,
+                "active": 0,
+                "completed": 0,
+                "failed": 0,
+                "cancelled": 0,
+                "utilisation": 0.0,
+            }
+
+    def test_active_and_utilisation_while_running(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocked():
+            started.set()
+            release.wait(5.0)
+
+        with WorkerPool(2) as pool:
+            future = pool.submit(blocked)
+            assert started.wait(5.0)
+            mid = pool.stats()
+            assert mid["submitted"] == 1
+            assert mid["active"] == 1
+            assert mid["utilisation"] == pytest.approx(0.5)
+            release.set()
+            future.result()
+            done = pool.stats()
+            assert done["completed"] == 1
+            assert done["active"] == 0
+            assert done["queued"] == 0
+
+    def test_failed_tasks_counted_separately(self):
+        with WorkerPool(1) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result()
+            stats = pool.stats()
+            assert stats["failed"] == 1
+            assert stats["completed"] == 0
+            assert stats["active"] == 0
+
+    def test_queued_reflects_backlog_behind_busy_workers(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocked():
+            started.set()
+            release.wait(5.0)
+
+        with WorkerPool(1) as pool:
+            first = pool.submit(blocked)
+            assert started.wait(5.0)
+            backlog = [pool.submit(lambda: None) for _ in range(3)]
+            mid = pool.stats()
+            assert mid["queued"] == 3
+            release.set()
+            first.result()
+            for future in backlog:
+                future.result()
+            assert pool.stats()["queued"] == 0
+            assert pool.stats()["completed"] == 4
+
+
 class TestScheduler:
     def test_run_returns_coroutine_result(self):
         async def main():
@@ -204,6 +272,59 @@ class TestTaskQueue:
             TaskQueue(handler, workers=0)
         with pytest.raises(ValueError):
             TaskQueue(handler, maxsize=0)
+
+    def test_put_after_close_raises(self):
+        scheduler = Scheduler()
+
+        async def main():
+            async def handler(item):
+                pass
+
+            queue = TaskQueue(handler, workers=1, maxsize=2).start()
+            await queue.put("only")
+            await queue.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await queue.put("late")
+            return queue.processed
+
+        assert scheduler.run(main()) == 1
+
+    def test_close_drains_full_backlog_first(self):
+        """close() handles every already-enqueued item before stopping."""
+        scheduler = Scheduler()
+        handled: list[int] = []
+
+        async def main():
+            async def handler(item):
+                await asyncio.sleep(0)
+                handled.append(item)
+
+            queue = TaskQueue(handler, workers=1, maxsize=4).start()
+            for i in range(4):  # fill the buffer to maxsize
+                await queue.put(i)
+            await queue.close()
+            return queue.processed
+
+        assert scheduler.run(main()) == 4
+        assert sorted(handled) == [0, 1, 2, 3]
+
+    def test_join_waits_for_drain_without_closing(self):
+        scheduler = Scheduler()
+
+        async def main():
+            async def handler(item):
+                await asyncio.sleep(0.001)
+
+            queue = TaskQueue(handler, workers=2, maxsize=4).start()
+            await queue.put(1)
+            await queue.put(2)
+            await queue.join()
+            assert len(queue) == 0
+            await queue.put(3)  # still open: join() is not close()
+            await queue.close()
+            return queue.processed
+
+        assert scheduler.run(main()) == 3
 
 
 class TestClockVector:
