@@ -329,6 +329,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit findings as a JSON array"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running multi-tenant fleet service (REST + SSE)",
+    )
+    serve.add_argument(
+        "--state-root", required=True, metavar="DIR",
+        help=(
+            "root directory for the service: shared storage backend, tenant "
+            "manifest, and per-tenant watch checkpoints all live here; a "
+            "restarted server resumes every tenant's running watch from it"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="TCP port (0 picks a free one; the bound port lands in "
+        "DIR/serve.json)",
+    )
+    serve.add_argument(
+        "--backend", default="jsonl", choices=["jsonl", "sqlite"],
+        help="shared storage backend under the state root (default: jsonl)",
+    )
+    serve.add_argument(
+        "--sse-backlog", type=int, default=128, metavar="N",
+        help="per-SSE-client queue depth before a slow client is disconnected",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="enable observability (repro.obs) for the service process",
+    )
+
     incidents = sub.add_parser(
         "incidents", help="query the durable incident history of a state dir"
     )
@@ -965,6 +998,34 @@ def cmd_correlate(args: argparse.Namespace) -> int:
         store.close()
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    if args.stats:
+        from .obs import enable as obs_enable
+
+        obs_enable()
+    # Deferred import: the serve subsystem pulls in asyncio server machinery
+    # no other subcommand needs.
+    from .serve import ServeApp
+
+    app = ServeApp(
+        args.state_root, backend=args.backend, sse_backlog=args.sse_backlog
+    )
+    print(
+        f"repro serve: state root {app.state_root} ({args.backend}), "
+        f"binding {args.host}:{args.port} ...",
+        flush=True,
+    )
+    try:
+        resumed = app.serve_forever(args.host, args.port)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro serve: stopped ({resumed} watch(es) had been resumed)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -983,6 +1044,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_metrics(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "incidents":
         return cmd_incidents(args)
     if args.command == "correlate":

@@ -1,6 +1,6 @@
 """``repro lint`` — AST-based enforcement of the repo's correctness invariants.
 
-Seven checkers, each guarding a convention the determinism and durability
+Eight checkers, each guarding a convention the determinism and durability
 guarantees depend on:
 
 ``determinism``
@@ -40,6 +40,16 @@ guarantees depend on:
     instrumented code measures wall durations through ``span()`` /
     ``timed()``, which keeps the determinism allowlist at exactly one
     module.
+``serve-discipline``
+    Inside ``repro/serve/``, ``async def`` bodies never call blocking
+    store/filesystem operations directly — journal scans, history replays,
+    event-log tails, manifest writes, ``open()``, ``time.sleep()`` all
+    belong in sync functions dispatched through ``Scheduler.call`` onto the
+    worker pool (one slow read inline would stall every tenant's watch and
+    every SSE client sharing the coordination loop).  Also:
+    :class:`~repro.storage.prefix.PrefixedBackend` is constructed only by
+    the tenant registry (``serve/tenants.py``) — keyspace prefixes minted
+    anywhere else would silently break tenant isolation.
 
 Suppression: append ``# repro-lint: disable=<check>[,<check>…]`` (or
 ``disable=all``) to the offending line, with a comment saying *why*; a
@@ -751,6 +761,97 @@ class ObsDisciplineChecker(Checker):
                 )
 
 
+class ServeDisciplineChecker(Checker):
+    """serve/ handlers stay non-blocking; only the registry mints prefixes.
+
+    The serve subsystem multiplexes every tenant's supervisor and every SSE
+    client onto ONE event loop.  A single blocking store scan inline in an
+    ``async def`` freezes all of them at once — so this checker walks every
+    async function under ``repro/serve/`` and flags direct calls to the
+    known-blocking surface (store reads, journal replays, filesystem ops,
+    ``open()``, ``time.sleep()``).  Sync functions are exempt: they are the
+    bodies that ``Scheduler.call`` dispatches to the worker pool.
+    """
+
+    name = "serve-discipline"
+
+    #: Method leaves that hit disk/database when called on a store, backend,
+    #: event log, or Path.  (Deliberately not ``close``/``write``/``drain``:
+    #: those are legitimate StreamWriter coroutine-side calls.)
+    _BLOCKING_LEAVES = frozenset(
+        {
+            "scan",
+            "history",
+            "replay",
+            "tail",
+            "refresh",
+            "keyspaces",
+            "flush",
+            "consume_log",
+            "read_text",
+            "write_text",
+            "rmtree",
+            "unlink",
+            "rglob",
+            "atomic_write_json",
+            "set_watch",
+        }
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return "serve" in ctx.parts
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        in_tenants = ctx.parts[-1] == "tenants.py"
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = ctx.dotted(node.func)
+                if (
+                    not in_tenants
+                    and name is not None
+                    and name.rsplit(".", 1)[-1] == "PrefixedBackend"
+                ):
+                    yield self._finding(
+                        ctx,
+                        node,
+                        "PrefixedBackend constructed outside serve/tenants.py; "
+                        "keyspace prefixes are minted only by the tenant "
+                        "registry (use registry.backend_for(tenant))",
+                    )
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async(ctx, node)
+
+    def _check_async(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        def walk(node: ast.AST) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.FunctionDef):
+                    continue  # sync body: runs on the pool via Scheduler.call
+                if isinstance(child, ast.Call):
+                    yield from self._check_call(ctx, func, child)
+                yield from walk(child)
+
+        yield from walk(func)
+
+    def _check_call(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = ctx.dotted(node.func)
+        advice = (
+            "blocking call in async handler {func}(); route it through "
+            "Scheduler.call onto the worker pool (one inline blocking call "
+            "stalls every tenant and SSE client on the coordination loop)"
+        ).format(func=func.name)
+        if name == "open" or name == "time.sleep":
+            yield self._finding(ctx, node, f"{name}(): {advice}")
+            return
+        if isinstance(node.func, ast.Attribute):
+            leaf = node.func.attr
+            if leaf in self._BLOCKING_LEAVES:
+                yield self._finding(ctx, node, f".{leaf}(): {advice}")
+
+
 #: Registered checkers, in report order.
 CHECKERS: tuple[Checker, ...] = (
     DeterminismChecker(),
@@ -760,6 +861,7 @@ CHECKERS: tuple[Checker, ...] = (
     KeyspaceLiteralChecker(),
     GuardedFieldsChecker(),
     ObsDisciplineChecker(),
+    ServeDisciplineChecker(),
 )
 
 CHECKER_NAMES = tuple(checker.name for checker in CHECKERS)

@@ -186,6 +186,22 @@ class TaskQueue:
             raise RuntimeError("task queue is closed")
         await self._queue.put(item)
 
+    def offer(self, item: Any) -> bool:
+        """Non-blocking :meth:`put`: ``False`` when full or closed.
+
+        The publish side of a fan-out must never suspend on its slowest
+        subscriber — an SSE broadcaster calls ``offer`` and treats ``False``
+        as "this consumer can't keep up", disconnecting it instead of
+        buffering without bound or stalling the supervision loop.
+        """
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            return False
+        return True
+
     async def join(self) -> None:
         """Wait until every enqueued item has been handled."""
         await self._queue.join()

@@ -1,0 +1,216 @@
+"""Fleet specs: the JSON body of ``POST /v1/tenants/{id}/fleets``.
+
+A :class:`FleetSpec` is the serve-side equivalent of a ``repro watch``
+command line: scenario names (single-environment scenarios and fleet
+scenarios, from the same catalogs the CLI uses), duration, seed, and the
+supervisor/correlator knobs.  It validates eagerly (unknown scenario names,
+duplicate members, conflicting fabrics — all before anything is built), is
+JSON-round-trippable (``to_dict``/``from_payload``), and stamps itself into
+the supervisor's ``checkpoint_meta`` so a restarted server can only resume
+a tenant's watch with the identical spec.
+
+``build`` constructs the whole per-tenant stack — fabrics, correlation
+engine, supervisor — over the tenant's prefixed backend view, mirroring
+``cmd_watch`` in :mod:`repro.cli` but with every store injected instead of
+opened from a state dir.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime import WorkerPool
+    from ..storage.backend import StorageBackend
+    from ..stream import FleetSupervisor
+
+__all__ = ["FleetSpec", "scenario_catalog"]
+
+
+def scenario_catalog() -> dict:
+    """The scenario names the service accepts (shared with the CLI)."""
+    from ..cli import FLEET_SCENARIOS, SCENARIOS
+
+    return {
+        "scenarios": sorted(SCENARIOS),
+        "fleet_scenarios": sorted(FLEET_SCENARIOS),
+    }
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A validated, JSON-able fleet definition for one tenant."""
+
+    scenarios: tuple[str, ...]
+    hours: float = 8.0
+    seed: int | None = None
+    chunk_minutes: float = 30.0
+    cooldown_minutes: float = 120.0
+    max_inflight_diagnoses: int | None = None
+    correlation_window_minutes: float = 60.0
+    min_members: int = 3
+    max_workers: int | None = None
+    #: Recovery-aware incident closure (resolve on return-to-baseline,
+    #: re-escalate on regression) — see FleetSupervisor(recovery=True).
+    recovery: bool = False
+
+    _FIELDS = (
+        "scenarios",
+        "hours",
+        "seed",
+        "chunk_minutes",
+        "cooldown_minutes",
+        "max_inflight_diagnoses",
+        "correlation_window_minutes",
+        "min_members",
+        "max_workers",
+        "recovery",
+    )
+
+    @classmethod
+    def from_payload(cls, data: object) -> "FleetSpec":
+        """Validate a JSON payload into a spec (ValueError on any problem)."""
+        from ..cli import FLEET_SCENARIOS, SCENARIOS
+
+        if not isinstance(data, dict):
+            raise ValueError("fleet spec must be a JSON object")
+        unknown_fields = sorted(set(data) - set(cls._FIELDS))
+        if unknown_fields:
+            raise ValueError(f"unknown fleet spec fields: {', '.join(unknown_fields)}")
+        names = data.get("scenarios")
+        if not isinstance(names, (list, tuple)) or not names:
+            raise ValueError("fleet spec needs a non-empty 'scenarios' list")
+        unknown = [n for n in names if n not in SCENARIOS and n not in FLEET_SCENARIOS]
+        if unknown:
+            raise ValueError(f"unknown scenarios: {', '.join(map(str, unknown))}")
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate scenarios: {', '.join(duplicates)}")
+
+        def number(name: str, default: float, *, positive: bool = True) -> float:
+            value = data.get(name, default)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{name} must be a number")
+            if positive and value <= 0:
+                raise ValueError(f"{name} must be positive")
+            return float(value)
+
+        def optional_int(name: str, *, minimum: int = 1) -> int | None:
+            value = data.get(name)
+            if value is None:
+                return None
+            if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+                raise ValueError(f"{name} must be an integer >= {minimum}")
+            return value
+
+        seed = data.get("seed")
+        if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+            raise ValueError("seed must be an integer")
+        return cls(
+            scenarios=tuple(names),
+            hours=number("hours", 8.0),
+            seed=seed,
+            chunk_minutes=number("chunk_minutes", 30.0),
+            cooldown_minutes=number("cooldown_minutes", 120.0),
+            max_inflight_diagnoses=optional_int("max_inflight_diagnoses"),
+            correlation_window_minutes=number("correlation_window_minutes", 60.0),
+            min_members=optional_int("min_members") or 3,
+            max_workers=optional_int("max_workers"),
+            recovery=bool(data.get("recovery", False)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenarios": list(self.scenarios),
+            "hours": self.hours,
+            "seed": self.seed,
+            "chunk_minutes": self.chunk_minutes,
+            "cooldown_minutes": self.cooldown_minutes,
+            "max_inflight_diagnoses": self.max_inflight_diagnoses,
+            "correlation_window_minutes": self.correlation_window_minutes,
+            "min_members": self.min_members,
+            "max_workers": self.max_workers,
+            "recovery": self.recovery,
+        }
+
+    def member_names(self) -> list[str]:
+        """Environment names this spec expands to (fleet members included)."""
+        from ..cli import FLEET_SCENARIOS
+
+        members: list[str] = []
+        for name in self.scenarios:
+            if name in FLEET_SCENARIOS:
+                fabric = FLEET_SCENARIOS[name](**self._scenario_kwargs())
+                members.extend(sorted(fabric.members))
+            else:
+                members.append(name)
+        return members
+
+    def _scenario_kwargs(self) -> dict:
+        kwargs: dict = {"hours": self.hours}
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+    # -- construction ----------------------------------------------------
+    def build(
+        self,
+        *,
+        state_dir: str | Path,
+        backend: "StorageBackend",
+        pool: "WorkerPool | None" = None,
+    ) -> "FleetSupervisor":
+        """Build the tenant's supervisor stack over its backend view.
+
+        Blocking (store replays, scenario construction) — the serve app runs
+        this through ``Scheduler.call`` on the worker pool.
+        """
+        from ..cli import FLEET_SCENARIOS, SCENARIOS
+        from ..correlate import CorrelationEngine, FleetIncidentStore
+        from ..stream import FleetEventLog, FleetSupervisor, IncidentStore
+
+        fabrics = [
+            FLEET_SCENARIOS[name](**self._scenario_kwargs())
+            for name in self.scenarios
+            if name in FLEET_SCENARIOS
+        ]
+        correlator = None
+        if fabrics:
+            membership: dict[str, tuple[str, ...]] = {}
+            for fabric in fabrics:
+                for component, members in fabric.membership().items():
+                    if component in membership:
+                        raise ValueError(
+                            f"fleet scenarios conflict: shared component "
+                            f"{component!r} is declared by more than one "
+                            "fleet scenario"
+                        )
+                    membership[component] = tuple(members)
+            correlator = CorrelationEngine(
+                membership,
+                window_s=self.correlation_window_minutes * 60.0,
+                min_members=self.min_members,
+                store=FleetIncidentStore(backend),
+            )
+        supervisor = FleetSupervisor(
+            chunk_s=self.chunk_minutes * 60.0,
+            max_workers=self.max_workers,
+            cooldown_s=self.cooldown_minutes * 60.0,
+            state_dir=state_dir,
+            max_inflight_diagnoses=self.max_inflight_diagnoses,
+            correlator=correlator,
+            recovery=self.recovery,
+            incident_store=IncidentStore(backend),
+            event_log=FleetEventLog(backend),
+            pool=pool,
+            checkpoint_meta={"fleet_spec": self.to_dict()},
+        )
+        for fabric in fabrics:
+            fabric.watch_all(supervisor)
+        for name in self.scenarios:
+            if name in FLEET_SCENARIOS:
+                continue
+            supervisor.watch_scenario(SCENARIOS[name](**self._scenario_kwargs()), name=name)
+        return supervisor

@@ -1,0 +1,205 @@
+"""SSE fan-out of a tenant's :class:`~repro.stream.FleetEventLog`.
+
+Each connected client gets its own bounded
+:class:`~repro.runtime.TaskQueue` (one consumer task writing frames to that
+client's socket).  The publish path — called synchronously from the
+supervisor's ``on_event`` on the coordination loop — uses the queue's
+non-blocking ``offer``: a client whose queue is full is *kicked* (socket
+closed, ``serve.sse.kicked`` metric) rather than allowed to stall the
+watch or buffer without bound.
+
+Attach is gap-free: the broker catches a late client up from the journal
+(``tail(after_seq)`` on the worker pool) and registers it for live events
+in the same event-loop step that observed the log's ``last_seq`` — appends
+happen on this same loop, so no event can land between the check and the
+registration.  ``Last-Event-ID`` resume is just an ``after_seq`` that the
+client supplies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from functools import partial
+from typing import TYPE_CHECKING
+
+from ..obs import metrics as obs_metrics
+from ..runtime import TaskQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime import Scheduler
+    from ..stream import FleetEventLog
+
+__all__ = ["SseClient", "SseBroker", "sse_frame"]
+
+#: Per-client queue depth: how far a client may lag behind the live log
+#: before it is considered too slow and disconnected.
+DEFAULT_CLIENT_BACKLOG = 128
+
+#: Catch-up batch size per worker-pool round trip.
+_SNAPSHOT_LIMIT = 512
+
+
+def sse_frame(rec: dict) -> bytes:
+    """One journal record as a Server-Sent-Events frame."""
+    event_type = rec.get("event", {}).get("type", "message")
+    data = json.dumps(rec, sort_keys=True)
+    return f"id: {rec['seq']}\nevent: {event_type}\ndata: {data}\n\n".encode()
+
+
+class SseClient:
+    """One connected SSE consumer: a socket behind a bounded queue."""
+
+    def __init__(
+        self,
+        client_id: int,
+        writer: asyncio.StreamWriter,
+        *,
+        after_seq: int,
+        backlog: int = DEFAULT_CLIENT_BACKLOG,
+    ) -> None:
+        self.client_id = client_id
+        self.writer = writer
+        #: Highest seq actually written to the socket.
+        self.delivered = after_seq
+        self.closed = asyncio.Event()
+        self.reason: str | None = None
+        self.queue: TaskQueue = TaskQueue(self._send, workers=1, maxsize=backlog)
+
+    async def _send(self, rec: dict) -> None:
+        if self.closed.is_set():
+            return  # draining a kicked client: drop silently
+        seq = rec.get("seq", -1)
+        if seq <= self.delivered:
+            return  # catch-up / live overlap — at-least-once upstream, exactly-once here
+        try:
+            self.writer.write(sse_frame(rec))
+            await self.writer.drain()
+        except (ConnectionError, OSError):
+            self.kick("disconnect")
+            return
+        self.delivered = seq
+        obs_metrics.inc("serve.sse.frames")
+
+    def kick(self, reason: str) -> None:
+        """Terminate this client (idempotent); the pump sees ``closed``."""
+        if self.closed.is_set():
+            return
+        self.reason = reason
+        obs_metrics.inc(f"serve.sse.kicked.{reason}")
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError):
+            pass
+        self.closed.set()
+
+    async def shutdown(self) -> None:
+        """Stop the consumer task; never raises (client errors are expected)."""
+        try:
+            await asyncio.wait_for(self.queue.close(), timeout=5.0)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass  # stuck/broken socket — the scheduler reaps the task on exit
+
+
+class SseBroker:
+    """Fan one tenant's event log out to N SSE clients."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        *,
+        backlog: int = DEFAULT_CLIENT_BACKLOG,
+    ) -> None:
+        self.scheduler = scheduler
+        self.backlog = backlog
+        self.event_log: "FleetEventLog | None" = None
+        self.clients: dict[int, SseClient] = {}
+        self._next_id = 0
+        self._closing = False
+
+    def bind(self, event_log: "FleetEventLog") -> None:
+        """Point the broker at the tenant's (possibly rebuilt) event log."""
+        self.event_log = event_log
+
+    # -- publish side (called on the coordination loop) -------------------
+    def publish(self, _event: object = None) -> None:
+        """Fan the latest appended record out; kick clients that can't keep up.
+
+        Wired as the supervisor's ``on_event`` callback: by the time it runs,
+        the record is journalled and ``event_log.last_record`` is exactly the
+        event being reported (same loop thread, no interleaving).
+        """
+        log = self.event_log
+        rec = log.last_record if log is not None else None
+        if rec is None or not self.clients:
+            return
+        obs_metrics.inc("serve.sse.published")
+        for client in list(self.clients.values()):
+            if client.closed.is_set():
+                continue
+            if not client.queue.offer(rec):
+                client.kick("slow")
+
+    # -- subscribe side ----------------------------------------------------
+    async def attach(
+        self, writer: asyncio.StreamWriter, *, after_seq: int = -1
+    ) -> None:
+        """Pump one client: journal catch-up, then live events until close."""
+        if self._closing:
+            return
+        self._next_id += 1
+        client = SseClient(
+            self._next_id, writer, after_seq=after_seq, backlog=self.backlog
+        )
+        client.queue.start()
+        obs_metrics.inc("serve.sse.attached")
+        try:
+            writer.write(b": stream open\nretry: 2000\n\n")
+            await writer.drain()
+            cursor = after_seq
+            while True:
+                log = self.event_log
+                last = log.last_seq if log is not None else -1
+                if last <= cursor:
+                    # No await between this check and registration: appends
+                    # run on this loop, so the gap-free handoff is atomic.
+                    self.clients[client.client_id] = client
+                    break
+                records = await self.scheduler.call(
+                    partial(self._tail_snapshot, cursor)
+                )
+                for rec in records:
+                    await client.queue.put(rec)
+                    cursor = max(cursor, rec.get("seq", -1))
+            obs_metrics.set_gauge("serve.sse.clients", len(self.clients))
+            await client.closed.wait()
+        except (ConnectionError, OSError):
+            client.kick("disconnect")
+        finally:
+            self.clients.pop(client.client_id, None)
+            obs_metrics.set_gauge("serve.sse.clients", len(self.clients))
+            client.kick("detach")
+            await client.shutdown()
+
+    def _tail_snapshot(self, after_seq: int) -> list[dict]:
+        """Blocking journal read (runs on the worker pool via ``call``)."""
+        log = self.event_log
+        if log is None:
+            return []
+        out: list[dict] = []
+        for rec in log.tail(after_seq):
+            out.append(rec)
+            if len(out) >= _SNAPSHOT_LIMIT:
+                break
+        return out
+
+    async def close(self) -> None:
+        """Kick every client and wait for their consumers to stop."""
+        self._closing = True
+        clients = list(self.clients.values())
+        self.clients.clear()
+        for client in clients:
+            client.kick("shutdown")
+        for client in clients:
+            await client.shutdown()
+        obs_metrics.set_gauge("serve.sse.clients", 0)

@@ -35,6 +35,7 @@ from .backend import (
     record,
 )
 from .jsonl import JsonlBackend
+from .prefix import PrefixedBackend
 from .sqlite import SqliteBackend
 from .serializers import (
     access_from_dict,
@@ -65,6 +66,7 @@ __all__ = [
     "atomic_write_json",
     "MemoryBackend",
     "JsonlBackend",
+    "PrefixedBackend",
     "SqliteBackend",
     "TelemetryStore",
     "plan_to_dict",

@@ -212,6 +212,48 @@ class JsonlBackend:
         with self._lock:
             return sorted(ks for ks, idx in self._index.items() if idx.count)
 
+    def refresh(self) -> int:
+        """Pick up records appended by *another* process since open.
+
+        A reader's index is frozen at replay time, so a live tailer polling
+        :meth:`scan` would never see lines the writer appended after the
+        tailer opened — the failure mode of an SSE consumer following a
+        watch from a second process.  ``refresh`` extends the index of every
+        segment this instance does not itself write (own write handles are
+        already current) by replaying new *complete* lines from
+        ``committed_bytes`` onward; a torn or corrupt tail is left for the
+        next refresh, exactly like replay-on-open.  Returns the number of
+        newly indexed records.
+        """
+        self._check_open()
+        total = 0
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            keyspace = path.stem
+            with self._lock:
+                if keyspace in self._files:
+                    continue  # we are this segment's writer: index is current
+                index = self._index.setdefault(keyspace, _KeyspaceIndex())
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                if size <= index.committed_bytes:
+                    continue
+                with path.open("rb") as fh:
+                    fh.seek(index.committed_bytes)
+                    for line in fh:
+                        if not line.endswith(b"\n"):
+                            break  # torn tail: the writer is mid-append
+                        try:
+                            record = json.loads(line)
+                        except ValueError:
+                            break
+                        index.note(record, len(line))
+                        total += 1
+        if total:
+            obs_metrics.inc("storage.jsonl.refreshed", total)
+        return total
+
     def flush(self) -> None:
         self._check_open()
         with obs_metrics.timed("storage.jsonl.flush_s"):

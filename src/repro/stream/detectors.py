@@ -67,7 +67,7 @@ class Detection:
     value: float
     expected: float
     magnitude: float
-    kind: str  # "slo" | "drift" | "change-point"
+    kind: str  # "slo" | "drift" | "change-point" | "recovery"
     details: dict = field(default_factory=dict, compare=False)
 
     def describe(self) -> str:
@@ -174,7 +174,12 @@ class ThresholdSloDetector:
     """
 
     def __init__(
-        self, limit: float, min_consecutive: int = 1, target: str = ""
+        self,
+        limit: float,
+        min_consecutive: int = 1,
+        target: str = "",
+        *,
+        emit_recovery: bool = False,
     ) -> None:
         if limit <= 0:
             raise ValueError("limit must be positive")
@@ -184,13 +189,27 @@ class ThresholdSloDetector:
         self.limit = limit
         self.min_consecutive = min_consecutive
         self.target = target
+        #: When set, re-arming after a fired excursion also emits a
+        #: ``kind="recovery"`` detection (the incident layer resolves on it).
+        self.emit_recovery = emit_recovery
         self._streak = 0
         self._fired = False
 
     def update(self, time: float, value: float) -> Detection | None:
         if value <= self.limit:
+            recovered = self._fired
             self._streak = 0
             self._fired = False
+            if recovered and self.emit_recovery:
+                return Detection(
+                    time=time,
+                    detector=self.name,
+                    target=self.target,
+                    value=value,
+                    expected=self.limit,
+                    magnitude=value / self.limit,
+                    kind="recovery",
+                )
             return None
         self._streak += 1
         if self._fired or self._streak < self.min_consecutive:
@@ -242,6 +261,7 @@ class EwmaDriftDetector:
         min_rel_std: float = 0.02,
         var_alpha: float | None = None,
         target: str = "",
+        emit_recovery: bool = False,
     ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
@@ -262,6 +282,9 @@ class EwmaDriftDetector:
         #: resulting jitter in sigma turns plain noise into 5-sigma alerts.
         self.var_alpha = var_alpha if var_alpha is not None else alpha / 5.0
         self.target = target
+        #: When set, the re-arm transition (signal back inside k-sigma after
+        #: a fired excursion) emits a ``kind="recovery"`` detection.
+        self.emit_recovery = emit_recovery
         self.reset()
 
     def reset(self) -> None:
@@ -314,11 +337,23 @@ class EwmaDriftDetector:
                 kind="drift",
                 details={"z": z, "sigma": std, "consecutive": self._streak},
             )
+        recovered = self._fired
         self._streak = 0
         self._fired = False
         delta = value - self._mean
         self._mean += self.alpha * delta
         self._var = (1.0 - self.var_alpha) * (self._var + self.var_alpha * delta * delta)
+        if recovered and self.emit_recovery:
+            return Detection(
+                time=time,
+                detector=self.name,
+                target=self.target,
+                value=value,
+                expected=self._mean,
+                magnitude=abs(z) / self.k_sigma,
+                kind="recovery",
+                details={"z": z, "sigma": std},
+            )
         return None
 
 
@@ -422,7 +457,12 @@ class ResponseTimeSloDetector:
     """
 
     def __init__(
-        self, factor: float = 1.3, baseline_runs: int = 4, query_name: str | None = None
+        self,
+        factor: float = 1.3,
+        baseline_runs: int = 4,
+        query_name: str | None = None,
+        *,
+        emit_recovery: bool = False,
     ) -> None:
         if factor <= 1.0:
             raise ValueError("factor must be > 1")
@@ -432,17 +472,22 @@ class ResponseTimeSloDetector:
         self.factor = factor
         self.baseline_runs = baseline_runs
         self.query_name = query_name
+        #: When set, the first satisfactory run after a breach emits a
+        #: ``kind="recovery"`` detection for the query's target.
+        self.emit_recovery = emit_recovery
         self.reset()
 
     def reset(self) -> None:
         self._baseline = _Welford()
+        self._breached = False
 
     def state_dict(self) -> dict:
-        return {"baseline": self._baseline.state_dict()}
+        return {"baseline": self._baseline.state_dict(), "breached": self._breached}
 
     def load_state(self, state: dict) -> None:
         self._baseline = _Welford()
         self._baseline.load_state(state["baseline"])
+        self._breached = state.get("breached", False)
 
     @property
     def baseline_duration(self) -> float | None:
@@ -465,8 +510,22 @@ class ResponseTimeSloDetector:
             run.satisfactory = True
             # Healthy runs keep refining the baseline (slow drift tracking).
             self._baseline.push(run.duration)
+            recovered = self._breached
+            self._breached = False
+            if recovered and self.emit_recovery:
+                return Detection(
+                    time=run.end_time,
+                    detector=self.name,
+                    target=f"run:{run.query_name}",
+                    value=run.duration,
+                    expected=baseline,
+                    magnitude=run.duration / limit,
+                    kind="recovery",
+                    details={"run_id": run.run_id, "limit": limit},
+                )
             return None
         run.satisfactory = False
+        self._breached = True
         return Detection(
             time=run.end_time,
             detector=self.name,
@@ -557,6 +616,7 @@ def default_detector_factory(
     k_sigma: float = 5.0,
     warmup: int = 30,
     min_consecutive: int = 3,
+    emit_recovery: bool = False,
 ) -> DetectorFactory:
     """The stock fleet-watch policy: EWMA drift on volume response times.
 
@@ -572,7 +632,10 @@ def default_detector_factory(
         if metric not in watched:
             return None
         return EwmaDriftDetector(
-            k_sigma=k_sigma, warmup=warmup, min_consecutive=min_consecutive
+            k_sigma=k_sigma,
+            warmup=warmup,
+            min_consecutive=min_consecutive,
+            emit_recovery=emit_recovery,
         )
 
     return factory

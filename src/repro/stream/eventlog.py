@@ -47,6 +47,10 @@ class FleetEventLog:
         self.backend = backend
         self._seq = -1
         self._last_t = 0.0
+        #: The record wrapped by the most recent :meth:`append` — lets an
+        #: ``on_event`` consumer on the same thread (the SSE broker) recover
+        #: the exact journalled record, ``seq`` included, without a re-scan.
+        self.last_record: dict | None = None
         if getattr(backend, "durable", False):
             for rec in backend.scan(self.KEYSPACE):
                 self._seq = max(self._seq, rec.get("seq", -1))
@@ -77,6 +81,7 @@ class FleetEventLog:
         if env is not None:
             rec["k"] = env
         self.backend.append(self.KEYSPACE, rec)
+        self.last_record = rec
         return rec
 
     def flush(self) -> None:
@@ -95,8 +100,16 @@ class FleetEventLog:
         """Records with ``seq > after_seq``, in append order.
 
         The polling surface for out-of-process consumers: remember the last
-        ``seq`` you processed and pass it back on the next call.
+        ``seq`` you processed and pass it back on the next call.  When the
+        backend supports it (:meth:`JsonlBackend.refresh`), each call first
+        picks up records appended by *another* process since this log was
+        opened — so a live tailer keeps seeing new events even while the
+        writer is killed and resumed (at-least-once: a resumed writer may
+        re-emit post-checkpoint events under fresh, still-monotone ``seq``).
         """
+        refresh = getattr(self.backend, "refresh", None)
+        if refresh is not None:
+            refresh()
         for rec in self.backend.scan(self.KEYSPACE):
             if rec.get("seq", -1) > after_seq:
                 yield rec

@@ -65,6 +65,11 @@ class Severity(enum.Enum):
             return cls.MAJOR
         return cls.MINOR
 
+    def escalated(self, levels: int) -> "Severity":
+        """This severity bumped ``levels`` steps (saturating at critical)."""
+        order = (Severity.MINOR, Severity.MAJOR, Severity.CRITICAL)
+        return order[min(order.index(self) + max(levels, 0), len(order) - 1)]
+
 
 @dataclass
 class Incident:
@@ -85,11 +90,20 @@ class Incident:
     #: checkpoint (the live ``DiagnosisReport`` object does not round-trip;
     #: its ticket form does).  ``to_dict`` falls back to this.
     report_data: dict | None = None
+    #: How the incident closed: "diagnosed" (a report was produced) or
+    #: "recovered" (the series returned to baseline before diagnosis).
+    resolution: str | None = None
+    #: Predecessor incident id when this incident re-opened a key that had
+    #: recovery-resolved within its cooldown window (a regression).
+    escalated_from: str | None = None
+    #: How many recover→regress cycles precede this incident; each one bumps
+    #: the derived severity a level (flapping is worse than a single blip).
+    escalations: int = 0
 
     @property
     def severity(self) -> Severity:
         magnitude = max((d.magnitude for d in self.detections), default=1.0)
-        return Severity.from_magnitude(magnitude)
+        return Severity.from_magnitude(magnitude).escalated(self.escalations)
 
     @property
     def top_cause_id(self) -> str | None:
@@ -111,13 +125,20 @@ class Incident:
         self.state = IncidentState.DIAGNOSING
         self.diagnosed_at = time
 
-    def resolve(self, time: float, report: "DiagnosisReport | None" = None) -> None:
+    def resolve(
+        self,
+        time: float,
+        report: "DiagnosisReport | None" = None,
+        *,
+        resolution: str = "diagnosed",
+    ) -> None:
         if self.state is IncidentState.RESOLVED:
             raise ValueError(f"{self.incident_id} already resolved")
         if report is not None:
             self.report = report
         self.state = IncidentState.RESOLVED
         self.resolved_at = time
+        self.resolution = resolution
 
     def to_dict(self) -> dict:
         """JSON-friendly form (the ticket the supervisor would file)."""
@@ -139,6 +160,9 @@ class Incident:
             "detections": [d.to_dict() for d in self.detections],
             "deduped": self.deduped,
             "report": report,
+            "resolution": self.resolution,
+            "escalated_from": self.escalated_from,
+            "escalations": self.escalations,
         }
 
     @classmethod
@@ -161,6 +185,9 @@ class Incident:
             diagnosed_at=data.get("diagnosed_at"),
             resolved_at=data.get("resolved_at"),
             report_data=data.get("report"),
+            resolution=data.get("resolution"),
+            escalated_from=data.get("escalated_from"),
+            escalations=data.get("escalations", 0),
         )
 
 
@@ -188,6 +215,12 @@ class IncidentManager:
         self.incidents: list[Incident] = []
         self._live: dict[tuple[str, str], Incident] = {}
         self._cooldown_until: dict[tuple[str, str], float] = {}
+        #: Last recovery-resolved incident per key — the predecessor link a
+        #: regression inside the cooldown window re-escalates from.
+        self._recovered: dict[tuple[str, str], Incident] = {}
+        #: Incidents recovery-resolved since the last :meth:`drain_recoveries`
+        #: (the supervisor drains these per fold to emit resolved events).
+        self._recoveries: list[Incident] = []
         self.suppressed = 0
         self._counter = 0
 
@@ -195,6 +228,19 @@ class IncidentManager:
         """Feed one detection; the new incident if one opened, else None."""
         key = (self.env_name, detection.target)
         live = self._live.get(key)
+        if detection.kind == "recovery":
+            # Return-to-baseline: resolve a still-open incident without a
+            # diagnosis.  An incident already DIAGNOSING keeps going — the
+            # in-flight report is about to resolve it anyway.
+            if (
+                live is not None
+                and live.state is IncidentState.OPEN
+                and detection.time >= live.opened_at
+            ):
+                live.absorb(detection)
+                self.resolve(live, detection.time, resolution="recovered")
+                self._recoveries.append(live)
+            return None
         if live is not None and live.state is not IncidentState.RESOLVED:
             live.absorb(detection)
             self._journal("absorb", live, detection.time)
@@ -213,9 +259,18 @@ class IncidentManager:
                 for k, until in self._cooldown_until.items()
                 if until > detection.time
             }
+        predecessor: Incident | None = None
         if detection.time < self._cooldown_until.get(key, -1.0):
-            self.suppressed += 1
-            return None
+            predecessor = self._recovered.get(key)
+            if predecessor is None:
+                self.suppressed += 1
+                return None
+            # Regression: the key recovery-resolved inside its cooldown and
+            # degraded again — that is flapping, not noise.  Re-escalate
+            # (bypass the cooldown) with a predecessor link and a severity
+            # bump instead of suppressing the evidence.
+        else:
+            self._recovered.pop(key, None)  # cooldown over: fresh episode
         self._counter += 1
         incident = Incident(
             incident_id=f"INC-{self.env_name}-{self._counter}",
@@ -223,7 +278,11 @@ class IncidentManager:
             key=key,
             opened_at=detection.time,
             detections=[detection],
+            escalated_from=predecessor.incident_id if predecessor else None,
+            escalations=predecessor.escalations + 1 if predecessor else 0,
         )
+        if predecessor is not None:
+            self._recovered.pop(key, None)
         self.incidents.append(incident)
         self._live[key] = incident
         self._journal("open", incident, detection.time)
@@ -235,12 +294,24 @@ class IncidentManager:
         self._journal("diagnosing", incident, time)
 
     def resolve(
-        self, incident: Incident, time: float, report: "DiagnosisReport | None" = None
+        self,
+        incident: Incident,
+        time: float,
+        report: "DiagnosisReport | None" = None,
+        *,
+        resolution: str = "diagnosed",
     ) -> None:
         """Resolve and start the key's cooldown clock."""
-        incident.resolve(time, report)
+        incident.resolve(time, report, resolution=resolution)
         self._cooldown_until[incident.key] = time + self.cooldown_s
+        if resolution == "recovered":
+            self._recovered[incident.key] = incident
         self._journal("resolved", incident, time)
+
+    def drain_recoveries(self) -> list[Incident]:
+        """Incidents recovery-resolved since the last drain (then cleared)."""
+        out, self._recoveries = self._recoveries, []
+        return out
 
     def _journal(self, event: str, incident: Incident, time: float) -> None:
         if self.store is not None:
@@ -259,6 +330,10 @@ class IncidentManager:
                 [env, target, until]
                 for (env, target), until in sorted(self._cooldown_until.items())
             ],
+            "recovered": [
+                [env, target, incident.incident_id]
+                for (env, target), incident in sorted(self._recovered.items())
+            ],
             "suppressed": self.suppressed,
             "counter": self._counter,
         }
@@ -274,6 +349,13 @@ class IncidentManager:
             (env, target): until
             for env, target, until in state.get("cooldown_until", [])
         }
+        by_id = {i.incident_id: i for i in self.incidents}
+        self._recovered = {
+            (env, target): by_id[incident_id]
+            for env, target, incident_id in state.get("recovered", [])
+            if incident_id in by_id
+        }
+        self._recoveries = []
         self.suppressed = state.get("suppressed", 0)
         self._counter = state.get("counter", len(self.incidents))
 
@@ -348,6 +430,7 @@ class IncidentStore(JournalStore):
             ticket["state"] = IncidentState.RESOLVED.value
             ticket["resolved_at"] = rec["resolved_at"]
             ticket["report"] = rec["report"]
+            ticket["resolution"] = rec.get("resolution", "diagnosed")
             if "detections" in rec:  # absent in pre-0.5 journals
                 ticket["detections"] = copy.deepcopy(rec["detections"])
                 ticket["deduped"] = rec["deduped"]
@@ -366,6 +449,7 @@ class IncidentStore(JournalStore):
             rec["diagnosed_at"] = incident.diagnosed_at
         elif event == "resolved":
             rec["resolved_at"] = incident.resolved_at
+            rec["resolution"] = incident.resolution
             if incident.report is not None:
                 from ..core.serialize import report_to_dict
 

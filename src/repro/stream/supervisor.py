@@ -205,6 +205,9 @@ class FleetSupervisor:
         pool: WorkerPool | None = None,
         correlator=None,
         max_skew_s: float | None = None,
+        recovery: bool = False,
+        incident_store: "IncidentStore | None" = None,
+        event_log: "FleetEventLog | None" = None,
     ) -> None:
         if chunk_s <= 0:
             raise ValueError("chunk_s must be positive")
@@ -239,17 +242,36 @@ class FleetSupervisor:
         #: meta differs, since the rebuilt fleet would not be the same
         #: deterministic simulation the checkpoint froze.
         self.checkpoint_meta = checkpoint_meta
+        #: Recovery-aware incident closure: detectors also emit
+        #: ``kind="recovery"`` when a fired excursion returns to baseline,
+        #: the manager resolves the open incident with
+        #: ``resolution="recovered"``, and a regression inside the cooldown
+        #: window re-opens with a predecessor link and a severity bump
+        #: instead of being suppressed.  Off by default (the historical
+        #: diagnose-to-resolve lifecycle).
+        self.recovery = recovery
         #: Durable incident journal (None without a state dir); managers of
-        #: watched environments journal their transitions through it.
+        #: watched environments journal their transitions through it.  An
+        #: injected store (``repro serve``: a tenant-prefixed view over one
+        #: shared backend) takes precedence over opening ``state_dir``.
         self.incident_store: IncidentStore | None = (
-            IncidentStore.open(self.state_dir) if self.state_dir is not None else None
+            incident_store
+            if incident_store is not None
+            else IncidentStore.open(self.state_dir)
+            if self.state_dir is not None
+            else None
         )
         #: Durable fleet event log (None without a state dir): every event of
         #: the ``run(on_event=...)`` stream is journalled so dashboards and
         #: the out-of-process correlator can tail the state dir.  Delivery
-        #: across a kill/resume is at-least-once (see FleetEventLog).
+        #: across a kill/resume is at-least-once (see FleetEventLog).  Like
+        #: the incident store, an injected log wins over the state-dir one.
         self.event_log: FleetEventLog | None = (
-            FleetEventLog.open(self.state_dir) if self.state_dir is not None else None
+            event_log
+            if event_log is not None
+            else FleetEventLog.open(self.state_dir)
+            if self.state_dir is not None
+            else None
         )
         #: Opt-in cross-environment correlator (a
         #: :class:`repro.correlate.CorrelationEngine`).  When set, incident
@@ -334,11 +356,15 @@ class FleetSupervisor:
             name=name,
             env=env,
             query_name=query_name,
-            bank=DetectorBank(factory=detector_factory or default_detector_factory()),
+            bank=DetectorBank(
+                factory=detector_factory
+                or default_detector_factory(emit_recovery=self.recovery)
+            ),
             run_detector=ResponseTimeSloDetector(
                 factor=self.slo_factor,
                 baseline_runs=self.baseline_runs,
                 query_name=query_name,
+                emit_recovery=self.recovery,
             ),
             manager=IncidentManager(
                 name, cooldown_s=self.cooldown_s, store=self.incident_store
@@ -376,16 +402,26 @@ class FleetSupervisor:
     # -- shared per-iteration semantics ----------------------------------
     def _fold_detections(
         self, watched: WatchedEnvironment, detections: list[Detection]
-    ) -> list[Incident]:
-        """Feed one chunk's detections to the manager; incidents opened."""
+    ) -> tuple[list[Incident], list[Incident]]:
+        """Feed one chunk's detections to the manager.
+
+        Returns ``(opened, recovered)``: incidents this chunk opened, and
+        incidents the manager recovery-resolved because their series
+        returned to baseline (always empty unless the supervisor was built
+        with ``recovery=True``).  Both are fed to the correlator here so the
+        barriered and barrier-free loops see the identical event sequence.
+        """
         opened: list[Incident] = []
         obs_metrics.inc("detectors.fires", len(detections))
         for detection in detections:
             incident = watched.manager.observe(detection)
             if incident is not None:
                 opened.append(incident)
+        recovered = watched.manager.drain_recoveries()
         if opened:
             obs_metrics.inc("incidents.opened", len(opened))
+        if recovered:
+            obs_metrics.inc("incidents.recovered", len(recovered))
         for incident in opened:
             self._drill_down(
                 self._correlate(
@@ -397,7 +433,18 @@ class FleetSupervisor:
                     }
                 )
             )
-        return opened
+        for incident in recovered:
+            self._drill_down(
+                self._correlate(
+                    {
+                        "type": "incident_resolved",
+                        "env": watched.name,
+                        "incident_id": incident.incident_id,
+                        "resolved_at": incident.resolved_at,
+                    }
+                )
+            )
+        return opened, recovered
 
     # -- cross-environment correlation -----------------------------------
     def _correlate(self, event: FleetEvent) -> list:
@@ -660,10 +707,14 @@ class FleetSupervisor:
                     batches = [w.advance(chunk) for w in fleet]
 
             # Phase 2 — fold detections into incidents (dedup + cooldown).
+            recovered: list[Incident] = []
             with span("detect"):
                 for watched, detections in zip(fleet, batches):
                     watched.advanced_s += chunk
-                    self._fold_detections(watched, detections)
+                    _opened, env_recovered = self._fold_detections(
+                        watched, detections
+                    )
+                    recovered.extend(env_recovered)
 
             # Phase 3 — fleet-wide diagnosis wave (the barrier this method
             # is named for): submit every due environment's request as a
@@ -672,7 +723,7 @@ class FleetSupervisor:
             # wave.
             wave: list[tuple[WatchedEnvironment, list[Incident]]] = []
             requests: list[DiagnosisRequest] = []
-            resolved: list[Incident] = []
+            resolved: list[Incident] = list(recovered)
             with span("diagnose"):
                 for watched in fleet:
                     resolved.extend(self._apply_fleet_short_circuit(watched))
@@ -741,15 +792,39 @@ class FleetSupervisor:
             raise ValueError("no environments watched")
         if duration_s <= 0:
             return self.incidents()
+        scheduler = Scheduler(pool=self._pool())
+        return scheduler.run(
+            self.run_async(
+                duration_s, scheduler=scheduler, on_tick=on_tick, on_event=on_event
+            )
+        )
+
+    async def run_async(
+        self,
+        duration_s: float,
+        *,
+        scheduler: Scheduler,
+        on_tick: Callable[[list[Incident], float], None] | None = None,
+        on_event: Callable[[FleetEvent], None] | None = None,
+    ) -> list[Incident]:
+        """Coroutine form of :meth:`run` for callers that own the loop.
+
+        ``repro serve`` runs many tenants' supervisors as sibling tasks on
+        one shared :class:`Scheduler`; each calls ``run_async`` with that
+        scheduler instead of :meth:`run` (which creates, and blocks, its own
+        loop).  Semantics are identical — same events, same checkpoints,
+        same byte-for-byte resume guarantee.
+        """
+        if not self.watched:
+            raise ValueError("no environments watched")
+        if duration_s <= 0:
+            return self.incidents()
         fleet = list(self.watched.values())
         target_s = self.advanced_s + duration_s
         started_s = self.advanced_s
         self._stop_requested.clear()
         self._attach_obs()
-        scheduler = Scheduler(pool=self._pool())
-        scheduler.run(
-            self._run_async(scheduler, fleet, target_s, started_s, on_tick, on_event)
-        )
+        await self._run_async(scheduler, fleet, target_s, started_s, on_tick, on_event)
         return self.incidents()
 
     def stop(self) -> None:
@@ -893,7 +968,7 @@ class FleetSupervisor:
                     advance_gate.release()
                 watched.advanced_s += step
                 with span("detect", detections=len(detections)):
-                    opened = self._fold_detections(watched, detections)
+                    opened, recovered = self._fold_detections(watched, detections)
                     for incident in opened:
                         self._emit(
                             on_event,
@@ -903,9 +978,29 @@ class FleetSupervisor:
                                 "incident_id": incident.incident_id,
                                 "severity": incident.severity.value,
                                 "opened_at": incident.opened_at,
+                                **(
+                                    {"escalated_from": incident.escalated_from}
+                                    if incident.escalated_from
+                                    else {}
+                                ),
                             },
                         )
-                    resolved: list[Incident] = list(
+                    for incident in recovered:
+                        self._emit(
+                            on_event,
+                            {
+                                "type": "incident_resolved",
+                                "env": watched.name,
+                                "incident_id": incident.incident_id,
+                                "severity": incident.severity.value,
+                                "top_cause": incident.top_cause_id,
+                                "resolution": "recovered",
+                                "resolved_at": incident.resolved_at,
+                                "clock": watched.env.clock,
+                            },
+                        )
+                    resolved: list[Incident] = list(recovered)
+                    resolved.extend(
                         self._apply_fleet_short_circuit(watched, on_event)
                     )
                     due = self._begin_diagnosis_wave(watched)

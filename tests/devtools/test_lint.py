@@ -568,6 +568,93 @@ class TestObsDiscipline:
         assert "determinism" in checks(findings)
 
 
+class TestServeDiscipline:
+    SERVE = "src/repro/serve/fixture.py"
+
+    def test_blocking_store_call_in_handler_flagged(self):
+        findings = lint(
+            """
+            async def incidents(request):
+                return list(store.scan("incidents"))
+            """,
+            path=self.SERVE,
+        )
+        assert checks(findings) == ["serve-discipline"]
+        assert "scan" in findings[0].message
+
+    def test_sleep_and_open_in_handler_flagged(self):
+        findings = lint(
+            """
+            import time
+
+            async def handler(request):
+                time.sleep(1.0)
+                with open("x") as f:
+                    return f.read()
+            """,
+            path=self.SERVE,
+        )
+        assert checks(findings) == ["serve-discipline"] * 2
+
+    def test_scheduler_dispatch_is_clean(self):
+        findings = lint(
+            """
+            from functools import partial
+
+            async def incidents(request):
+                return await app.scheduler.call(partial(query, "incidents"))
+            """,
+            path=self.SERVE,
+        )
+        assert findings == []
+
+    def test_sync_helper_in_serve_module_exempt(self):
+        # Blocking work belongs in sync functions (dispatched via
+        # Scheduler.call); only coroutine bodies are constrained.
+        findings = lint(
+            """
+            def query(store):
+                return store.history(env=None)
+            """,
+            path=self.SERVE,
+        )
+        assert findings == []
+
+    def test_nested_sync_function_exempt(self):
+        findings = lint(
+            """
+            async def handler(request):
+                def blocking():
+                    return store.replay()
+                return await app.scheduler.call(blocking)
+            """,
+            path=self.SERVE,
+        )
+        assert findings == []
+
+    def test_prefixed_backend_minted_outside_registry_flagged(self):
+        source = """
+        from repro.storage.prefix import PrefixedBackend
+
+        def view(backend):
+            return PrefixedBackend(backend, "t_acme__")
+        """
+        findings = lint(source, path=self.SERVE)
+        assert checks(findings) == ["serve-discipline"]
+        assert "PrefixedBackend" in findings[0].message
+        assert lint(source, path="src/repro/serve/tenants.py") == []
+
+    def test_other_packages_exempt(self):
+        findings = lint(
+            """
+            async def handler(request):
+                return list(store.scan("incidents"))
+            """,
+            path=NONSIM,
+        )
+        assert findings == []
+
+
 class TestPragmas:
     def test_line_pragma_suppresses(self):
         findings = lint(
@@ -696,4 +783,5 @@ class TestRunner:
             "keyspace-literal",
             "guarded-fields",
             "obs-discipline",
+            "serve-discipline",
         )

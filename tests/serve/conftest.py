@@ -1,0 +1,126 @@
+"""Fixtures for the serve suite: a real server on a real socket.
+
+The server runs exactly as production does — ``ServeApp.serve_forever`` on
+its own thread (tests are outside ``src/``, so the executor-discipline lint
+does not apply), binding port 0 and exposing a tiny JSON request helper.
+"""
+
+from __future__ import annotations
+
+import json
+import http.client
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeApp
+
+
+class ServeHandle:
+    """One running server + a blocking JSON client against it."""
+
+    def __init__(self, app: ServeApp, thread: threading.Thread) -> None:
+        self.app = app
+        self.thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.app.bound is not None
+        return self.app.bound
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | list | None = None,
+        headers: dict | None = None,
+        timeout: float = 30.0,
+    ) -> tuple[int, dict | list | None]:
+        host, port = self.address
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            conn.request(
+                method,
+                path,
+                body=json.dumps(body) if body is not None else None,
+                headers=headers or {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw) if raw else None
+        finally:
+            conn.close()
+
+    def wait_watch(
+        self, tenant_id: str, states=("done", "failed", "stopped"), timeout: float = 60.0
+    ) -> dict:
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            status, payload = self.request("GET", f"/v1/tenants/{tenant_id}/watch")
+            assert status == 200
+            if payload["state"] in states:
+                return payload
+            time.sleep(0.05)
+        raise AssertionError(f"watch for {tenant_id!r} never reached {states}")
+
+    def stop(self) -> None:
+        self.app.stop()
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive(), "server thread failed to stop"
+
+
+def start_server(state_root, *, backend: str = "memory", **app_kwargs) -> ServeHandle:
+    app = ServeApp(state_root, backend=backend, **app_kwargs)
+    thread = threading.Thread(
+        target=app.serve_forever, args=("127.0.0.1", 0), daemon=True
+    )
+    thread.start()
+    deadline = time.time() + 30
+    while app.bound is None:
+        assert time.time() < deadline, "server never bound"
+        assert thread.is_alive(), "server thread died during startup"
+        time.sleep(0.01)
+    return ServeHandle(app, thread)
+
+
+@pytest.fixture
+def make_incident():
+    """Minimal Incident factory for store-level isolation tests."""
+    from repro.stream import Incident
+    from repro.stream.detectors import Detection
+
+    def build(incident_id: str, *, env: str = "env-0", opened_at: float = 0.0):
+        return Incident(
+            incident_id=incident_id,
+            env_name=env,
+            key=(env, "V1/readTime"),
+            opened_at=opened_at,
+            detections=[
+                Detection(
+                    time=opened_at,
+                    detector="ewma-drift",
+                    target="V1/readTime",
+                    value=10.0,
+                    expected=5.0,
+                    magnitude=1.5,
+                    kind="drift",
+                )
+            ],
+        )
+
+    return build
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = start_server(tmp_path / "root")
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def jsonl_server(tmp_path):
+    handle = start_server(tmp_path / "root", backend="jsonl")
+    yield handle
+    handle.stop()

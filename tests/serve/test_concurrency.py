@@ -1,0 +1,74 @@
+"""Acceptance: 16 tenants create fleets, run watches, and stream SSE from
+one server process concurrently."""
+
+from __future__ import annotations
+
+import threading
+
+from .test_sse import SseReader
+
+TENANTS = [f"tenant-{i:02d}" for i in range(16)]
+
+SPEC = {
+    "scenarios": ["san-misconfiguration"],
+    "hours": 1.0,
+    "chunk_minutes": 30.0,
+    "seed": 11,
+}
+
+
+def test_sixteen_tenants_watch_and_stream_concurrently(server):
+    # Create all tenants + fleets up front, then start every watch; all 16
+    # supervisors run as sibling task groups on the one coordination loop.
+    for tid in TENANTS:
+        status, _ = server.request("POST", "/v1/tenants", {"tenant_id": tid})
+        assert status == 201
+        status, _ = server.request("POST", f"/v1/tenants/{tid}/fleets", SPEC)
+        assert status == 201
+
+    readers = {tid: SseReader(server, f"/v1/tenants/{tid}/events") for tid in TENANTS}
+    try:
+        for tid in TENANTS:
+            status, _ = server.request("POST", f"/v1/tenants/{tid}/watch/start")
+            assert status == 200
+
+        # Consume each tenant's stream on its own thread while watches run.
+        frames: dict[str, list] = {}
+        errors: list = []
+
+        def consume(tid: str) -> None:
+            try:
+                frames[tid] = readers[tid].read_frames(4, timeout=120)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((tid, exc))
+
+        threads = [threading.Thread(target=consume, args=(tid,)) for tid in TENANTS]
+        for thread in threads:
+            thread.start()
+        for tid in TENANTS:
+            final = server.wait_watch(tid, timeout=120)
+            assert final["state"] == "done", (tid, final)
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+
+        for tid in TENANTS:
+            got = frames.get(tid, [])
+            assert len(got) == 4, f"{tid} streamed {len(got)} frames"
+            seqs = [f["id"] for f in got]
+            assert seqs == sorted(seqs)
+            # Every streamed record belongs to this tenant's own single-env
+            # fleet — identical env names across tenants notwithstanding.
+            envs = {f["data"]["event"].get("env") for f in got} - {None}
+            assert envs <= {"san-misconfiguration"}, (tid, envs)
+    finally:
+        for reader in readers.values():
+            reader.close()
+
+    # Identical scenarios, isolated histories: every tenant diagnosed its
+    # own incident and sees exactly its own tickets.
+    for tid in TENANTS:
+        status, payload = server.request("GET", f"/v1/tenants/{tid}/incidents")
+        assert status == 200
+        assert len(payload["incidents"]) == 1
+        assert payload["incidents"][0]["env"] == "san-misconfiguration"

@@ -1,0 +1,106 @@
+"""The hand-rolled HTTP layer: router semantics and wire-level parsing."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.serve.http import HttpError, Request, Response, Router
+
+
+# ---------------------------------------------------------------------------
+# router
+# ---------------------------------------------------------------------------
+async def _ok(request):  # pragma: no cover - never awaited here
+    return Response(200)
+
+
+def test_router_matches_literals_and_params():
+    router = Router()
+    router.add("GET", "/v1/tenants", _ok)
+    router.add("GET", "/v1/tenants/{tenant_id}/watch", _ok)
+    handler, params = router.resolve("GET", "/v1/tenants")
+    assert params == {}
+    handler, params = router.resolve("GET", "/v1/tenants/acme/watch")
+    assert params == {"tenant_id": "acme"}
+
+
+def test_router_unescapes_params():
+    router = Router()
+    router.add("GET", "/v1/tenants/{tenant_id}", _ok)
+    _, params = router.resolve("GET", "/v1/tenants/a%2Fb")
+    assert params == {"tenant_id": "a/b"}
+
+
+def test_router_404_vs_405():
+    router = Router()
+    router.add("GET", "/v1/tenants", _ok)
+    with pytest.raises(HttpError) as excinfo:
+        router.resolve("POST", "/v1/tenants")
+    assert excinfo.value.status == 405
+    with pytest.raises(HttpError) as excinfo:
+        router.resolve("GET", "/nope")
+    assert excinfo.value.status == 404
+
+
+def test_request_json_errors_are_400():
+    request = Request("POST", "/x", {}, {}, b"not json")
+    with pytest.raises(HttpError) as excinfo:
+        request.json()
+    assert excinfo.value.status == 400
+    with pytest.raises(HttpError) as excinfo:
+        Request("POST", "/x", {}, {}, b"").json()
+    assert excinfo.value.status == 400
+
+
+def test_response_encoding_sets_length_and_close():
+    head, body = Response(200, {"a": 1}).encode()
+    text = head.decode()
+    assert text.startswith("HTTP/1.1 200 OK\r\n")
+    assert f"Content-Length: {len(body)}" in text
+    assert "Connection: close" in text
+    assert "Content-Type: application/json" in text
+    assert body == b'{"a": 1}\n'
+
+
+# ---------------------------------------------------------------------------
+# wire level, against a live server
+# ---------------------------------------------------------------------------
+def _raw(server, payload: bytes, timeout: float = 10.0) -> bytes:
+    host, port = server.address
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def test_malformed_request_line_is_400(server):
+    assert b"400 Bad Request" in _raw(server, b"GARBAGE\r\n\r\n")
+
+
+def test_query_strings_and_unknown_paths(server):
+    raw = _raw(server, b"GET /nope?x=1 HTTP/1.1\r\nHost: t\r\n\r\n")
+    assert b"404 Not Found" in raw
+    assert b"no such resource" in raw
+
+
+def test_oversized_body_is_413(server):
+    headers = b"POST /v1/tenants HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n"
+    assert b"413" in _raw(server, headers)
+
+
+def test_bad_content_length_is_400(server):
+    raw = _raw(server, b"POST /v1/tenants HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+    assert b"400 Bad Request" in raw
+
+
+def test_healthz_over_raw_socket(server):
+    raw = _raw(server, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+    assert b"200 OK" in raw
+    assert b'"ok": true' in raw

@@ -1,0 +1,206 @@
+"""SSE streaming: framing, resume, catch-up, and slow-client disconnect."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.serve import sse_frame
+
+FLEET_SPEC = {
+    "scenarios": ["shared-pool-saturation"],
+    "hours": 2.0,
+    "seed": 7,
+    "min_members": 2,
+    "chunk_minutes": 30.0,
+}
+
+
+def test_sse_frame_format():
+    rec = {"t": 1.5, "seq": 7, "event": {"type": "incident_opened", "env": "e"}}
+    frame = sse_frame(rec).decode()
+    lines = frame.split("\n")
+    assert lines[0] == "id: 7"
+    assert lines[1] == "event: incident_opened"
+    assert lines[2].startswith("data: ")
+    assert frame.endswith("\n\n")
+    assert json.loads(lines[2][len("data: "):]) == rec
+
+
+class SseReader:
+    """A blocking SSE consumer over http.client; frames parsed eagerly."""
+
+    def __init__(self, server, path: str, headers: dict | None = None) -> None:
+        host, port = server.address
+        self.conn = http.client.HTTPConnection(host, port, timeout=60)
+        self.conn.request("GET", path, headers=headers or {})
+        self.response = self.conn.getresponse()
+        self._buffer = b""
+
+    def read_frames(self, count: int, timeout: float = 60.0) -> list[dict]:
+        """Parse ``count`` data frames (comment-only frames are skipped)."""
+        frames: list[dict] = []
+        deadline = time.time() + timeout
+        while len(frames) < count and time.time() < deadline:
+            chunk = self.response.read1(65536)
+            if not chunk:
+                break
+            self._buffer += chunk
+            while b"\n\n" in self._buffer:
+                raw, self._buffer = self._buffer.split(b"\n\n", 1)
+                frame = self._parse(raw.decode())
+                if frame is not None:
+                    frames.append(frame)
+        return frames[:count]
+
+    @staticmethod
+    def _parse(raw: str) -> dict | None:
+        fields: dict = {}
+        for line in raw.split("\n"):
+            if line.startswith("id: "):
+                fields["id"] = int(line[4:])
+            elif line.startswith("event: "):
+                fields["event"] = line[7:]
+            elif line.startswith("data: "):
+                fields["data"] = json.loads(line[6:])
+        return fields or None
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def _run_watch(server, tenant_id: str = "acme", spec: dict = FLEET_SPEC) -> None:
+    server.request("POST", "/v1/tenants", {"tenant_id": tenant_id})
+    status, _ = server.request(f"POST", f"/v1/tenants/{tenant_id}/fleets", spec)
+    assert status == 201
+    status, _ = server.request("POST", f"/v1/tenants/{tenant_id}/watch/start")
+    assert status == 200
+
+
+def test_live_stream_sees_incident_events(server):
+    _run_watch(server)
+    reader = SseReader(server, "/v1/tenants/acme/events")
+    try:
+        frames = reader.read_frames(10)
+        assert len(frames) == 10
+        seqs = [f["id"] for f in frames]
+        assert seqs == sorted(seqs), "event ids must be monotone"
+        assert all(f["data"]["seq"] == f["id"] for f in frames)
+    finally:
+        reader.close()
+    server.wait_watch("acme")
+    status, payload = server.request("GET", "/v1/tenants/acme/incidents")
+    assert payload["incidents"]
+
+
+def test_catchup_after_watch_done_and_last_event_id_resume(server):
+    _run_watch(server)
+    server.wait_watch("acme")
+
+    # Late attach: the whole history is served from the journal.
+    reader = SseReader(server, "/v1/tenants/acme/events")
+    first = reader.read_frames(5)
+    reader.close()
+    assert [f["id"] for f in first] == list(range(5))
+    incident_types = {f["event"] for f in first}
+    assert incident_types <= {
+        "watch_started",
+        "advanced",
+        "incident_opened",
+        "diagnosis_started",
+        "incident_resolved",
+        "fleet_incident_opened",
+        "fleet_incident_grew",
+        "fleet_incident_resolved",
+        "fleet_diagnosis_started",
+        "watch_stopped",
+    }
+
+    # Resume from seq 2 via Last-Event-ID: replay starts at 3.
+    reader = SseReader(
+        server, "/v1/tenants/acme/events", headers={"Last-Event-ID": "2"}
+    )
+    resumed = reader.read_frames(3)
+    reader.close()
+    assert [f["id"] for f in resumed] == [3, 4, 5]
+
+    # ?after= behaves identically (and wins over the header).
+    reader = SseReader(
+        server,
+        "/v1/tenants/acme/events?after=4",
+        headers={"Last-Event-ID": "1"},
+    )
+    resumed = reader.read_frames(2)
+    reader.close()
+    assert [f["id"] for f in resumed] == [5, 6]
+
+
+def test_slow_client_is_kicked_not_buffered():
+    """A client whose socket never drains fills its bounded queue and is
+    disconnected; the publish path never suspends on it."""
+    import asyncio
+
+    from repro.runtime import Scheduler
+    from repro.serve.stream import SseBroker
+
+    class StuckWriter:
+        """Pathological peer: accepts writes, never drains."""
+
+        def __init__(self) -> None:
+            self.closed = False
+            self.drains = 0
+
+        def write(self, data: bytes) -> None:
+            pass
+
+        async def drain(self) -> None:
+            # The greeting frame drains fine (socket buffer empty); every
+            # frame after that blocks forever (peer stopped reading).
+            self.drains += 1
+            if self.drains > 1:
+                await asyncio.Event().wait()
+
+        def close(self) -> None:
+            self.closed = True
+
+    class FakeLog:
+        def __init__(self) -> None:
+            self.records: list[dict] = []
+            self.last_record: dict | None = None
+
+        @property
+        def last_seq(self) -> int:
+            return len(self.records) - 1
+
+        def append(self, event: dict) -> None:
+            rec = {"t": 0.0, "seq": len(self.records), "event": event}
+            self.records.append(rec)
+            self.last_record = rec
+
+        def tail(self, after_seq: int = -1):
+            return iter([r for r in self.records if r["seq"] > after_seq])
+
+    scheduler = Scheduler()
+
+    async def main() -> tuple:
+        broker = SseBroker(scheduler, backlog=2)
+        broker.bind(FakeLog())
+        writer = StuckWriter()
+        pump = scheduler.spawn(broker.attach(writer, after_seq=-1))
+        await asyncio.sleep(0)  # let attach register
+        assert len(broker.clients) == 1
+        (client,) = broker.clients.values()
+        # Publish far more than the backlog: offer() must go False and the
+        # client must be kicked — publish itself never suspends.
+        for i in range(10):
+            broker.event_log.append({"type": "tick", "n": i})
+            broker.publish()
+        await asyncio.wait_for(client.closed.wait(), timeout=5)
+        assert client.reason == "slow"
+        assert writer.closed
+        await asyncio.wait_for(pump, timeout=10)  # detaches and returns
+        return client, broker
+
+    client, broker = scheduler.run(main())
+    assert broker.clients == {}

@@ -1,0 +1,99 @@
+"""Tenant registry: ids, prefixes, and the durable manifest."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import Tenant, TenantRegistry
+from repro.storage import MemoryBackend
+from repro.storage.prefix import PrefixedBackend
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return TenantRegistry(tmp_path / "root", MemoryBackend())
+
+
+def test_create_assigns_prefix_and_persists(registry):
+    tenant = registry.create("acme")
+    assert tenant.prefix == "t_acme__"
+    assert registry.manifest_path.exists()
+    data = json.loads(registry.manifest_path.read_text())
+    assert data["tenants"]["acme"]["prefix"] == "t_acme__"
+    assert "acme" in registry
+    assert len(registry) == 1
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "Acme", "a space", "-leading", "_leading", "a" * 33, "a/b", "a.b"]
+)
+def test_invalid_tenant_ids_rejected(registry, bad):
+    with pytest.raises(ValueError):
+        registry.create(bad)
+
+
+def test_duplicate_tenant_rejected(registry):
+    registry.create("acme")
+    with pytest.raises(ValueError, match="already exists"):
+        registry.create("acme")
+
+
+def test_get_unknown_raises_keyerror(registry):
+    with pytest.raises(KeyError):
+        registry.get("ghost")
+
+
+def test_list_orders_by_creation(registry):
+    for tid in ("zeta", "alpha", "mid"):
+        registry.create(tid)
+    assert [t.tenant_id for t in registry.list()] == ["zeta", "alpha", "mid"]
+
+
+def test_manifest_survives_reload(tmp_path):
+    backend = MemoryBackend()
+    registry = TenantRegistry(tmp_path / "root", backend)
+    registry.create("acme")
+    registry.set_watch("acme", {"spec": {"scenarios": ["x"]}, "running": True})
+    registry.create("globex")
+
+    reloaded = TenantRegistry(tmp_path / "root", backend)
+    assert {t.tenant_id for t in reloaded.list()} == {"acme", "globex"}
+    assert reloaded.get("acme").watch == {
+        "spec": {"scenarios": ["x"]},
+        "running": True,
+    }
+    # Creation sequence continues across reloads: a recreated id gets a new seq.
+    fresh = reloaded.create("initech")
+    assert fresh.created_seq > reloaded.get("globex").created_seq
+
+
+def test_delete_removes_tenant_and_state_dir(tmp_path):
+    registry = TenantRegistry(tmp_path / "root", MemoryBackend())
+    tenant = registry.create("acme")
+    state_dir = registry.tenant_dir(tenant)
+    (state_dir / "checkpoint.json").write_text("{}")
+    registry.delete("acme")
+    assert "acme" not in registry
+    assert not state_dir.exists()
+    with pytest.raises(KeyError):
+        registry.delete("acme")
+
+
+def test_backend_for_is_a_prefixed_view(registry):
+    tenant = registry.create("acme")
+    view = registry.backend_for(tenant)
+    assert isinstance(view, PrefixedBackend)
+    assert view.prefix == "t_acme__"
+    assert view.inner is registry.shared_backend
+
+
+def test_tenant_roundtrip():
+    tenant = Tenant(
+        tenant_id="acme",
+        prefix="t_acme__",
+        created_seq=3,
+        watch={"spec": {"scenarios": []}, "running": False},
+    )
+    assert Tenant.from_dict(tenant.to_dict()) == tenant

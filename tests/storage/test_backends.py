@@ -319,3 +319,62 @@ class TestFleetEventLogConformance:
         reopened.append({"type": "advanced", "env": "env-b", "clock": 3600.0})
         assert [r["seq"] for r in reopened.tail()] == [0, 1, 2, 3]
         reopened.close()
+
+    def test_live_tailer_survives_writer_kill_and_resume(self, tmp_path):
+        """SSE-style consumers hold their *own* backend handle and poll
+        ``tail(after_seq)``: they must keep seeing events appended by a
+        separate writer handle, across the writer being killed (handle
+        abandoned after flush, never closed) and resumed (fresh handle that
+        continues numbering).  At-least-once with monotone ``seq`` is the
+        contract."""
+        from repro.stream import FleetEventLog
+
+        state = tmp_path / "state"
+        writer = FleetEventLog.open(state)
+        for i in range(3):
+            writer.append({"type": "advanced", "env": "env-a", "clock": 60.0 * i})
+        writer.flush()
+
+        tailer = FleetEventLog(JsonlBackend(state / FleetEventLog.KEYSPACE))
+        assert [r["seq"] for r in tailer.tail()] == [0, 1, 2]
+
+        # The writer keeps going *after* the tailer opened: a reader's index
+        # is frozen at replay time, so only the refresh inside ``tail()``
+        # makes these visible.
+        for i in range(3, 6):
+            writer.append({"type": "advanced", "env": "env-a", "clock": 60.0 * i})
+        writer.flush()
+        assert [r["seq"] for r in tailer.tail(after_seq=2)] == [3, 4, 5]
+
+        # Kill the writer and resume it elsewhere; the tailer never reopens.
+        del writer
+        resumed = FleetEventLog.open(state)
+        assert resumed.last_seq == 5
+        resumed.append({"type": "advanced", "env": "env-a", "clock": 360.0})
+        resumed.flush()
+        assert [r["seq"] for r in tailer.tail(after_seq=5)] == [6]
+        seqs = [r["seq"] for r in tailer.tail()]
+        assert seqs == sorted(seqs) == list(range(7))
+        resumed.close()
+        tailer.close()
+
+    def test_live_tailer_follows_separate_sqlite_handle(self, tmp_path):
+        """The same follow-the-writer contract over sqlite: a second
+        connection's scans see every committed append without an explicit
+        refresh hook."""
+        from repro.stream import FleetEventLog
+
+        db = tmp_path / "telemetry.db"
+        writer = FleetEventLog(SqliteBackend(db))
+        writer.append({"type": "advanced", "env": "env-a", "clock": 0.0})
+        writer.flush()
+
+        tailer = FleetEventLog(SqliteBackend(db))
+        assert [r["seq"] for r in tailer.tail()] == [0]
+
+        writer.append({"type": "incident_opened", "env": "env-a",
+                       "incident_id": "INC-env-a-1", "opened_at": 30.0})
+        writer.flush()
+        assert [r["seq"] for r in tailer.tail(after_seq=0)] == [1]
+        writer.close()
+        tailer.close()

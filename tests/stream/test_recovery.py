@@ -1,0 +1,154 @@
+"""Recovery-aware incident closure.
+
+With ``recovery=True`` the detectors emit ``kind="recovery"`` detections
+when a series returns to baseline, and the incident manager:
+
+* resolves a still-open incident with ``resolution="recovered"`` (no
+  diagnosis) and starts the key's cooldown clock;
+* treats a regression *inside* that cooldown as flapping, not noise —
+  it re-escalates with a predecessor link and a severity bump instead of
+  suppressing the evidence;
+* keeps suppressing post-diagnosis duplicates exactly as before.
+
+With the default ``recovery=False`` nothing changes: no recovery
+detections fire and histories are identical to what they always were.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lab.scenarios import scenario_flapping_san_misconfiguration
+from repro.stream.detectors import Detection
+from repro.stream.incidents import IncidentManager, IncidentState, Severity
+from repro.stream.supervisor import FleetSupervisor
+
+
+def _drift(time: float, magnitude: float = 1.5) -> Detection:
+    return Detection(
+        time=time,
+        detector="ewma-drift",
+        target="V1/readTime",
+        value=10.0,
+        expected=5.0,
+        magnitude=magnitude,
+        kind="drift",
+    )
+
+
+def _recovery(time: float) -> Detection:
+    return Detection(
+        time=time,
+        detector="ewma-drift",
+        target="V1/readTime",
+        value=5.0,
+        expected=5.0,
+        magnitude=0.0,
+        kind="recovery",
+    )
+
+
+class TestManagerRecovery:
+    def test_recovery_resolves_open_incident_without_diagnosis(self):
+        manager = IncidentManager("env", cooldown_s=3600.0)
+        incident = manager.observe(_drift(100.0))
+        assert incident is not None
+
+        assert manager.observe(_recovery(400.0)) is None
+        assert incident.state is IncidentState.RESOLVED
+        assert incident.resolution == "recovered"
+        assert incident.resolved_at == 400.0
+        assert incident.report is None
+        assert manager.drain_recoveries() == [incident]
+        assert manager.drain_recoveries() == []  # drained once per fold
+
+    def test_recovery_never_touches_a_diagnosing_incident(self):
+        manager = IncidentManager("env", cooldown_s=3600.0)
+        incident = manager.observe(_drift(100.0))
+        manager.begin_diagnosis(incident, 200.0)
+
+        assert manager.observe(_recovery(400.0)) is None
+        assert incident.state is IncidentState.DIAGNOSING
+        assert manager.drain_recoveries() == []
+
+    def test_regression_inside_cooldown_re_escalates(self):
+        manager = IncidentManager("env", cooldown_s=3600.0)
+        first = manager.observe(_drift(100.0))
+        manager.observe(_recovery(400.0))
+
+        # Same key degrades again well inside the cooldown window: that is
+        # flapping — a new incident opens with a predecessor link and a
+        # bumped severity, bypassing the cooldown.
+        second = manager.observe(_drift(1000.0))
+        assert second is not None and second is not first
+        assert second.escalated_from == first.incident_id
+        assert second.escalations == 1
+        assert second.severity is first.severity.escalated(1)
+        assert manager.suppressed == 0
+
+        # Flap again: the chain keeps growing.
+        manager.observe(_recovery(1300.0))
+        third = manager.observe(_drift(2000.0))
+        assert third.escalated_from == second.incident_id
+        assert third.escalations == 2
+
+    def test_diagnosed_resolution_still_suppresses_inside_cooldown(self):
+        manager = IncidentManager("env", cooldown_s=3600.0)
+        incident = manager.observe(_drift(100.0))
+        manager.resolve(incident, 400.0)  # resolution="diagnosed"
+
+        assert manager.observe(_drift(1000.0)) is None
+        assert manager.suppressed == 1
+
+    def test_cooldown_expiry_is_a_fresh_episode(self):
+        manager = IncidentManager("env", cooldown_s=600.0)
+        first = manager.observe(_drift(100.0))
+        manager.observe(_recovery(400.0))
+
+        fresh = manager.observe(_drift(400.0 + 600.0))
+        assert fresh.escalated_from is None
+        assert fresh.escalations == 0
+        assert fresh.severity is Severity.from_magnitude(1.5)
+        assert first.incident_id != fresh.incident_id
+
+
+class TestSupervisorRecovery:
+    HOURS = 10.0
+
+    @staticmethod
+    def _run(recovery: bool):
+        # One chunk spans a full flap period (on-window degradation + the
+        # off-window return to baseline), so the recovery detection reaches
+        # the manager in the same fold that opened the incident — before the
+        # next chunk boundary would have started a diagnosis wave.
+        supervisor = FleetSupervisor(
+            chunk_s=3600.0, cooldown_s=7200.0, recovery=recovery
+        )
+        supervisor.watch_scenario(
+            scenario_flapping_san_misconfiguration(hours=TestSupervisorRecovery.HOURS)
+        )
+        supervisor.run(TestSupervisorRecovery.HOURS * 3600.0)
+        return supervisor.incidents()
+
+    @pytest.fixture(scope="class")
+    def recovered_incidents(self):
+        return self._run(recovery=True)
+
+    def test_flapping_fault_recovers_and_re_escalates(self, recovered_incidents):
+        resolutions = {i.resolution for i in recovered_incidents}
+        assert "recovered" in resolutions, resolutions
+        chained = [i for i in recovered_incidents if i.escalated_from]
+        assert chained, "a flapping fault must re-escalate at least once"
+        by_id = {i.incident_id: i for i in recovered_incidents}
+        for incident in chained:
+            predecessor = by_id[incident.escalated_from]
+            assert predecessor.resolution == "recovered"
+            assert incident.escalations == predecessor.escalations + 1
+            assert incident.opened_at > predecessor.resolved_at
+
+    def test_defaults_off_history_is_unchanged(self):
+        incidents = self._run(recovery=False)
+        assert incidents
+        assert all(i.resolution != "recovered" for i in incidents)
+        assert all(i.escalations == 0 for i in incidents)
+        assert all(i.escalated_from is None for i in incidents)
