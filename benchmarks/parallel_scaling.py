@@ -1,0 +1,157 @@
+"""Parallel scaling: process-backed vs thread-backed fleet advancement.
+
+The tentpole claim for :class:`~repro.runtime.procpool.ProcessWorkerPool` is
+that CPU-bound simulation work scales with cores once it escapes the GIL.
+This bench drives a synthetic fleet — each "environment" is a pure-Python
+spin task that holds the GIL exactly like ``Environment.advance`` does — at
+64/256/512/1024 members, with sticky per-environment affinity, on both
+backends, and records wall time, throughput, speedup, and parallel
+efficiency to ``results/BENCH_parallel.json``.
+
+The speedup/efficiency assertions only gate on hosts with >= 4 cores (a
+single-core runner cannot show parallelism — process mode there measures
+pure handoff overhead); the JSON artefact is emitted unconditionally so CI
+always has the numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runtime import ProcessWorkerPool, WorkerPool
+
+FLEET_SIZES = (64, 256, 512, 1024)
+ROUNDS = 3
+SPIN_ITERS = 1500
+
+CORES = os.cpu_count() or 1
+
+SPIN_TASK = f"{__name__}:spin"
+
+
+def spin(payload: dict) -> dict:
+    """One synthetic environment chunk: GIL-holding integer arithmetic."""
+    acc = int(payload.get("seed", 0))
+    for _ in range(int(payload["iters"])):
+        acc = (acc * 1103515245 + 12345) % 2147483648
+    return {"acc": acc}
+
+
+def _drive_threads(pool: WorkerPool, fleet: list[str]) -> float:
+    start = time.perf_counter()
+    for _round in range(ROUNDS):
+        pool.map_bounded(
+            lambda name: spin({"seed": len(name), "iters": SPIN_ITERS}),
+            fleet,
+            limit=pool.max_workers,
+        )
+    return time.perf_counter() - start
+
+
+def _drive_processes(pool: ProcessWorkerPool, fleet: list[str]) -> float:
+    start = time.perf_counter()
+    for _round in range(ROUNDS):
+        futures = [
+            pool.submit_task(
+                SPIN_TASK,
+                {"seed": len(name), "iters": SPIN_ITERS},
+                affinity=name,
+            )
+            for name in fleet
+        ]
+        for future in futures:
+            future.result()
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    rows = []
+    thread_pool = WorkerPool()
+    proc_pool = ProcessWorkerPool()
+    try:
+        # Warm both substrates (worker processes, executor threads) so the
+        # measured rounds see steady state, as a long-running fleet would.
+        _drive_threads(thread_pool, ["warm"])
+        _drive_processes(proc_pool, ["warm"])
+        for size in FLEET_SIZES:
+            fleet = [f"env-{i:04d}" for i in range(size)]
+            t_threads = _drive_threads(thread_pool, fleet)
+            t_process = _drive_processes(proc_pool, fleet)
+            tasks = size * ROUNDS
+            speedup = t_threads / t_process if t_process > 0 else float("inf")
+            rows.append(
+                {
+                    "fleet_size": size,
+                    "tasks": tasks,
+                    "threads_s": round(t_threads, 4),
+                    "process_s": round(t_process, 4),
+                    "threads_tasks_per_s": round(tasks / t_threads, 1),
+                    "process_tasks_per_s": round(tasks / t_process, 1),
+                    "speedup": round(speedup, 3),
+                    "efficiency": round(speedup / CORES, 3),
+                }
+            )
+        stats = proc_pool.stats()
+        meta = {
+            "cores": CORES,
+            "processes": stats["processes"],
+            "start_method": stats["start_method"],
+            "rounds": ROUNDS,
+            "spin_iters": SPIN_ITERS,
+            "affinity_keys": stats["affinity_keys"],
+            "gated": CORES >= 4,
+        }
+    finally:
+        proc_pool.shutdown()
+        thread_pool.shutdown()
+    return meta, rows
+
+
+def test_parallel_scaling(scaling_rows, record_result):
+    meta, rows = scaling_rows
+    lines = [
+        "Process-parallel scaling — threads vs procpool "
+        f"({meta['cores']} cores, {meta['processes']} workers, "
+        f"{meta['start_method']})",
+        "-" * 78,
+        f"{'fleet':>6} {'threads s':>10} {'process s':>10} "
+        f"{'thr t/s':>10} {'proc t/s':>10} {'speedup':>8} {'eff':>6}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['fleet_size']:>6} {row['threads_s']:>10.3f} "
+            f"{row['process_s']:>10.3f} {row['threads_tasks_per_s']:>10.1f} "
+            f"{row['process_tasks_per_s']:>10.1f} {row['speedup']:>8.2f} "
+            f"{row['efficiency']:>6.2f}"
+        )
+    if not meta["gated"]:
+        lines.append(
+            f"(assertions skipped: {meta['cores']} core(s) < 4 — process "
+            "mode here measures handoff overhead, not parallelism)"
+        )
+    record_result("parallel", "\n".join(lines), data={"meta": meta, "rows": rows})
+
+    by_size = {row["fleet_size"]: row for row in rows}
+    assert by_size[1024]["tasks"] == 1024 * ROUNDS  # fleet really scaled to 1024
+    if meta["gated"]:
+        assert by_size[256]["speedup"] >= 3.0, (
+            "process backend must be >= 3x threads at 256 environments "
+            f"on {meta['cores']} cores, got {by_size[256]['speedup']:.2f}x"
+        )
+        for size in (512, 1024):
+            assert by_size[size]["efficiency"] >= 0.6, (
+                f"parallel efficiency at {size} environments must stay >= "
+                f"0.6 of {meta['cores']} cores, got "
+                f"{by_size[size]['efficiency']:.2f}"
+            )
+
+
+def test_sticky_affinity_caps_hydrations(scaling_rows):
+    """Every environment key pinned once: workers saw 1024 + warm keys total,
+    spread over all workers — no key migrated between processes."""
+    meta, _rows = scaling_rows
+    assert meta["affinity_keys"] == max(FLEET_SIZES) + 1

@@ -184,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool width for advancing environments and diagnosing",
     )
     watch.add_argument(
+        "--pool", default=None, choices=["threads", "process", "auto"],
+        help=(
+            "execution backend for the shared worker pool: threads (default), "
+            "process (environments simulate in worker processes with sticky "
+            "affinity — true parallelism for CPU-bound fleets), or auto "
+            "(process when cores and fleet size justify the handoff); "
+            "REPRO_POOL sets the default"
+        ),
+    )
+    watch.add_argument(
         "--max-inflight-diagnoses", type=int, default=None, metavar="N",
         help=(
             "cap concurrent diagnosis pipelines across the fleet (default: "
@@ -356,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--sse-backlog", type=int, default=128, metavar="N",
         help="per-SSE-client queue depth before a slow client is disconnected",
+    )
+    serve.add_argument(
+        "--pool", default=None, choices=["threads", "process", "auto"],
+        help=(
+            "execution backend for the service's shared worker pool (see "
+            "`repro watch --pool`); tenant watches started under a process "
+            "pool simulate in sticky worker processes"
+        ),
     )
     serve.add_argument(
         "--stats", action="store_true",
@@ -536,14 +554,14 @@ def cmd_watch(args: argparse.Namespace) -> int:
             kwargs = {"hours": args.hours}
             if args.seed is not None:
                 kwargs["seed"] = args.seed
-            fabrics.append(FLEET_SCENARIOS[name](**kwargs))
+            fabrics.append((name, FLEET_SCENARIOS[name](**kwargs)))
     correlator = None
     if fabrics:
         # Same-named components in different fleet scenarios are DIFFERENT
         # physical components (each fabric is its own set of simulators);
         # merging them would correlate unrelated environments.
         membership: dict[str, tuple[str, ...]] = {}
-        for fabric in fabrics:
+        for _fabric_name, fabric in fabrics:
             for component, members in fabric.membership().items():
                 if component in membership:
                     print(
@@ -571,12 +589,28 @@ def cmd_watch(args: argparse.Namespace) -> int:
             print(f"invalid correlation configuration: {exc}", file=sys.stderr)
             return 2
 
+    # Resolve the pool backend against the actual fleet size: `auto` only
+    # pays the process-handoff cost when there are enough environments (and
+    # cores) for parallel simulation to win.
+    from .runtime import resolve_pool_backend, shared_pool
+
+    fleet_size = sum(len(fabric.members) for _n, fabric in fabrics) + sum(
+        1 for n in names if n not in FLEET_SCENARIOS
+    )
+    try:
+        pool_backend = resolve_pool_backend(args.pool, fleet_size=fleet_size)
+    except ValueError as exc:
+        print(f"invalid pool configuration: {exc}", file=sys.stderr)
+        return 2
+    pool = shared_pool(backend=pool_backend)
+
     try:
         supervisor = FleetSupervisor(
             chunk_s=args.chunk_minutes * 60.0,
             max_workers=args.max_workers,
             cooldown_s=args.cooldown_minutes * 60.0,
             state_dir=args.state_dir,
+            pool=pool,
             max_inflight_diagnoses=args.max_inflight_diagnoses,
             correlator=correlator,
             max_skew_s=(
@@ -603,15 +637,26 @@ def cmd_watch(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid watch configuration: {exc}", file=sys.stderr)
         return 2
-    for fabric in fabrics:
-        fabric.watch_all(supervisor)
+    # Hydration specs carry each environment's registry identity (the same
+    # keys checkpoint_meta records); under a process pool the supervisor uses
+    # them to build and simulate environments inside sticky workers, and
+    # under threads they are ignored.
+    for fabric_name, fabric in fabrics:
+        fabric.watch_all(
+            supervisor,
+            hydration={"fleet": fabric_name, "hours": args.hours, "seed": args.seed},
+        )
     for name in names:
         if name in FLEET_SCENARIOS:
             continue
         kwargs = {"hours": args.hours}
         if args.seed is not None:
             kwargs["seed"] = args.seed
-        supervisor.watch_scenario(SCENARIOS[name](**kwargs), name=name)
+        supervisor.watch_scenario(
+            SCENARIOS[name](**kwargs),
+            name=name,
+            hydration={"scenario": name, "hours": args.hours, "seed": args.seed},
+        )
 
     resumed_s = 0.0
     if supervisor.has_checkpoint():
@@ -643,7 +688,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
         counters, gauges = snap["counters"], snap["gauges"]
         latency = snap["histograms"].get("scheduler.task_latency_s")
         p95 = f"{latency['p95_ms']:.0f}ms" if latency else "-"
-        return [
+        lines = [
             (
                 f"pool: {pool['active']}/{pool['max_workers']} active  "
                 f"queued {pool['queued']}  done {pool['completed']}  "
@@ -659,6 +704,20 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 f"task p95 {p95}   "
             ),
         ]
+        if "workers" in pool:
+            # Process backend: one fixed line of per-worker routing stats
+            # (pid, sticky affinity keys, tasks routed, handoff volume).
+            lines.append(
+                "proc: "
+                + "  ".join(
+                    f"[{row['worker']}] pid {row['pid'] or '-'} "
+                    f"keys {row['affinity_keys']} tasks {row['tasks_routed']} "
+                    f"io {row['handoff_bytes'] / 1024.0:.0f}KiB"
+                    for row in pool["workers"]
+                )
+                + "   "
+            )
+        return lines
 
     def redraw() -> None:
         # Redraw in place: compose the whole frame first, so the cursor-up
@@ -752,6 +811,13 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 f"{pool['completed']} completed, {pool['failed']} failed "
                 f"({pool['max_workers']} worker(s))"
             )
+            for row in pool.get("workers", ()):
+                print(
+                    f"  worker[{row['worker']}]: pid {row['pid'] or '-'}, "
+                    f"{row['affinity_keys']} affinity key(s), "
+                    f"{row['tasks_routed']} task(s) routed, "
+                    f"{row['handoff_bytes'] / 1024.0:.0f} KiB handoff"
+                )
             if args.state_dir is not None:
                 print(
                     f"observability sidecar written: `repro trace --state-dir "
@@ -1007,9 +1073,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # no other subcommand needs.
     from .serve import ServeApp
 
-    app = ServeApp(
-        args.state_root, backend=args.backend, sse_backlog=args.sse_backlog
-    )
+    try:
+        app = ServeApp(
+            args.state_root,
+            backend=args.backend,
+            sse_backlog=args.sse_backlog,
+            pool=args.pool,
+        )
+    except ValueError as exc:
+        print(f"invalid pool configuration: {exc}", file=sys.stderr)
+        return 2
     print(
         f"repro serve: state root {app.state_root} ({args.backend}), "
         f"binding {args.host}:{args.port} ...",

@@ -99,10 +99,22 @@ class SharedFabric:
             cid for cid, spec in sorted(self.shared.items()) if member in spec.members
         )
 
-    def watch_all(self, supervisor: "FleetSupervisor") -> "list[WatchedEnvironment]":
-        """Put every member under supervision (names are member names)."""
+    def watch_all(
+        self, supervisor: "FleetSupervisor", *, hydration: dict | None = None
+    ) -> "list[WatchedEnvironment]":
+        """Put every member under supervision (names are member names).
+
+        ``hydration`` is the fabric's registry identity (``{"fleet": ...,
+        "hours": ..., "seed": ...}``); each member's spec adds its own name
+        so a process-backed supervisor can rebuild the member inside its
+        sticky worker (see :mod:`repro.stream.worker`).
+        """
         return [
-            supervisor.watch_scenario(scenario, name=name)
+            supervisor.watch_scenario(
+                scenario,
+                name=name,
+                hydration=dict(hydration, env=name) if hydration is not None else None,
+            )
             for name, scenario in self.members.items()
         ]
 

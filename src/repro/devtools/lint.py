@@ -1,6 +1,6 @@
 """``repro lint`` — AST-based enforcement of the repo's correctness invariants.
 
-Eight checkers, each guarding a convention the determinism and durability
+Nine checkers, each guarding a convention the determinism and durability
 guarantees depend on:
 
 ``determinism``
@@ -15,9 +15,10 @@ guarantees depend on:
     rest of ``repro.obs``) measures wall durations through it.
 ``executor-discipline``
     No raw ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` /
-    ``threading.Thread`` construction outside ``runtime/pools.py``.  All
-    fan-out goes through :func:`repro.runtime.shared_pool` so concurrency
-    stays bounded by one budget (and the sanitizer can see task boundaries).
+    ``threading.Thread`` / ``multiprocessing`` primitive construction
+    outside ``runtime/pools.py`` and ``runtime/procpool.py``.  All fan-out
+    goes through :func:`repro.runtime.shared_pool` so concurrency stays
+    bounded by one budget (and the sanitizer can see task boundaries).
 ``checkpoint-pairing``
     A class defining ``state_dict`` must define ``load_state`` (and vice
     versa); a one-sided checkpoint surface resumes to silently-stale state.
@@ -50,6 +51,13 @@ guarantees depend on:
     :class:`~repro.storage.prefix.PrefixedBackend` is constructed only by
     the tenant registry (``serve/tenants.py``) — keyspace prefixes minted
     anywhere else would silently break tenant isolation.
+``procpool-discipline``
+    ``submit_task`` call sites outside ``runtime/procpool.py`` hand off
+    JSON documents, not live object graphs: the task must be a (dotted
+    ``"module:function"``) string, and the payload expression must not be a
+    lambda, contain a lambda, or pass a bare ``self`` — closures and object
+    graphs don't survive the serializer-based process handoff, and the
+    failure would otherwise surface only at runtime on the process backend.
 
 Suppression: append ``# repro-lint: disable=<check>[,<check>…]`` (or
 ``disable=all``) to the offending line, with a comment saying *why*; a
@@ -90,8 +98,9 @@ SIMULATION_PACKAGES = frozenset(
     {"lab", "db", "san", "stream", "correlate", "monitor", "stats", "obs"}
 )
 
-#: The one module allowed to construct executors/threads.
-EXECUTOR_HOME = ("runtime", "pools.py")
+#: The only modules allowed to construct executors/threads/processes:
+#: the thread pool and its process-backed sibling.
+EXECUTOR_HOMES = (("runtime", "pools.py"), ("runtime", "procpool.py"))
 
 #: The one module allowed to read a monotonic wall clock: the observability
 #: subsystem's allowlisted clock (every span/timer funnels through it).
@@ -354,7 +363,8 @@ class DeterminismChecker(Checker):
 
 
 class ExecutorChecker(Checker):
-    """All thread/executor construction lives in runtime/pools.py."""
+    """Thread/executor/process construction lives in runtime/pools.py
+    and runtime/procpool.py only."""
 
     name = "executor-discipline"
 
@@ -366,10 +376,14 @@ class ExecutorChecker(Checker):
         "threading.Thread",
         "multiprocessing.Process",
         "multiprocessing.Pool",
+        "multiprocessing.Queue",
+        "multiprocessing.SimpleQueue",
+        "multiprocessing.Manager",
+        "multiprocessing.get_context",
     }
 
     def applies(self, ctx: FileContext) -> bool:
-        return ctx.parts[-2:] != EXECUTOR_HOME
+        return tuple(ctx.parts[-2:]) not in EXECUTOR_HOMES
 
     def run(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -380,7 +394,8 @@ class ExecutorChecker(Checker):
                 yield self._finding(
                     ctx,
                     node,
-                    f"raw {name} outside runtime/pools.py; fan out through "
+                    f"raw {name} outside runtime/pools.py or "
+                    "runtime/procpool.py; fan out through "
                     "repro.runtime.shared_pool() so concurrency stays bounded "
                     "by one budget",
                 )
@@ -852,6 +867,73 @@ class ServeDisciplineChecker(Checker):
                 yield self._finding(ctx, node, f".{leaf}(): {advice}")
 
 
+class ProcpoolDisciplineChecker(Checker):
+    """Process-pool handoffs stay serializer-friendly at the call site.
+
+    :meth:`~repro.runtime.procpool.ProcessWorkerPool.submit_task` serialises
+    payloads with ``json.dumps`` and resolves tasks by dotted name inside the
+    worker — nothing else crosses the process boundary.  This checker
+    enforces the lexical half of that contract at every ``submit_task`` call
+    outside the executor homes: the task argument must be a string (a
+    ``"module:function"`` literal or a constant that holds one — never a
+    function object), and the payload expression must not capture a live
+    object graph — no lambdas (closures don't serialise) and no bare
+    ``self`` passed whole as the payload.  Dict literals whose values read
+    attributes are fine: that is a JSON document being assembled.
+    """
+
+    name = "procpool-discipline"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return tuple(ctx.parts[-2:]) not in EXECUTOR_HOMES
+
+    def run(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit_task"
+            ):
+                continue
+            task = node.args[0] if node.args else None
+            payload = node.args[1] if len(node.args) > 1 else None
+            for keyword in node.keywords:
+                if keyword.arg == "payload":
+                    payload = keyword.value
+            if isinstance(task, ast.Lambda) or (
+                isinstance(task, ast.Constant) and not isinstance(task.value, str)
+            ):
+                yield self._finding(
+                    ctx,
+                    node,
+                    "submit_task task must be a dotted 'module:function' "
+                    "string — function objects cannot cross the process "
+                    "boundary",
+                )
+            if payload is None:
+                continue
+            if isinstance(payload, ast.Name) and payload.id == "self":
+                yield self._finding(
+                    ctx,
+                    node,
+                    "submit_task payload passes `self` whole; hand off a "
+                    "JSON-able document (dict of primitives), not a live "
+                    "object graph",
+                )
+                continue
+            for child in ast.walk(payload):
+                if isinstance(child, ast.Lambda):
+                    yield self._finding(
+                        ctx,
+                        node,
+                        "lambda inside a submit_task payload; closures do "
+                        "not survive the serializer-based process handoff — "
+                        "pass data and resolve behaviour by dotted task name",
+                    )
+                    break
+
+
 #: Registered checkers, in report order.
 CHECKERS: tuple[Checker, ...] = (
     DeterminismChecker(),
@@ -862,6 +944,7 @@ CHECKERS: tuple[Checker, ...] = (
     GuardedFieldsChecker(),
     ObsDisciplineChecker(),
     ServeDisciplineChecker(),
+    ProcpoolDisciplineChecker(),
 )
 
 CHECKER_NAMES = tuple(checker.name for checker in CHECKERS)

@@ -142,6 +142,104 @@ class DiagnosisBundle:
 
         atomic_write_json(manifest, payload, indent=2, sort_keys=True)
 
+    def to_payload(self) -> dict:
+        """The whole bundle as one JSON document (the process-pool handoff).
+
+        Same content as :meth:`save` — telemetry records plus the serializer
+        object graph — but crossing a queue instead of landing in a state
+        dir: records are journalled into an in-memory backend and dumped per
+        keyspace.  Everything is JSON-able by construction (these are the
+        exact records :class:`~repro.storage.JsonlBackend` writes as JSON
+        lines).
+        """
+        from ..storage.backend import MemoryBackend
+        from ..storage.serializers import (
+            catalog_to_dict,
+            dbconfig_to_dict,
+            spec_to_dict,
+            testbed_to_dict,
+        )
+        from ..storage.telemetry import TelemetryStore
+
+        metrics = self.stores.metrics
+        backend = MemoryBackend()
+        target = TelemetryStore.with_backend(
+            backend,
+            interval_s=metrics.interval_s,
+            noise_sigma=metrics.noise_sigma,
+            seed=metrics.seed,
+            replay=False,
+        )
+        target.absorb(self.stores)
+        return {
+            "version": 1,
+            "metrics": {
+                "interval_s": metrics.interval_s,
+                "noise_sigma": metrics.noise_sigma,
+                "seed": metrics.seed,
+            },
+            "testbed": testbed_to_dict(self.testbed),
+            "catalog": catalog_to_dict(self.catalog),
+            "db_config": dbconfig_to_dict(self.db_config),
+            "initial_catalog": catalog_to_dict(self.initial_catalog),
+            "initial_config": dbconfig_to_dict(self.initial_config),
+            "query_names": list(self.query_names),
+            "query_specs": {
+                name: spec_to_dict(spec) if spec is not None else None
+                for name, spec in self.query_specs.items()
+            },
+            "telemetry": {
+                keyspace: list(backend.scan(keyspace))
+                for keyspace in backend.keyspaces()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DiagnosisBundle":
+        """Rebuild a bundle from :meth:`to_payload` output.
+
+        The replayed stores diagnose identically to the originals — same
+        records, same sampling interval / noise sigma / seed — which is what
+        makes worker-process diagnosis byte-for-byte equivalent to in-process
+        diagnosis.
+        """
+        from ..storage.backend import MemoryBackend
+        from ..storage.serializers import (
+            catalog_from_dict,
+            dbconfig_from_dict,
+            spec_from_dict,
+            testbed_from_dict,
+        )
+        from ..storage.telemetry import TelemetryStore
+
+        backend = MemoryBackend()
+        for keyspace, records in payload.get("telemetry", {}).items():
+            backend.append_many(keyspace, records)
+        metrics_meta = payload["metrics"]
+        stores = TelemetryStore.with_backend(
+            backend,
+            interval_s=metrics_meta["interval_s"],
+            noise_sigma=metrics_meta["noise_sigma"],
+            seed=metrics_meta["seed"],
+            replay=False,
+        )
+        # with_backend only auto-replays durable backends; the memory backend
+        # already holds every record, so replay explicitly.
+        stores.replay()
+        return cls(
+            stores=stores,
+            testbed=testbed_from_dict(payload["testbed"]),
+            catalog=catalog_from_dict(payload["catalog"]),
+            db_config=dbconfig_from_dict(payload["db_config"]),
+            initial_catalog=catalog_from_dict(payload["initial_catalog"]),
+            initial_config=dbconfig_from_dict(payload["initial_config"]),
+            query_names=list(payload.get("query_names", [])),
+            query_specs={
+                name: spec_from_dict(spec) if spec is not None else None
+                for name, spec in payload.get("query_specs", {}).items()
+            },
+        )
+
     @classmethod
     def load(cls, state_dir: str | os.PathLike) -> "DiagnosisBundle":
         """Restore a bundle persisted with :meth:`save`.

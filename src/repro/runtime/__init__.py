@@ -6,7 +6,12 @@ one budget of threads instead of spinning up throwaway executors:
 * :mod:`repro.runtime.pools` — :class:`WorkerPool`, a long-lived thread pool
   with a bounded ``map_bounded`` fan-out, and :func:`shared_pool`, the
   process-wide instance the supervisor, the diagnosis pipeline, and the CLI
-  all share;
+  all share (``shared_pool(backend=...)`` / ``REPRO_POOL`` select threads or
+  processes);
+* :mod:`repro.runtime.procpool` — :class:`ProcessWorkerPool`, the same
+  ``WorkerPool`` contract over long-lived worker processes with sticky
+  env→worker affinity and JSON-only handoff — true parallelism for
+  CPU-bound simulation;
 * :mod:`repro.runtime.scheduler` — :class:`Scheduler`, cooperative asyncio
   orchestration (coordination on one loop, blocking work bridged onto the
   pool via ``call`` with per-task cancellation/timeout) and
@@ -20,11 +25,15 @@ layer (core, lab, stream, cli) can build on it without cycles.
 """
 
 from .clock import ClockVector
-from .pools import WorkerPool, reset_shared_pool, shared_pool
+from .pools import WorkerPool, reset_shared_pool, resolve_pool_backend, shared_pool
+from .procpool import ProcessWorkerPool, ProcpoolPayloadError
 from .scheduler import Scheduler, TaskQueue, TaskTimeout
 
 __all__ = [
     "WorkerPool",
+    "ProcessWorkerPool",
+    "ProcpoolPayloadError",
+    "resolve_pool_backend",
     "shared_pool",
     "reset_shared_pool",
     "Scheduler",

@@ -8,6 +8,12 @@ the hot loop and no way to bound *total* concurrency across subsystems.
 (``submit`` / ``map_bounded``), and :func:`shared_pool` hands every caller in
 the process the same instance, so the supervisor's advance phases and the
 pipeline's diagnosis waves draw from one budget of threads.
+
+:func:`shared_pool` also selects the execution *backend*: ``"threads"`` (this
+module), ``"process"`` (:mod:`repro.runtime.procpool`, true parallelism for
+CPU-bound simulation), or ``"auto"`` (processes when the host has the cores
+to pay for the handoff).  ``REPRO_POOL`` sets the default; ``repro watch`` /
+``repro serve`` expose it as ``--pool``.
 """
 
 from __future__ import annotations
@@ -21,7 +27,14 @@ from typing import Any, Callable, Iterable, TypeVar
 
 from ..obs import trace as obs_trace
 
-__all__ = ["WorkerPool", "shared_pool", "reset_shared_pool"]
+__all__ = [
+    "WorkerPool",
+    "resolve_pool_backend",
+    "shared_pool",
+    "reset_shared_pool",
+]
+
+POOL_BACKENDS = ("threads", "process", "auto")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -62,6 +75,8 @@ class WorkerPool:
     ``tick`` path use instead of constructing executors per call.
     """
 
+    backend = "threads"
+
     def __init__(
         self,
         max_workers: int | None = None,
@@ -76,8 +91,14 @@ class WorkerPool:
         )
         self._closed = False
         self._stats_lock = threading.Lock()
+        # Every task is in exactly one of {queued, active, completed, failed,
+        # cancelled}; transitions are counted where they happen, so the
+        # invariant  submitted == queued + active + completed + failed +
+        # cancelled  holds at every instant the lock is released.
         # guarded-by: _stats_lock
         self._submitted = 0
+        # guarded-by: _stats_lock
+        self._queued = 0
         # guarded-by: _stats_lock
         self._active = 0
         # guarded-by: _stats_lock
@@ -91,6 +112,7 @@ class WorkerPool:
     def _counted_task(self, fn: Callable[..., R]) -> Callable[..., R]:
         def task(*args: Any, **kwargs: Any) -> R:
             with self._stats_lock:
+                self._queued -= 1
                 self._active += 1
             try:
                 result = fn(*args, **kwargs)
@@ -107,8 +129,12 @@ class WorkerPool:
         return task
 
     def _note_done(self, future: "Future[Any]") -> None:
+        # A future only cancels while still queued (`Future.cancel` fails once
+        # the task starts), so exactly one of this transition or the
+        # queued→active one in `_counted_task` fires per task — never both.
         if future.cancelled():
             with self._stats_lock:
+                self._queued -= 1
                 self._cancelled += 1
 
     def submit(self, fn: Callable[..., R], /, *args: Any, **kwargs: Any) -> "Future[R]":
@@ -123,6 +149,7 @@ class WorkerPool:
         fn = self._counted_task(obs_trace.wrap_task(fn))
         with self._stats_lock:
             self._submitted += 1
+            self._queued += 1
         future = self._executor.submit(fn, *args, **kwargs)
         future.add_done_callback(self._note_done)
         return future
@@ -130,17 +157,20 @@ class WorkerPool:
     def stats(self) -> dict:
         """Point-in-time pool counters: queue depth, utilisation, outcomes.
 
-        ``queued`` is work submitted but not yet running (and not resolved
-        by cancellation); ``utilisation`` is active workers over pool width.
+        ``queued`` is work submitted but not yet running (and not resolved by
+        cancellation), counted at each transition rather than derived — the
+        old ``submitted - active - ...`` arithmetic double-counted a task
+        cancelled after submission (clamping to zero hid the drift).
         """
         with self._stats_lock:
             submitted = self._submitted
+            queued = self._queued
             active = self._active
             completed = self._completed
             failed = self._failed
             cancelled = self._cancelled
-        queued = max(0, submitted - active - completed - failed - cancelled)
         return {
+            "backend": self.backend,
             "max_workers": self.max_workers,
             "submitted": submitted,
             "queued": queued,
@@ -214,17 +244,65 @@ _shared: WorkerPool | None = None
 _shared_lock = threading.Lock()
 
 
-def shared_pool() -> WorkerPool:
+def resolve_pool_backend(
+    choice: str | None = None, *, fleet_size: int | None = None
+) -> str:
+    """Resolve a pool-backend choice to a concrete ``"threads"``/``"process"``.
+
+    Precedence: explicit ``choice`` (CLI flag / API argument), then the
+    ``REPRO_POOL`` environment variable, then ``"threads"``.  ``"auto"``
+    picks processes only when the host has enough cores (≥ 4) for parallel
+    simulation to beat the JSON handoff cost, and — when the fleet size is
+    known — enough environments to keep those cores busy.
+    """
+    choice = choice or os.environ.get("REPRO_POOL", "").strip() or "threads"
+    if choice not in POOL_BACKENDS:
+        raise ValueError(
+            f"unknown pool backend {choice!r} (expected one of {', '.join(POOL_BACKENDS)})"
+        )
+    if choice == "auto":
+        cores = os.cpu_count() or 1
+        if cores >= 4 and (fleet_size is None or fleet_size >= cores):
+            return "process"
+        return "threads"
+    return choice
+
+
+def _make_pool(backend: str) -> WorkerPool:
+    if backend == "process":
+        from .procpool import ProcessWorkerPool  # lazy: procpool imports pools
+
+        return ProcessWorkerPool(thread_name_prefix="repro-shared")
+    return WorkerPool(thread_name_prefix="repro-shared")
+
+
+def shared_pool(backend: str | None = None) -> WorkerPool:
     """The process-wide pool every runtime consumer shares.
 
     Created lazily on first use and shut down at interpreter exit; the
     supervisor, the diagnosis pipeline, and the CLI all fan out through this
     single instance instead of constructing executors per call.
+
+    ``backend`` asks for a specific substrate (``"threads"``, ``"process"``,
+    or ``"auto"``; see :func:`resolve_pool_backend`).  When the live shared
+    pool is of a different kind it is shut down and replaced, so a caller
+    that needs processes (``repro watch --pool process``) gets them even if
+    an earlier import already touched the default thread pool.  Callers that
+    don't care pass nothing and share whatever exists.
     """
     global _shared
     with _shared_lock:
+        wanted = resolve_pool_backend(backend) if backend is not None else None
+        if (
+            _shared is not None
+            and not _shared.closed
+            and wanted is not None
+            and _shared.backend != wanted
+        ):
+            _shared.shutdown(wait=False)
+            _shared = None
         if _shared is None or _shared.closed:
-            _shared = WorkerPool(thread_name_prefix="repro-shared")
+            _shared = _make_pool(wanted or resolve_pool_backend())
             atexit.register(_shared.shutdown, False)
         return _shared
 

@@ -11,6 +11,7 @@ prefix.
 The surface (all JSON unless noted)::
 
     GET    /healthz
+    GET    /metrics
     GET    /v1/scenarios
     GET    /v1/tenants
     POST   /v1/tenants                     {"tenant_id": ...}
@@ -113,6 +114,20 @@ def build_router(app: "ServeApp") -> Router:
                 "tenants": len(app.registry),
                 "watches": {state: states.count(state) for state in set(states)},
                 "sse_clients": sum(len(b.clients) for b in app.brokers.values()),
+            },
+        )
+
+    async def metrics(request: Request) -> Response:
+        from ..obs import metrics as obs_metrics
+
+        # stats() reads counters under the pool's own lock and the registry
+        # snapshot copies under its lock — neither blocks on store I/O, so
+        # both are safe to call inline on the coordination loop.
+        return Response(
+            200,
+            {
+                "pool": app.scheduler.pool.stats(),
+                "metrics": obs_metrics.registry().snapshot(),
             },
         )
 
@@ -242,6 +257,7 @@ def build_router(app: "ServeApp") -> Router:
         )
 
     router.add("GET", "/healthz", healthz)
+    router.add("GET", "/metrics", metrics)
     router.add("GET", "/v1/scenarios", scenarios)
     router.add("GET", "/v1/tenants", list_tenants)
     router.add("POST", "/v1/tenants", create_tenant)

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..obs import metrics as obs_metrics
-from ..runtime import Scheduler
+from ..runtime import Scheduler, resolve_pool_backend, shared_pool
 from ..storage import JsonlBackend, MemoryBackend, SqliteBackend
 from ..storage.backend import atomic_write_json
 from .fleets import FleetSpec
@@ -147,6 +147,7 @@ class ServeApp:
         *,
         backend: str = "jsonl",
         sse_backlog: int = 128,
+        pool: str | None = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -155,7 +156,8 @@ class ServeApp:
         self.backend_kind = backend
         self.backend = self._open_backend(backend)
         self.registry = TenantRegistry(self.state_root, self.backend)
-        self.scheduler = Scheduler()
+        self.pool_backend = resolve_pool_backend(pool)
+        self.scheduler = Scheduler(pool=shared_pool(backend=self.pool_backend))
         self.sse_backlog = sse_backlog
         self.sessions: dict[str, WatchSession] = {}
         self.brokers: dict[str, SseBroker] = {}

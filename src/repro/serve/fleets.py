@@ -172,14 +172,14 @@ class FleetSpec:
         from ..stream import FleetEventLog, FleetSupervisor, IncidentStore
 
         fabrics = [
-            FLEET_SCENARIOS[name](**self._scenario_kwargs())
+            (name, FLEET_SCENARIOS[name](**self._scenario_kwargs()))
             for name in self.scenarios
             if name in FLEET_SCENARIOS
         ]
         correlator = None
         if fabrics:
             membership: dict[str, tuple[str, ...]] = {}
-            for fabric in fabrics:
+            for _fabric_name, fabric in fabrics:
                 for component, members in fabric.membership().items():
                     if component in membership:
                         raise ValueError(
@@ -207,10 +207,28 @@ class FleetSpec:
             pool=pool,
             checkpoint_meta={"fleet_spec": self.to_dict()},
         )
-        for fabric in fabrics:
-            fabric.watch_all(supervisor)
+        # Hydration specs mirror cmd_watch: the same identity keys the
+        # checkpoint meta records, so a process-backed pool can rebuild each
+        # environment in its sticky worker.  Thread mode ignores them.
+        for fabric_name, fabric in fabrics:
+            fabric.watch_all(
+                supervisor,
+                hydration={
+                    "fleet": fabric_name,
+                    "hours": self.hours,
+                    "seed": self.seed,
+                },
+            )
         for name in self.scenarios:
             if name in FLEET_SCENARIOS:
                 continue
-            supervisor.watch_scenario(SCENARIOS[name](**self._scenario_kwargs()), name=name)
+            supervisor.watch_scenario(
+                SCENARIOS[name](**self._scenario_kwargs()),
+                name=name,
+                hydration={
+                    "scenario": name,
+                    "hours": self.hours,
+                    "seed": self.seed,
+                },
+            )
         return supervisor

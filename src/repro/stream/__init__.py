@@ -31,6 +31,7 @@ from .detectors import (
 )
 from .eventlog import FleetEventLog
 from .incidents import Incident, IncidentManager, IncidentState, IncidentStore, Severity
+from .remote import RemoteWatchedEnvironment
 from .supervisor import FleetEvent, FleetSupervisor, WatchedEnvironment
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "FleetSupervisor",
     "FleetEvent",
     "WatchedEnvironment",
+    "RemoteWatchedEnvironment",
 ]

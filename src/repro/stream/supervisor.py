@@ -64,6 +64,7 @@ from .detectors import (
 )
 from .eventlog import FleetEventLog
 from .incidents import Incident, IncidentManager, IncidentState, IncidentStore
+from .remote import RemoteDiagnosisRequest, RemoteReport, RemoteWatchedEnvironment
 
 __all__ = ["WatchedEnvironment", "FleetSupervisor", "FleetEvent"]
 
@@ -126,6 +127,15 @@ class WatchedEnvironment:
             runs.satisfactory_runs(self.query_name)
             and runs.unsatisfactory_runs(self.query_name)
         )
+
+    def diagnosis_request(self) -> DiagnosisRequest:
+        """A submittable diagnosis for this environment's current bundle.
+
+        Remote (process-backed) environments override this to route the
+        pipeline run into their sticky worker instead of snapshotting a
+        bundle here.
+        """
+        return DiagnosisRequest(self.env.bundle(), self.query_name)
 
     # -- reporting -------------------------------------------------------
     def status(self) -> dict:
@@ -374,15 +384,74 @@ class FleetSupervisor:
         self.watched[name] = watched
         return watched
 
-    def watch_scenario(self, scenario: Scenario, name: str | None = None) -> WatchedEnvironment:
+    def watch_scenario(
+        self,
+        scenario: Scenario,
+        name: str | None = None,
+        *,
+        hydration: dict | None = None,
+    ) -> WatchedEnvironment:
         """Build a scenario's environment and watch it (ground truth kept
-        aside for verification only — detectors never see it)."""
+        aside for verification only — detectors never see it).
+
+        ``hydration`` is the scenario's registry identity (name, hours, seed
+        — see :mod:`repro.stream.worker`).  When provided *and* this
+        supervisor runs on a process-backed pool, the environment is built
+        and simulated inside its sticky worker instead of here; otherwise it
+        is ignored and the environment is built in-process as always.
+        """
+        if hydration is not None and getattr(self._pool(), "backend", "threads") == "process":
+            return self.watch_remote(
+                name or scenario.info.name,
+                hydration,
+                scenario.query_name,
+                info=scenario.info,
+            )
         return self.watch(
             name or scenario.info.name,
             scenario.build(),
             scenario.query_name,
             info=scenario.info,
         )
+
+    def watch_remote(
+        self,
+        name: str,
+        hydration: dict,
+        query_name: str,
+        *,
+        info: ScenarioInfo | None = None,
+    ) -> "RemoteWatchedEnvironment":
+        """Watch an environment that lives in a procpool worker process.
+
+        The simulator and streaming detectors hydrate (from ``hydration``,
+        the scenario registry identity) and advance inside the worker pinned
+        by ``affinity=name``; the incident manager — and with it the entire
+        checkpoint/resume and correlation machinery — stays in this process.
+        """
+        pool = self._pool()
+        if getattr(pool, "backend", "threads") != "process":
+            raise ValueError("watch_remote requires a process-backed worker pool")
+        if name in self.watched:
+            raise ValueError(f"environment {name!r} already watched")
+        spec = dict(hydration)
+        spec.update(
+            slo_factor=self.slo_factor,
+            baseline_runs=self.baseline_runs,
+            recovery=self.recovery,
+        )
+        watched = RemoteWatchedEnvironment(
+            name=name,
+            spec=spec,
+            query_name=query_name,
+            manager=IncidentManager(
+                name, cooldown_s=self.cooldown_s, store=self.incident_store
+            ),
+            pool=pool,
+            info=info,
+        )
+        self.watched[name] = watched
+        return watched
 
     # -- fleet progress --------------------------------------------------
     @property
@@ -649,7 +718,7 @@ class FleetSupervisor:
         clock = watched.env.clock
         for incident in open_incidents:
             watched.manager.begin_diagnosis(incident, clock)
-        return open_incidents, DiagnosisRequest(watched.env.bundle(), watched.query_name)
+        return open_incidents, watched.diagnosis_request()
 
     def _resolve_wave(
         self, watched: WatchedEnvironment, incidents: list[Incident], report
@@ -659,10 +728,20 @@ class FleetSupervisor:
         The resolve clock is the environment clock captured when the wave
         was submitted — a deterministic simulated time, never wall time —
         so overlapped execution cannot perturb the incident history.
+
+        A :class:`RemoteReport` (worker-process diagnosis) resolves through
+        ``report_data`` — the same serialized-report path fleet
+        short-circuits use, so `Incident.to_dict` output is byte-identical
+        to thread mode's live-report serialization.
         """
         clock = watched.env.clock
         for incident in incidents:
-            watched.manager.resolve(incident, clock, report)
+            if isinstance(report, RemoteReport):
+                incident.report_data = report.report_data
+                watched.manager.resolve(incident, clock)
+                watched.record_evaluation(incident.incident_id, report.evaluation)
+            else:
+                watched.manager.resolve(incident, clock, report)
             self._drill_down(
                 self._correlate(
                     {
@@ -734,12 +813,12 @@ class FleetSupervisor:
                     wave.append((watched, incidents))
                     requests.append(request)
                 if wave:
-                    reports = self.pipeline.diagnose_many(
-                        requests, max_workers=workers, pool=self._pool()
-                    )
-                    for (watched, incidents), report in zip(wave, reports):
+                    futures = [
+                        self._submit_diagnosis(request) for request in requests
+                    ]
+                    for (watched, incidents), future in zip(wave, futures):
                         resolved.extend(
-                            self._resolve_wave(watched, incidents, report)
+                            self._resolve_wave(watched, incidents, future.result())
                         )
             # Progress is fed to the correlator last, mirroring the barrier-
             # free loop: the watermark only moves once this tick's opens and
@@ -1092,6 +1171,19 @@ class FleetSupervisor:
             {"type": "env_done", "env": watched.name, "clock": watched.env.clock},
         )
 
+    def _submit_diagnosis(self, request, *, pool: WorkerPool | None = None):
+        """Submit one diagnosis request; local or remote, returns a Future.
+
+        A :class:`RemoteDiagnosisRequest` routes into the environment's
+        sticky worker process (no bundle crosses the boundary); a plain
+        :class:`DiagnosisRequest` runs the pipeline on the given pool (the
+        thread front of a process pool is fine — pipelines release the GIL
+        on store scans and this path only carries local environments).
+        """
+        if isinstance(request, RemoteDiagnosisRequest):
+            return request.submit()
+        return self.pipeline.submit_many([request], pool=pool or self._pool())[0]
+
     async def _diagnose_async(
         self,
         scheduler: Scheduler,
@@ -1102,7 +1194,7 @@ class FleetSupervisor:
         async with diagnosis_gate if diagnosis_gate is not None else nullcontext():
             obs_metrics.add_gauge("diagnoses.in_flight", 1)
             try:
-                future = self.pipeline.submit_many([request], pool=scheduler.pool)[0]
+                future = self._submit_diagnosis(request, pool=scheduler.pool)
                 return await asyncio.wrap_future(future)
             finally:
                 obs_metrics.add_gauge("diagnoses.in_flight", -1)
@@ -1137,6 +1229,15 @@ class FleetSupervisor:
         obs_metrics.set_gauge("pool.queued", stats["queued"])
         obs_metrics.set_gauge("pool.active", stats["active"])
         obs_metrics.set_gauge("pool.utilisation", stats["utilisation"])
+        # Process-backed pools also expose per-worker routing gauges (pid,
+        # sticky affinity keys, tasks routed, handoff bytes) — same registry,
+        # same snapshot cadence, so the obs overhead gate still covers them.
+        for row in stats.get("workers", ()):
+            prefix = f"pool.worker{row['worker']}"
+            obs_metrics.set_gauge(f"{prefix}.pid", float(row["pid"] or 0))
+            obs_metrics.set_gauge(f"{prefix}.affinity_keys", row["affinity_keys"])
+            obs_metrics.set_gauge(f"{prefix}.tasks_routed", row["tasks_routed"])
+            obs_metrics.set_gauge(f"{prefix}.handoff_bytes", row["handoff_bytes"])
         obs_metrics.registry().snapshot_to(self.obs_backend, self.advanced_s)
         self.obs_backend.flush()
 

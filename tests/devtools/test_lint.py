@@ -170,6 +170,110 @@ class TestExecutorDiscipline:
     def test_pools_module_exempt(self):
         assert lint(self.SOURCE, path="src/repro/runtime/pools.py") == []
 
+    def test_procpool_module_exempt(self):
+        source = """
+        import multiprocessing
+
+        def spawn(fn):
+            ctx = multiprocessing.get_context("fork")
+            multiprocessing.Process(target=fn).start()
+        """
+        assert lint(source, path="src/repro/runtime/procpool.py") == []
+
+    def test_multiprocessing_primitives_flagged(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def plumbing():
+                return multiprocessing.Queue(), multiprocessing.get_context()
+            """,
+            path=NONSIM,
+        )
+        assert checks(findings) == ["executor-discipline", "executor-discipline"]
+
+
+# ---------------------------------------------------------------------------
+# procpool-discipline
+# ---------------------------------------------------------------------------
+
+
+class TestProcpoolDiscipline:
+    def test_lambda_payload_flagged(self):
+        findings = lint(
+            """
+            def kick(pool, env):
+                pool.submit_task("mod:task", lambda: env.advance(), affinity="a")
+            """,
+            path=NONSIM,
+        )
+        assert checks(findings) == ["procpool-discipline"]
+        assert "lambda" in findings[0].message
+
+    def test_nested_lambda_in_payload_flagged(self):
+        findings = lint(
+            """
+            def kick(pool):
+                pool.submit_task("mod:task", {"cb": lambda x: x}, affinity="a")
+            """,
+            path=NONSIM,
+        )
+        assert checks(findings) == ["procpool-discipline"]
+
+    def test_bare_self_payload_flagged(self):
+        findings = lint(
+            """
+            class Proxy:
+                def kick(self, pool):
+                    pool.submit_task("mod:task", self, affinity="a")
+            """,
+            path=NONSIM,
+        )
+        assert checks(findings) == ["procpool-discipline"]
+        assert "object graph" in findings[0].message
+
+    def test_non_string_task_flagged(self):
+        findings = lint(
+            """
+            def kick(pool):
+                pool.submit_task(42, {"x": 1})
+            """,
+            path=NONSIM,
+        )
+        assert checks(findings) == ["procpool-discipline"]
+        assert "dotted" in findings[0].message
+
+    def test_json_document_payload_clean(self):
+        assert (
+            lint(
+                """
+                TASK = "repro.stream.worker:advance_env"
+
+                class Proxy:
+                    def kick(self, pool):
+                        pool.submit_task(
+                            TASK,
+                            {"spec": self.spec, "chunk_s": 1800.0},
+                            affinity=self.name,
+                        )
+                """,
+                path=NONSIM,
+            )
+            == []
+        )
+
+    def test_procpool_module_exempt(self):
+        assert (
+            lint(
+                """
+                def run_task(self, task, payload):
+                    return self.submit_task(task, payload).result()
+                """,
+                path="src/repro/runtime/procpool.py",
+            )
+            == []
+        )
+
 
 # ---------------------------------------------------------------------------
 # checkpoint-pairing
@@ -784,4 +888,5 @@ class TestRunner:
             "guarded-fields",
             "obs-discipline",
             "serve-discipline",
+            "procpool-discipline",
         )

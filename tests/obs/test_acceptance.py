@@ -19,6 +19,7 @@ from repro.obs import clock as obs_clock
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.storage import MemoryBackend, keyspaces
+from repro.core import DiagnosisRequest
 from repro.stream import FleetSupervisor
 from repro.stream.detectors import Detection
 from repro.stream.incidents import IncidentManager
@@ -59,6 +60,9 @@ class _StubWatched:
 
     def diagnosable(self) -> bool:
         return True
+
+    def diagnosis_request(self) -> DiagnosisRequest:
+        return DiagnosisRequest(self.env.bundle(), self.query_name)
 
 
 class _FastPipeline:

@@ -85,6 +85,7 @@ class TestWorkerPoolStats:
     def test_fresh_pool_reports_zeroes(self):
         with WorkerPool(2) as pool:
             assert pool.stats() == {
+                "backend": "threads",
                 "max_workers": 2,
                 "submitted": 0,
                 "queued": 0,

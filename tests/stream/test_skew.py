@@ -14,6 +14,7 @@ from types import SimpleNamespace
 
 import pytest
 
+from repro.core import DiagnosisRequest
 from repro.runtime import ClockVector
 from repro.stream import FleetSupervisor
 from repro.stream.detectors import Detection
@@ -56,6 +57,9 @@ class _StubWatched:
 
     def diagnosable(self) -> bool:
         return True
+
+    def diagnosis_request(self) -> DiagnosisRequest:
+        return DiagnosisRequest(self.env.bundle(), self.query_name)
 
 
 class _SlowPipeline:
