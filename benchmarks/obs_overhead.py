@@ -95,3 +95,120 @@ def test_bench_obs_overhead(record_result):
         f"observability costs {(1.0 - ratio):.1%} of fleet throughput "
         f"(gate allows <= {(1.0 - MIN_RATIO):.0%})"
     )
+
+
+# -- process backend -------------------------------------------------------
+#
+# Under ``--pool process`` observability additionally pays the cross-process
+# envelope: the span context rides out in the task JSON, worker spans buffer
+# and ship home piggy-backed on results, and the parent merges them.  The
+# stub fleet cannot cross the process boundary (its simulators are live
+# objects), so this leg measures the seam directly: round-trips of the
+# ``repro.obs.worker:ping`` task, spinning enough per call (~2 ms, the
+# thread harness's ADVANCE_COST_S) that the envelope cost is measured
+# against a realistic simulation chunk, not an empty echo.  Same gate,
+# same best-of-two discipline.
+
+PROC_WORKERS = 2
+PROC_TASKS = 100
+PROC_SPIN = 50_000
+
+
+def _measure_process(enabled: bool) -> dict:
+    """One process-pool round-trip window with observability on or off."""
+    import time
+
+    from repro.runtime.procpool import ProcessWorkerPool
+
+    if enabled:
+        obs_clock.enable()
+        obs_trace.tracer().reset()
+        obs_metrics.registry().reset()
+        obs_trace.tracer().set_sink(MemoryBackend())
+    else:
+        obs_clock.disable()
+    pool = ProcessWorkerPool(processes=PROC_WORKERS)
+    try:
+        # Warm every worker first: process spawn + import cost stays out of
+        # the measured window (distinct keys spread over fewest-keys workers).
+        for index in range(PROC_WORKERS):
+            pool.run_task(
+                "repro.obs.worker:ping", {"spin": 1}, affinity=f"warm{index}"
+            )
+        start = time.perf_counter()
+        if enabled:
+            with obs_trace.span("iteration", env="bench", sim_t=0.0):
+                for n in range(PROC_TASKS):
+                    pool.run_task(
+                        "repro.obs.worker:ping",
+                        {"spin": PROC_SPIN},
+                        affinity=f"warm{n % PROC_WORKERS}",
+                    )
+        else:
+            for n in range(PROC_TASKS):
+                pool.run_task(
+                    "repro.obs.worker:ping",
+                    {"spin": PROC_SPIN},
+                    affinity=f"warm{n % PROC_WORKERS}",
+                )
+        wall = time.perf_counter() - start
+        if enabled:
+            pool.collect_obs()
+    finally:
+        pool.shutdown()
+        obs_trace.tracer().set_sink(None)
+        obs_trace.tracer().reset()
+        obs_metrics.registry().reset()
+        obs_clock.reset()
+    return {
+        "obs": "enabled" if enabled else "disabled",
+        "tasks": PROC_TASKS,
+        "wall_s": wall,
+        "tasks_per_s": PROC_TASKS / wall if wall > 0 else 0.0,
+    }
+
+
+def test_bench_obs_overhead_process(record_result):
+    attempts = []
+    ratio = 0.0
+    for _ in range(ATTEMPTS):
+        disabled = _measure_process(enabled=False)
+        enabled = _measure_process(enabled=True)
+        attempts.append((disabled, enabled))
+        ratio = max(ratio, enabled["tasks_per_s"] / disabled["tasks_per_s"])
+        if ratio >= MIN_RATIO:
+            break
+
+    lines = [
+        "Observability overhead: process-pool task round-trips, obs off vs on",
+        "-" * 70,
+        f"{'obs':<10}{'tasks':>8}{'wall s':>9}{'tasks/s':>11}",
+        "-" * 70,
+    ]
+    for disabled, enabled in attempts:
+        for row in (disabled, enabled):
+            lines.append(
+                f"{row['obs']:<10}{row['tasks']:>8}{row['wall_s']:>9.2f}"
+                f"{row['tasks_per_s']:>11.1f}"
+            )
+    lines.append("")
+    lines.append(
+        f"best enabled/disabled ratio: {ratio:.3f}  (gate: >= {MIN_RATIO})"
+    )
+    record_result(
+        "obs",
+        "\n".join(lines),
+        data={
+            "backend": "process",
+            "attempts": [
+                {"disabled": d, "enabled": e} for d, e in attempts
+            ],
+            "best_ratio": ratio,
+            "min_ratio": MIN_RATIO,
+        },
+    )
+
+    assert ratio >= MIN_RATIO, (
+        f"cross-process observability costs {(1.0 - ratio):.1%} of task "
+        f"throughput (gate allows <= {(1.0 - MIN_RATIO):.0%})"
+    )

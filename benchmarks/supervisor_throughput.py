@@ -30,6 +30,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from repro.core.pipeline import DiagnosisRequest
 from repro.stream import FleetSupervisor
 from repro.stream.detectors import Detection
 
@@ -87,6 +88,11 @@ class _StubWatched:
 
     def diagnosable(self) -> bool:
         return True
+
+    def diagnosis_request(self) -> DiagnosisRequest:
+        # Mirrors WatchedEnvironment: the stub's bundle() returns its env
+        # name, which routes _SlowPipeline's per-environment latency.
+        return DiagnosisRequest(self.env.bundle(), self.query_name)
 
 
 class _SlowPipeline:

@@ -119,7 +119,7 @@ from .storage import (
 )
 from . import obs
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "__version__",

@@ -717,6 +717,17 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 )
                 + "   "
             )
+            # Fleet-level aggregates folded home from the worker registries
+            # (the workers.* rollup of each worker.<pid>.* dump).
+            lines.append(
+                f"work: chunks {int(counters.get('workers.env.chunks', 0.0))}  "
+                f"detections "
+                f"{int(counters.get('workers.env.detections', 0.0))}  "
+                f"diagnoses "
+                f"{int(counters.get('workers.env.diagnoses', 0.0))}  "
+                f"spans dropped "
+                f"{int(counters.get('obs.worker_spans_dropped', 0.0))}   "
+            )
         return lines
 
     def redraw() -> None:
@@ -949,6 +960,19 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         f"latest snapshot at t={latest.get('t', 0.0) / 3600.0:.1f}h "
         f"({len(snapshots)} snapshot(s) recorded)"
     )
+    # Under --pool process the snapshot also carries every worker registry
+    # folded home (worker.<pid>.* verbatim, workers.* fleet aggregates).
+    worker_pids = {
+        name.split(".", 2)[1]
+        for kind in ("counters", "gauges", "histograms")
+        for name in metrics.get(kind, {})
+        if name.startswith("worker.")
+    }
+    if worker_pids:
+        print(
+            f"merged worker registries: {len(worker_pids)} "
+            f"(pids {', '.join(sorted(worker_pids))})"
+        )
     shown = 0
     for name, value in sorted(metrics.get("counters", {}).items()):
         if keep(name):

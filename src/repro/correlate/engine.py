@@ -109,6 +109,11 @@ class FleetIncident:
     #: The fleet-level drill-down report (shared-component ranking), once
     #: :func:`repro.correlate.diagnose_fleet_incident` has run.
     report_data: dict | None = None
+    #: Fleet id of the predecessor group this one re-escalated from: the
+    #: previous fleet incident on the same shared component resolved less
+    #: than one correlation window before this wave opened.  A flapping
+    #: shared component reads as one linked chain, not unrelated tickets.
+    escalated_from: str | None = None
 
     @property
     def member_envs(self) -> list[str]:
@@ -140,6 +145,7 @@ class FleetIncident:
             "confidence": self.confidence,
             "members": [dict(m) for m in self.members],
             "report": self.report_data,
+            "escalated_from": self.escalated_from,
         }
 
     @classmethod
@@ -154,6 +160,7 @@ class FleetIncident:
             last_open_at=data.get("last_open_at", data["opened_at"]),
             resolved_at=data.get("resolved_at"),
             report_data=data.get("report"),
+            escalated_from=data.get("escalated_from"),
         )
 
 
@@ -308,6 +315,10 @@ class CorrelationEngine:
         self._open_counts: dict[str, int] = {}
         self._groups: dict[str, FleetIncident] = {}
         self._live_by_component: dict[str, str] = {}
+        #: Component → (fleet id, resolved_at) of the most recently resolved
+        #: group on it: a successor opening within one window of that resolve
+        #: is a **re-escalation** and links back via ``escalated_from``.
+        self._recently_resolved: dict[str, tuple[str, float]] = {}
         self._member_group: dict[str, str] = {}
         self._counter = 0
         #: Open groups whose drill-down cutoff the watermark has passed,
@@ -511,6 +522,14 @@ class CorrelationEngine:
             return
         _rank, component, window_opens, confidence = best
         self._counter += 1
+        # Re-escalation: a predecessor group on this component that resolved
+        # within one correlation window of this wave's trigger is the same
+        # flapping degradation coming back — link the successor to it.
+        escalated_from: str | None = None
+        previous = self._recently_resolved.get(component)
+        if previous is not None and t - previous[1] <= self.window_s:
+            escalated_from = previous[0]
+            obs_metrics.inc("correlate.reescalations")
         group = FleetIncident(
             fleet_id=f"FLEET-{component}-{self._counter}",
             component_id=component,
@@ -521,6 +540,7 @@ class CorrelationEngine:
                 {"env": e0, "incident_id": iid, "opened_at": t0, "resolved_at": None}
                 for t0, e0, iid in window_opens
             ],
+            escalated_from=escalated_from,
         )
         for _t0, _e0, iid in window_opens:
             self._pending.pop(iid, None)
@@ -587,6 +607,12 @@ class CorrelationEngine:
             group.resolved_at = max(m["resolved_at"] for m in group.members)
             if self._live_by_component.get(group.component_id) == fleet_id:
                 del self._live_by_component[group.component_id]
+            # Remember the resolve for the re-escalation cooldown: a new
+            # group on this component within one window links back here.
+            self._recently_resolved[group.component_id] = (
+                fleet_id,
+                group.resolved_at,
+            )
             self._journal("resolve", group, group.resolved_at)
 
     def _journal(self, event: str, group: FleetIncident, time: float, **extra) -> None:
@@ -717,6 +743,12 @@ class CorrelationEngine:
                     self._groups.values(), key=lambda g: g.fleet_id
                 )],
                 "live_by_component": dict(sorted(self._live_by_component.items())),
+                "recently_resolved": {
+                    component: [fleet_id, resolved_at]
+                    for component, (fleet_id, resolved_at) in sorted(
+                        self._recently_resolved.items()
+                    )
+                },
                 "member_group": dict(sorted(self._member_group.items())),
                 "counter": self._counter,
             }
@@ -764,6 +796,12 @@ class CorrelationEngine:
                 for g in state.get("groups", [])
             }
             self._live_by_component = dict(state.get("live_by_component", {}))
+            self._recently_resolved = {
+                component: (fleet_id, resolved_at)
+                for component, (fleet_id, resolved_at) in state.get(
+                    "recently_resolved", {}
+                ).items()
+            }
             self._member_group = dict(state.get("member_group", {}))
             self._counter = state.get("counter", len(self._groups))
             self._ready = []

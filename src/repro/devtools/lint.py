@@ -734,9 +734,17 @@ class GuardedFieldsChecker(Checker):
 
 
 class ObsDisciplineChecker(Checker):
-    """Spans are context managers; wall-clock reads stay inside repro/obs."""
+    """Spans are context managers; wall-clock reads stay inside repro/obs;
+    worker-side task modules only emit spans through the buffered API."""
 
     name = "obs-discipline"
+
+    #: Modules whose functions execute *inside pool worker processes*.  The
+    #: process-wide tracer there has no sink and its spans would be lost (or
+    #: worse, block the task path journalling them) — worker-side code must
+    #: emit spans through ``repro.obs.worker.worker_span``, which buffers
+    #: them for the piggy-backed result-path merge.
+    WORKER_HOMES = (("stream", "worker.py"),)
 
     def applies(self, ctx: FileContext) -> bool:
         # The obs package itself is exempt: the tracer's factory methods
@@ -745,6 +753,7 @@ class ObsDisciplineChecker(Checker):
         return "obs" not in ctx.parts
 
     def run(self, ctx: FileContext) -> Iterator[Finding]:
+        worker_side = tuple(ctx.parts[-2:]) in self.WORKER_HOMES
         with_items: set[int] = set()
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.With, ast.AsyncWith)):
@@ -755,7 +764,12 @@ class ObsDisciplineChecker(Checker):
                 continue
             name = ctx.dotted(node.func)
             if name is None:
-                continue
+                # Chains through a call (``tracer().set_sink``) defeat alias
+                # resolution; the bare attribute leaf is still diagnostic for
+                # the obs-only method names this checker polices.
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                name = node.func.attr
             leaf = name.rsplit(".", 1)[-1]
             if leaf == "wall_clock":
                 yield self._finding(
@@ -765,6 +779,15 @@ class ObsDisciplineChecker(Checker):
                     "repro/obs/; measure wall durations through span() or "
                     "metrics.timed() instead",
                 )
+            elif leaf == "span" and worker_side:
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"{name}() in a worker-side task module; the worker "
+                    "tracer has no sink and a direct span would be lost — "
+                    "buffer it with obs.worker.worker_span() so the result "
+                    "path merges it into the parent timeline",
+                )
             elif leaf == "span" and id(node) not in with_items:
                 yield self._finding(
                     ctx,
@@ -773,6 +796,24 @@ class ObsDisciplineChecker(Checker):
                     "that is never closed holds the trace context and "
                     "misparents every later span — use "
                     "`with span(...):`",
+                )
+            elif leaf == "set_sink" and worker_side:
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"{name}() in a worker-side task module; workers never "
+                    "attach a journal sink — spans travel home buffered on "
+                    "the task result path, not through a second writer on "
+                    "the same state dir",
+                )
+            elif leaf == "worker_span" and id(node) not in with_items:
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"{name}() opened outside a `with` statement; an "
+                    "unclosed worker span never reaches the buffer and "
+                    "misparents every later span — use "
+                    "`with worker_span(...):`",
                 )
 
 

@@ -23,7 +23,7 @@ Wall-clock reads live *only* in :mod:`repro.obs.clock`; the
 ``obs-discipline`` lint checker rejects them anywhere else.
 """
 
-from . import clock, export, metrics, profile, trace
+from . import clock, export, metrics, profile, prometheus, trace, worker
 from .clock import disable, enable, is_enabled, wall_clock
 from .export import (
     OBS_DIR,
@@ -37,20 +37,29 @@ from .metrics import (
     MetricsRegistry,
     add_gauge,
     inc,
+    loop_lag_probe,
     observe,
     registry,
     set_gauge,
     timed,
 )
 from .profile import profile_payload, profiling_enabled
+from .prometheus import render_prometheus
 from .trace import Span, Tracer, current_span, span, tracer, wrap_task
+from .worker import context_payload, worker_span
 
 __all__ = [
     "clock",
     "trace",
     "metrics",
     "profile",
+    "prometheus",
+    "worker",
     "export",
+    "context_payload",
+    "worker_span",
+    "render_prometheus",
+    "loop_lag_probe",
     "wall_clock",
     "is_enabled",
     "enable",

@@ -45,6 +45,7 @@ __all__ = [
     "add_gauge",
     "observe",
     "timed",
+    "loop_lag_probe",
 ]
 
 #: Default histogram bucket upper bounds (seconds): half-decade exponential
@@ -72,6 +73,16 @@ class Counter:
             raise ValueError("counters only go up; use a Gauge")
         with self._lock:
             self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Replace the cumulative total — the cross-process fold path only.
+
+        A parent-side mirror of a worker counter tracks the worker's
+        *reported* cumulative value (which legitimately restarts from zero
+        when the worker does); normal call sites must use :meth:`inc`.
+        """
+        with self._lock:
+            self._value = float(value)
 
     @property
     def value(self) -> float:
@@ -176,6 +187,35 @@ class Histogram:
             "p95_ms": self.percentile(0.95) * 1000.0,
         }
 
+    def dump(self) -> dict:
+        """Raw, mergeable state: bucket counts, not derived percentiles.
+
+        This is what crosses the process boundary and what the Prometheus
+        renderer turns into cumulative-``le`` series — both need the actual
+        buckets, which :meth:`summary` deliberately hides.
+        """
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else 0.0,
+                "max": self._max,
+            }
+
+    def load(self, state: dict) -> None:
+        """Replace this histogram's state with a :meth:`dump` (fold path)."""
+        counts = [int(c) for c in state.get("counts") or ()]
+        count = int(state.get("count", 0))
+        with self._lock:
+            if len(counts) == len(self._counts):
+                self._counts = counts
+            self._count = count
+            self._sum = float(state.get("sum", 0.0))
+            self._min = float(state.get("min", 0.0)) if count else float("inf")
+            self._max = float(state.get("max", 0.0))
+
 
 class MetricsRegistry:
     """Name → instrument, get-or-create, one per process.
@@ -193,6 +233,9 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         # guarded-by: _lock
         self._histograms: dict[str, Histogram] = {}
+        self._worker_lock = threading.Lock()
+        # guarded-by: _worker_lock
+        self._worker_dumps: dict[str, dict] = {}
 
     # -- get-or-create ---------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -233,6 +276,82 @@ class MetricsRegistry:
             },
         }
 
+    def dump_raw(self) -> dict:
+        """Raw instrument values — histogram buckets included, not summaries.
+
+        The mergeable/exposable twin of :meth:`snapshot`: what workers ship
+        across the process boundary and what the Prometheus renderer reads.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.dump() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def fold_worker(self, pid: int | str, dump: dict) -> None:
+        """Fold one worker-registry dump into this (parent) registry.
+
+        Every worker instrument lands twice: verbatim under
+        ``worker.<pid>.<name>`` (cumulative as reported, so re-folding the
+        same dump is idempotent) and summed across workers under
+        ``workers.<name>`` — the fleet-level aggregate ``repro metrics``,
+        ``watch --stats``, and the serve endpoints surface.
+        """
+        if not isinstance(dump, dict):
+            return
+        prefix = f"worker.{pid}."
+        for name, value in (dump.get("counters") or {}).items():
+            self.counter(prefix + name).set_total(float(value))
+        for name, value in (dump.get("gauges") or {}).items():
+            self.gauge(prefix + name).set(float(value))
+        for name, state in (dump.get("histograms") or {}).items():
+            bounds = tuple(state.get("bounds") or DEFAULT_BUCKETS)
+            self.histogram(prefix + name, bounds).load(state)
+        with self._worker_lock:
+            self._worker_dumps[str(pid)] = dump
+            dumps = list(self._worker_dumps.values())
+        totals: dict[str, float] = {}
+        levels: dict[str, float] = {}
+        merged: dict[str, dict] = {}
+        for worker_dump in dumps:
+            for name, value in (worker_dump.get("counters") or {}).items():
+                totals[name] = totals.get(name, 0.0) + float(value)
+            for name, value in (worker_dump.get("gauges") or {}).items():
+                levels[name] = levels.get(name, 0.0) + float(value)
+            for name, state in (worker_dump.get("histograms") or {}).items():
+                agg = merged.get(name)
+                if agg is None:
+                    merged[name] = {
+                        "bounds": list(state.get("bounds") or DEFAULT_BUCKETS),
+                        "counts": [int(c) for c in state.get("counts") or ()],
+                        "count": int(state.get("count", 0)),
+                        "sum": float(state.get("sum", 0.0)),
+                        "min": float(state.get("min", 0.0)),
+                        "max": float(state.get("max", 0.0)),
+                    }
+                    continue
+                counts = [int(c) for c in state.get("counts") or ()]
+                if len(counts) == len(agg["counts"]):
+                    agg["counts"] = [a + b for a, b in zip(agg["counts"], counts)]
+                agg["count"] += int(state.get("count", 0))
+                agg["sum"] += float(state.get("sum", 0.0))
+                if state.get("count"):
+                    low = float(state.get("min", 0.0))
+                    agg["min"] = min(agg["min"], low) if agg["count"] else low
+                agg["max"] = max(agg["max"], float(state.get("max", 0.0)))
+        for name, value in totals.items():
+            self.counter(f"workers.{name}").set_total(value)
+        for name, value in levels.items():
+            self.gauge(f"workers.{name}").set(value)
+        for name, state in merged.items():
+            self.histogram(f"workers.{name}", tuple(state["bounds"])).load(state)
+
     def snapshot_to(
         self, backend: Any, sim_t: float, *, keyspace: str | None = None
     ) -> dict:
@@ -251,6 +370,8 @@ class MetricsRegistry:
             self._counters = {}
             self._gauges = {}
             self._histograms = {}
+        with self._worker_lock:
+            self._worker_dumps = {}
 
 
 _registry = MetricsRegistry()
@@ -332,3 +453,33 @@ def timed(name: str):
     if not is_enabled():
         return _NULL_TIMER
     return _Timer(_registry.histogram(name))
+
+
+async def loop_lag_probe(
+    interval_s: float = 0.25,
+    *,
+    gauge: str = "scheduler.loop_lag_s",
+    cycles: int | None = None,
+) -> None:
+    """Event-loop-lag probe: measure ``asyncio.sleep`` overshoot forever.
+
+    A coroutine the :class:`~repro.runtime.scheduler.Scheduler` spawns when
+    observability is on.  Each cycle sleeps ``interval_s`` and records how
+    late the loop woke it — the coordination loop's scheduling lag, the
+    number that climbs when a blocking call sneaks onto the loop.  Lives in
+    ``repro.obs`` so the wall-clock reads stay inside the allowlisted
+    package.  ``cycles`` bounds the probe for tests; the default runs until
+    the owning loop cancels it.
+    """
+    import asyncio
+
+    remaining = cycles
+    while remaining is None or remaining > 0:
+        if remaining is not None:
+            remaining -= 1
+        start = wall_clock()
+        await asyncio.sleep(interval_s)
+        lag = max(0.0, (wall_clock() - start) - interval_s)
+        if is_enabled():
+            _registry.gauge(gauge).set(lag)
+            _registry.histogram(f"{gauge}.hist").observe(lag)

@@ -244,6 +244,29 @@ class Tracer:
         if sink is not None:
             sink.append(self._keyspace, span.to_record())
 
+    def ingest(self, records: list[dict]) -> None:
+        """Merge already-finished span records (worker-process buffers).
+
+        The cross-process half of tracing: spans opened in pool workers come
+        back as journal-form records (pid-scoped ids, parent rebased wall
+        starts) and enter the same aggregate fold and sidecar keyspace as
+        locally finished spans — one coherent trace across backends.
+        """
+        if not records:
+            return
+        sink = self._sink
+        with self._lock:
+            for record in records:
+                name = str(record.get("name", "?"))
+                agg = self._agg.get(name)
+                if agg is None:
+                    agg = self._agg.setdefault(name, _Agg())
+                agg.note(float(record.get("wall_dur", 0.0)))
+                self._finished += 1
+        if sink is not None:
+            for record in records:
+                sink.append(self._keyspace, record)
+
     # -- sink -------------------------------------------------------------
     def set_sink(self, backend: Any | None, *, keyspace: str | None = None) -> None:
         """Attach (or detach, with None) the journal backend for spans."""

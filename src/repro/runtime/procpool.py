@@ -42,9 +42,20 @@ import traceback
 from concurrent.futures import Future
 from typing import Any, Callable
 
+from ..obs import worker as obs_worker
 from .pools import WorkerPool, _default_workers
 
 __all__ = ["ProcessWorkerPool", "ProcpoolPayloadError", "default_processes"]
+
+#: Reserved envelope keys: when observability is on, the parent wraps the
+#: payload as ``{"__obs__": <span context>, "payload": ...}`` and the worker
+#: wraps its result as ``{"__obs__": <span buffer + metrics>, "result": ...}``.
+#: With observability off nothing is wrapped, so the wire bytes — and the
+#: byte-for-byte kill/resume guarantee — are untouched.
+_OBS_KEY = "__obs__"
+
+#: The dotted task ``collect_obs`` broadcasts to drain worker buffers.
+_OBS_FLUSH_TASK = "repro.obs.worker:flush_task"
 
 
 class ProcpoolPayloadError(TypeError):
@@ -86,7 +97,19 @@ def _worker_main(worker_id: int, tasks: Any, results: Any) -> None:
         seq, task_name, payload_json = item
         try:
             fn = _resolve_task(task_name)
-            out = fn(json.loads(payload_json))
+            payload = json.loads(payload_json)
+            obs_ctx = None
+            if isinstance(payload, dict) and _OBS_KEY in payload:
+                obs_ctx = payload[_OBS_KEY]
+                payload = payload["payload"]
+            if obs_ctx is not None:
+                with obs_worker.task_scope(obs_ctx, task=task_name):
+                    out = fn(payload)
+                obs_payload = obs_worker.drain()
+                if obs_payload is not None:
+                    out = {_OBS_KEY: obs_payload, "result": out}
+            else:
+                out = fn(payload)
             try:
                 body = json.dumps(out)
             except TypeError as exc:
@@ -209,14 +232,22 @@ class ProcessWorkerPool(WorkerPool):
                 entry = self._inflight.pop(seq, None)
             if entry is None:
                 continue
-            future, _worker_idx = entry
+            future, worker_idx = entry
             if ok:
                 try:
-                    future.set_result(json.loads(body))
+                    result = json.loads(body)
                 except Exception as exc:  # malformed body: fail loud, keep looping
                     future.set_exception(
                         ProcpoolPayloadError(f"result decode failed: {exc}")
                     )
+                    continue
+                if isinstance(result, dict) and _OBS_KEY in result:
+                    try:
+                        obs_worker.ingest(result.get(_OBS_KEY), worker=worker_idx)
+                    except Exception:  # noqa: BLE001 - obs must never fail a task
+                        pass
+                    result = result.get("result")
+                future.set_result(result)
             else:
                 future.set_exception(RuntimeError(body))
 
@@ -261,8 +292,15 @@ class ProcessWorkerPool(WorkerPool):
         """
         if self._closed:
             raise RuntimeError("worker pool is shut down")
+        obs_ctx = obs_worker.context_payload()
+        if obs_ctx is not None:
+            if affinity is not None:
+                obs_ctx["affinity"] = affinity
+            envelope: Any = {_OBS_KEY: obs_ctx, "payload": payload}
+        else:
+            envelope = payload
         try:
-            body = json.dumps(payload)
+            body = json.dumps(envelope)
         except TypeError as exc:
             raise ProcpoolPayloadError(
                 f"payload for task {task!r} is not JSON-able ({exc}); "
@@ -299,6 +337,45 @@ class ProcessWorkerPool(WorkerPool):
     ) -> Any:
         """Blocking convenience wrapper over :meth:`submit_task`."""
         return self.submit_task(task, payload, affinity=affinity).result()
+
+    # -- observability collection -----------------------------------------
+    def collect_obs(self, timeout: float = 5.0) -> int:
+        """Drain every live worker's span buffer + registry into the parent.
+
+        The bounded periodic flush of cross-process tracing: broadcasts the
+        obs flush task to each worker (piggy-backed buffers cover the common
+        path; this catches spans stranded by failed tasks and refreshes the
+        ``worker.<pid>.*`` metrics between task returns).  Called from the
+        supervisor's sidecar-snapshot cadence and at quiesce.  Returns the
+        number of spans merged; a worker that fails to answer within
+        ``timeout`` is skipped, never raised.
+        """
+        pending: list[tuple[int, Future]] = []
+        with self._proc_lock:
+            if not self._started or self._closed:
+                return 0
+            for worker in self._procs:
+                if not worker.process.is_alive():
+                    continue
+                future: "Future[Any]" = Future()
+                future.set_running_or_notify_cancel()
+                seq = self._seq
+                self._seq += 1
+                self._inflight[seq] = (future, worker.index)
+                worker.tasks_routed += 1
+                worker.tasks.put((seq, _OBS_FLUSH_TASK, "{}"))
+                pending.append((worker.index, future))
+        merged = 0
+        for index, future in pending:
+            try:
+                payload = future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - a dead/slow worker skips its flush
+                continue
+            try:
+                merged += obs_worker.ingest(payload or None, worker=index)
+            except Exception:  # noqa: BLE001 - obs must never fail the caller
+                continue
+        return merged
 
     # -- stats -----------------------------------------------------------
     def stats(self) -> dict:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Coroutine
 
+from ..obs import clock as obs_clock
 from ..obs import metrics as obs_metrics
 from .pools import WorkerPool, shared_pool
 
@@ -81,7 +82,23 @@ class Scheduler:
                 loop.close()
 
     async def _supervise(self, main: Coroutine[Any, Any, Any]) -> Any:
-        return await main
+        # Event-loop-lag probe: with observability on, a background sleeper
+        # measures how late the loop wakes it (scheduler.loop_lag_s gauge +
+        # histogram).  Scoped to this run; no wall reads outside repro.obs.
+        probe: asyncio.Task | None = None
+        if obs_clock.is_enabled():
+            probe = asyncio.get_running_loop().create_task(
+                obs_metrics.loop_lag_probe(), name="obs-loop-lag"
+            )
+        try:
+            return await main
+        finally:
+            if probe is not None:
+                probe.cancel()
+                try:
+                    await probe
+                except (asyncio.CancelledError, Exception):
+                    pass
 
     # -- bridging blocking work ------------------------------------------
     async def call(

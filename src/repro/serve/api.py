@@ -105,24 +105,49 @@ def build_router(app: "ServeApp") -> Router:
 
     # -- service ----------------------------------------------------------
     async def healthz(request: Request) -> Response:
+        """Liveness by default; ``?ready=1`` adds a readiness gate.
+
+        Liveness (200 whenever the loop answers) is what a process monitor
+        wants.  Readiness is stricter: 503 while any watch session is still
+        ``pending`` (resume fast-forward in flight) or has ``failed`` — a
+        load balancer should not route new fleet work at a server that is
+        still hydrating or wedged.
+        """
         states = [s.state for s in app.sessions.values()]
-        return Response(
-            200,
-            {
-                "ok": True,
-                "backend": app.backend_kind,
-                "tenants": len(app.registry),
-                "watches": {state: states.count(state) for state in set(states)},
-                "sse_clients": sum(len(b.clients) for b in app.brokers.values()),
-            },
-        )
+        body = {
+            "ok": True,
+            "backend": app.backend_kind,
+            "tenants": len(app.registry),
+            "watches": {state: states.count(state) for state in set(states)},
+            "sse_clients": sum(len(b.clients) for b in app.brokers.values()),
+        }
+        if request.query.get("ready") not in (None, "", "0"):
+            not_ready = [s for s in states if s in ("pending", "failed")]
+            if not_ready:
+                body["ok"] = False
+                body["not_ready"] = {
+                    state: not_ready.count(state) for state in set(not_ready)
+                }
+                return Response(503, body)
+            body["ready"] = True
+        return Response(200, body)
 
     async def metrics(request: Request) -> Response:
         from ..obs import metrics as obs_metrics
+        from ..obs import prometheus as obs_prometheus
 
         # stats() reads counters under the pool's own lock and the registry
         # snapshot copies under its lock — neither blocks on store I/O, so
-        # both are safe to call inline on the coordination loop.
+        # both are safe to call inline on the coordination loop; the
+        # telemetry refresh only touches in-memory session/broker state.
+        app.refresh_telemetry()
+        if request.query.get("format") == "prometheus":
+            text = obs_prometheus.render_prometheus()
+            return Response(
+                200,
+                text.encode("utf-8"),
+                headers={"Content-Type": obs_prometheus.CONTENT_TYPE},
+            )
         return Response(
             200,
             {

@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import os
 import signal
+import time
 from functools import partial
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -259,6 +260,63 @@ class ServeApp:
             broker = SseBroker(self.scheduler, backlog=self.sse_backlog)
             self.brokers[tenant_id] = broker
         return broker
+
+    def refresh_telemetry(self) -> None:
+        """Refresh per-tenant watch-health gauges (called at scrape time).
+
+        Reads only in-memory session/broker state plus one checkpoint
+        ``stat()`` per tenant — loop-safe.  Writes go straight through the
+        registry instruments (not the ``is_enabled`` helpers) so a
+        Prometheus scrape sees live values even when span tracing is off.
+        The ``serve.tenant.<tid>.*`` prefix renders as a ``{tenant=...}``
+        label in the exposition format.
+        """
+        from ..stream.supervisor import CHECKPOINT_FILE
+
+        registry = obs_metrics.registry()
+        registry.gauge("serve.tenants").set(float(len(self.registry)))
+        states = [s.state for s in self.sessions.values()]
+        for state in ("pending", "running", "done", "failed", "stopped"):
+            registry.gauge(f"serve.watches.{state}").set(
+                float(states.count(state))
+            )
+        for tenant_id, session in self.sessions.items():
+            prefix = f"serve.tenant.{tenant_id}"
+            supervisor = session.supervisor
+            if supervisor is not None:
+                registry.gauge(f"{prefix}.clock_skew_s").set(
+                    supervisor.clocks.skew
+                )
+                registry.gauge(f"{prefix}.advanced_s").set(
+                    supervisor.advanced_s
+                )
+                registry.gauge(f"{prefix}.inflight_diagnoses").set(
+                    float(
+                        sum(
+                            len(w.manager.diagnosing_incidents())
+                            for w in supervisor.watched.values()
+                        )
+                    )
+                )
+                if supervisor.state_dir is not None:
+                    checkpoint = supervisor.state_dir / CHECKPOINT_FILE
+                    try:
+                        age = max(0.0, time.time() - checkpoint.stat().st_mtime)
+                    except OSError:
+                        age = -1.0  # no checkpoint yet
+                    registry.gauge(f"{prefix}.checkpoint_age_s").set(age)
+        for tenant_id, broker in self.brokers.items():
+            prefix = f"serve.tenant.{tenant_id}"
+            registry.gauge(f"{prefix}.sse_clients").set(
+                float(len(broker.clients))
+            )
+            log = broker.event_log
+            last = log.last_seq if log is not None else -1
+            lag = max(
+                (last - c.delivered for c in broker.clients.values()),
+                default=0,
+            )
+            registry.gauge(f"{prefix}.sse_lag").set(float(max(0, lag)))
 
     async def mutate_registry(self, fn, /, *args):
         """Serialised, off-loop manifest mutation."""

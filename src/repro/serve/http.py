@@ -47,6 +47,7 @@ _REASONS = {
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -91,6 +92,11 @@ class Response:
     def encode(self) -> tuple[bytes, bytes]:
         if self.payload is None:
             body = b""
+        elif isinstance(self.payload, bytes):
+            # Raw passthrough (Prometheus exposition text, etc.) — the
+            # handler owns the Content-Type.
+            body = self.payload
+            self.headers.setdefault("Content-Type", "application/octet-stream")
         else:
             body = (json.dumps(self.payload, sort_keys=True) + "\n").encode()
             self.headers.setdefault("Content-Type", "application/json")
@@ -263,6 +269,17 @@ class HttpServer:
             try:
                 handler, params = self.router.resolve(request.method, request.path)
                 request.params = params
+                tenant = params.get("tenant_id")
+                if tenant is not None:
+                    # Tenant-tagged service telemetry: the span carries the
+                    # tenant for trace filtering, and the per-tenant request
+                    # counter renders as a {tenant=...} label in Prometheus.
+                    # Written through the registry (not the gated helper) so
+                    # scrapes see it even when span tracing is off.
+                    request_span.annotate(tenant=tenant)
+                    obs_metrics.registry().counter(
+                        f"serve.tenant.{tenant}.requests"
+                    ).inc()
                 result = await handler(request)
             except HttpError as exc:
                 obs_metrics.inc(f"serve.responses.{exc.status}")

@@ -1225,7 +1225,17 @@ class FleetSupervisor:
         """
         if self.obs_backend is None or not obs_clock.is_enabled():
             return
-        stats = self._pool().stats()
+        pool = self._pool()
+        # Process-backed pools buffer worker-side spans and metric dumps;
+        # pull them home before the snapshot so the sidecar sees one
+        # coherent fleet (worker.<pid>.* plus workers.* aggregates).
+        collect = getattr(pool, "collect_obs", None)
+        if collect is not None:
+            try:
+                collect()
+            except Exception:
+                pass  # observability must never fail a snapshot
+        stats = pool.stats()
         obs_metrics.set_gauge("pool.queued", stats["queued"])
         obs_metrics.set_gauge("pool.active", stats["active"])
         obs_metrics.set_gauge("pool.utilisation", stats["utilisation"])

@@ -30,6 +30,8 @@ from __future__ import annotations
 from typing import Any
 
 from ..lab.scenarios import Scenario, ScenarioBundle
+from ..obs import metrics as obs_metrics
+from ..obs import worker as obs_worker
 from .detectors import (
     Detection,
     DetectorBank,
@@ -139,7 +141,11 @@ def _hydrated(spec: dict) -> _WorkerEnv:
     name = spec["name"]
     worker_env = _ENVS.get(name)
     if worker_env is None:
-        worker_env = _WorkerEnv(spec)
+        # Buffered worker span: hydration is the one expensive cold-start
+        # step, worth seeing on the parent's merged timeline.
+        with obs_worker.worker_span("worker.hydrate", env=name):
+            worker_env = _WorkerEnv(spec)
+        obs_metrics.inc("env.hydrations")
         _ENVS[name] = worker_env
     return worker_env
 
@@ -159,7 +165,16 @@ def _pipeline():
 def advance_env(payload: dict) -> dict:
     """Advance one chunk; return the compact supervision delta."""
     worker_env = _hydrated(payload["spec"])
-    detections = worker_env.advance(float(payload["chunk_s"]))
+    with obs_worker.worker_span(
+        "worker.advance",
+        env=payload["spec"]["name"],
+        sim_t=worker_env.env.clock,
+        chunk_s=float(payload["chunk_s"]),
+    ), obs_metrics.timed("env.advance_s"):
+        detections = worker_env.advance(float(payload["chunk_s"]))
+    obs_metrics.inc("env.chunks")
+    if detections:
+        obs_metrics.inc("env.detections", len(detections))
     return {
         "detections": [d.to_dict() for d in detections],
         "clock": worker_env.env.clock,
@@ -182,7 +197,11 @@ def diagnose_env(payload: dict) -> dict:
     from ..core.serialize import report_to_dict
 
     worker_env = _hydrated(payload["spec"])
-    report = _pipeline().diagnose(worker_env.env.bundle(), worker_env.query_name)
+    with obs_worker.worker_span(
+        "worker.diagnose", env=payload["spec"]["name"], sim_t=worker_env.env.clock
+    ), obs_metrics.timed("env.diagnose_s"):
+        report = _pipeline().diagnose(worker_env.env.bundle(), worker_env.query_name)
+    obs_metrics.inc("env.diagnoses")
     out: dict = {"report": report_to_dict(report)}
     info = worker_env.info
     if info is not None and info.ground_truth:
@@ -204,7 +223,10 @@ def diagnose_env(payload: dict) -> dict:
 def bundle_env(payload: dict) -> dict:
     """Export the full diagnosis bundle (fleet drill-down evidence)."""
     worker_env = _hydrated(payload["spec"])
-    return worker_env.env.bundle().to_payload()
+    with obs_worker.worker_span(
+        "worker.bundle", env=payload["spec"]["name"], sim_t=worker_env.env.clock
+    ), obs_metrics.timed("env.bundle_s"):
+        return worker_env.env.bundle().to_payload()
 
 
 def load_detectors(payload: dict) -> dict:

@@ -407,3 +407,80 @@ class TestValidation:
             CorrelationEngine(MEMBERSHIP, min_confidence=1.5)
         with pytest.raises(ValueError):
             CorrelationEngine(MEMBERSHIP, drilldown_delay_s=-1.0)
+
+
+class TestReEscalation:
+    """A successor group opening inside the cooldown links its predecessor."""
+
+    def _resolved_first_wave(self, eng):
+        for env, iid in [("env-a", "A1"), ("env-b", "B1"), ("env-c", "C1")]:
+            eng.observe(opened(env, iid, 100.0))
+        advance_all(eng, 700.0)
+        first = eng.fleet_incidents()[0]
+        for env, iid in [("env-a", "A1"), ("env-b", "B1"), ("env-c", "C1")]:
+            eng.observe(resolved(env, iid, 750.0))
+        advance_all(eng, 800.0)
+        assert first.state is FleetIncidentState.RESOLVED
+        assert first.escalated_from is None
+        return first
+
+    def test_successor_inside_cooldown_links_predecessor(self):
+        eng = engine()
+        first = self._resolved_first_wave(eng)
+        # New wave on the same component within one window of the resolve.
+        for env, iid in [("env-a", "A2"), ("env-b", "B2"), ("env-c", "C2")]:
+            eng.observe(opened(env, iid, 1250.0))
+        advance_all(eng, 1900.0)
+        groups = eng.fleet_incidents()
+        assert len(groups) == 2
+        successor = [g for g in groups if g.fleet_id != first.fleet_id][0]
+        assert successor.escalated_from == first.fleet_id
+
+    def test_successor_outside_cooldown_is_unlinked(self):
+        eng = engine()
+        first = self._resolved_first_wave(eng)
+        # resolved_at = 750, window 600: opens at 1400 are past the cooldown.
+        for env, iid in [("env-a", "A2"), ("env-b", "B2"), ("env-c", "C2")]:
+            eng.observe(opened(env, iid, 1400.0))
+        advance_all(eng, 2000.0)
+        successor = [
+            g for g in eng.fleet_incidents() if g.fleet_id != first.fleet_id
+        ][0]
+        assert successor.escalated_from is None
+
+    def test_link_survives_journal_and_dict_roundtrip(self, tmp_path):
+        store = FleetIncidentStore.open(tmp_path)
+        eng = engine(store=store)
+        first = self._resolved_first_wave(eng)
+        for env, iid in [("env-a", "A2"), ("env-b", "B2"), ("env-c", "C2")]:
+            eng.observe(opened(env, iid, 1250.0))
+        advance_all(eng, 1900.0)
+        tickets = {t["fleet_id"]: t for t in store.history()}
+        successor_id = [f for f in tickets if f != first.fleet_id][0]
+        assert tickets[successor_id]["escalated_from"] == first.fleet_id
+        assert tickets[first.fleet_id]["escalated_from"] is None
+        store.close()
+        # The open record carries the full ticket, so a cold replay folds
+        # the link back too.
+        reopened = FleetIncidentStore.open(tmp_path)
+        assert (
+            reopened.history(component="P1")[-1]["escalated_from"]
+            == first.fleet_id
+        )
+        reopened.close()
+
+    def test_cooldown_survives_checkpoint_resume(self):
+        eng = engine()
+        first = self._resolved_first_wave(eng)
+        # Kill/resume between the resolve and the successor wave: the
+        # cooldown map must come back from the checkpoint or the resumed
+        # run would diverge from the uninterrupted one.
+        resumed = engine()
+        resumed.load_state(eng.state_dict())
+        for env, iid in [("env-a", "A2"), ("env-b", "B2"), ("env-c", "C2")]:
+            resumed.observe(opened(env, iid, 1250.0))
+        advance_all(resumed, 1900.0)
+        successor = [
+            g for g in resumed.fleet_incidents() if g.fleet_id != first.fleet_id
+        ][0]
+        assert successor.escalated_from == first.fleet_id

@@ -890,3 +890,76 @@ class TestRunner:
             "serve-discipline",
             "procpool-discipline",
         )
+
+
+class TestObsWorkerDiscipline:
+    """Worker-side task modules only emit spans through the buffered API."""
+
+    WORKER = "src/repro/stream/worker.py"
+
+    def test_direct_span_in_worker_module_flagged(self):
+        findings = lint(
+            """
+            from repro.obs import span
+
+            def advance_env(payload):
+                with span("advance"):
+                    pass
+            """,
+            path=self.WORKER,
+        )
+        assert checks(findings) == ["obs-discipline"]
+        assert "worker_span" in findings[0].message
+
+    def test_worker_span_in_worker_module_clean(self):
+        findings = lint(
+            """
+            from repro.obs import worker as obs_worker
+
+            def advance_env(payload):
+                with obs_worker.worker_span("worker.advance"):
+                    pass
+            """,
+            path=self.WORKER,
+        )
+        assert findings == []
+
+    def test_set_sink_in_worker_module_flagged(self):
+        findings = lint(
+            """
+            from repro.obs import trace as obs_trace
+
+            def hydrate(payload):
+                obs_trace.tracer().set_sink(payload)
+            """,
+            path=self.WORKER,
+        )
+        assert checks(findings) == ["obs-discipline"]
+        assert "sink" in findings[0].message
+
+    def test_unclosed_worker_span_flagged_everywhere(self):
+        findings = lint(
+            """
+            from repro.obs import worker as obs_worker
+
+            def leak():
+                s = obs_worker.worker_span("worker.leak")
+                return s
+            """,
+            path=self.WORKER,
+        )
+        assert checks(findings) == ["obs-discipline"]
+        assert "with worker_span" in findings[0].message
+
+    def test_direct_span_outside_worker_modules_still_clean(self):
+        findings = lint(
+            """
+            from repro.obs import span
+
+            def supervise():
+                with span("tick"):
+                    pass
+            """,
+            path=NONSIM,
+        )
+        assert findings == []

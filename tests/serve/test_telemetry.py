@@ -1,0 +1,89 @@
+"""Service telemetry surface: Prometheus exposition and /healthz contract."""
+
+from __future__ import annotations
+
+import http.client
+
+from repro.obs.prometheus import CONTENT_TYPE
+
+SPEC = {
+    "scenarios": ["san-misconfiguration"],
+    "hours": 1.0,
+    "chunk_minutes": 30.0,
+}
+
+
+def raw_request(server, method: str, path: str) -> tuple[int, dict, bytes]:
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def test_metrics_json_stays_default(server):
+    status, payload = server.request("GET", "/metrics")
+    assert status == 200
+    assert "pool" in payload and "metrics" in payload
+    # Telemetry refresh runs at scrape time: the fleet gauge is present
+    # even before any watch has started.
+    assert payload["metrics"]["gauges"]["serve.tenants"] == 0.0
+
+
+def test_metrics_prometheus_format(server):
+    server.request("POST", "/v1/tenants", {"tenant_id": "acme"})
+    status, headers, body = raw_request(server, "GET", "/metrics?format=prometheus")
+    assert status == 200
+    assert headers["Content-Type"] == CONTENT_TYPE
+    text = body.decode("utf-8")
+    assert "# TYPE repro_serve_tenants gauge" in text
+    assert "repro_serve_tenants 1" in text
+    # Every sample line parses as `name[{labels}] value`.
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        float(line.rsplit(" ", 1)[1])
+
+
+def test_per_tenant_gauges_after_watch(server):
+    server.request("POST", "/v1/tenants", {"tenant_id": "acme"})
+    status, _ = server.request("POST", "/v1/tenants/acme/fleets", SPEC)
+    assert status == 201
+    status, _ = server.request("POST", "/v1/tenants/acme/watch/start")
+    assert status == 200
+    server.wait_watch("acme")
+    _, _, body = raw_request(server, "GET", "/metrics?format=prometheus")
+    text = body.decode("utf-8")
+    # The session's watch-health gauges carry the tenant label.
+    assert 'repro_clock_skew_s{tenant="acme"}' in text
+    assert 'repro_inflight_diagnoses{tenant="acme"}' in text
+    # Request counters are tenant-tagged by the dispatcher.
+    assert 'repro_requests{tenant="acme"}' in text
+
+
+def test_healthz_liveness_and_readiness(server):
+    status, payload = server.request("GET", "/healthz")
+    assert status == 200 and payload["ok"] is True
+
+    # No sessions: ready.
+    status, payload = server.request("GET", "/healthz?ready=1")
+    assert status == 200 and payload.get("ready") is True
+
+    # A session still hydrating (or wedged) makes the server not-ready —
+    # 503 so a load balancer stops routing, while plain liveness stays 200.
+    class _FakeSession:
+        state = "pending"
+
+    server.app.sessions["ghost"] = _FakeSession()
+    try:
+        status, payload = server.request("GET", "/healthz?ready=1")
+        assert status == 503
+        assert payload["ok"] is False
+        assert payload["not_ready"] == {"pending": 1}
+        status, _ = server.request("GET", "/healthz")
+        assert status == 200
+    finally:
+        server.app.sessions.pop("ghost", None)
